@@ -1,0 +1,116 @@
+// Ablation: access-popularity delays vs update-rate delays as the
+// *access* skew varies.
+//
+// The paper's core scheme needs skewed accesses (section 2); when the
+// query distribution flattens, it must either hurt users or spare the
+// adversary. The update-based scheme (section 3) is independent of
+// access skew. This bench sweeps access alpha and reports, for both
+// policies, the median user delay and the adversary's total -- showing
+// where each scheme holds the line.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/zipf.h"
+#include "core/update_delay.h"
+#include "sim/access_simulation.h"
+#include "stats/update_tracker.h"
+#include "workload/key_generator.h"
+
+using namespace tarpit;
+
+namespace {
+
+constexpr uint64_t kN = 20'000;
+constexpr int kRequests = 400'000;
+
+struct PolicyOutcome {
+  double median_user = 0;
+  double adversary = 0;
+};
+
+PolicyOutcome RunAccessPolicy(double access_alpha) {
+  PopularityDelayParams params;
+  params.scale = 0.05;
+  params.beta = 1.0;
+  params.bounds = {0.0, 10.0};
+  AccessDelaySimulation sim(kN, 1.0, params);
+  Rng rng(13);
+  QuantileSketch delays;
+  if (access_alpha <= 0.0) {
+    UniformKeyGenerator gen(kN);
+    for (int i = 0; i < kRequests; ++i) {
+      delays.Add(sim.ServeRequest(gen.Next(&rng)));
+    }
+  } else {
+    ZipfKeyGenerator gen(kN, access_alpha);
+    for (int i = 0; i < kRequests; ++i) {
+      delays.Add(sim.ServeRequest(gen.Next(&rng)));
+    }
+  }
+  return {delays.Median(), sim.ExtractionDelayFrozen()};
+}
+
+PolicyOutcome RunUpdatePolicy(double access_alpha) {
+  // Updates arrive Zipf(1.0) regardless of how queries are skewed.
+  UpdateTracker tracker(kN, 1.0);
+  ZipfDistribution update_zipf(kN, 1.0);
+  Rng rng(14);
+  const int updates = 400'000;
+  for (int i = 0; i < updates; ++i) {
+    tracker.Record(static_cast<int64_t>(update_zipf.Sample(&rng)));
+  }
+  UpdateDelayParams params;
+  params.c = 2.0;
+  params.n = kN;
+  params.rate_window_seconds = updates / 100.0;  // 100 updates/s.
+  params.bounds = {0.0, 10.0};
+  UpdateDelayPolicy policy(&tracker, params);
+
+  QuantileSketch delays;
+  if (access_alpha <= 0.0) {
+    UniformKeyGenerator gen(kN);
+    for (int i = 0; i < 50'000; ++i) {
+      delays.Add(policy.DelayFor(gen.Next(&rng)));
+    }
+  } else {
+    ZipfKeyGenerator gen(kN, access_alpha);
+    for (int i = 0; i < 50'000; ++i) {
+      delays.Add(policy.DelayFor(gen.Next(&rng)));
+    }
+  }
+  double adversary = 0;
+  for (uint64_t key = 1; key <= kN; ++key) {
+    adversary += policy.DelayFor(static_cast<int64_t>(key));
+  }
+  return {delays.Median(), adversary};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation: access-based vs update-based delays as "
+              "access skew varies (N = %llu, cap 10 s)\n",
+              static_cast<unsigned long long>(kN));
+  std::printf("# updates are always Zipf(1.0); max adversary = %.0f s\n",
+              static_cast<double>(kN) * 10);
+  std::printf("%-14s %-34s %-34s\n", "",
+              "access-policy", "update-policy");
+  std::printf("%-14s %-16s %-16s  %-16s %-16s\n", "access alpha",
+              "median (ms)", "adversary (s)", "median (ms)",
+              "adversary (s)");
+  for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0}) {
+    PolicyOutcome access = RunAccessPolicy(alpha);
+    PolicyOutcome update = RunUpdatePolicy(alpha);
+    std::printf("%-14.2f %-16.2f %-16.0f  %-16.2f %-16.0f\n", alpha,
+                access.median_user * 1e3, access.adversary,
+                update.median_user * 1e3, update.adversary);
+  }
+  std::printf("# access alpha 0.00 = uniform queries: the access "
+              "policy's median rises toward the cap\n"
+              "# (users hurt) while the update policy's protection is "
+              "unchanged -- the paper's section 3 motivation.\n");
+  return 0;
+}

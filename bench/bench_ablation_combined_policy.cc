@@ -1,0 +1,167 @@
+// Ablation: access-based vs update-based vs combined (max) delay
+// assignment across the four workload quadrants:
+//
+//                     updates skewed        updates uniform
+//   queries skewed    both schemes work     only access works
+//   queries uniform   only update works     nothing works (paper's
+//                                           acknowledged limit)
+//
+// Two ways to avoid choosing a scheme by hand are compared: combining
+// the delays (max) and measuring the skew (auto via analysis/zipf_fit).
+// Reported per cell: median user delay and total adversary delay.
+
+#include <cstdio>
+#include <memory>
+
+#include "analysis/zipf_fit.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/zipf.h"
+#include "core/combined_delay.h"
+#include "core/popularity_delay.h"
+#include "core/update_delay.h"
+#include "sim/adversary.h"
+#include "stats/count_tracker.h"
+#include "stats/update_tracker.h"
+#include "workload/key_generator.h"
+
+using namespace tarpit;
+
+namespace {
+
+constexpr uint64_t kN = 20'000;
+constexpr int kQueries = 300'000;
+constexpr int kUpdates = 300'000;
+constexpr double kCap = 10.0;
+
+struct Quadrant {
+  const char* name;
+  double query_alpha;   // 0 = uniform.
+  double update_alpha;  // 0 = uniform.
+};
+
+struct CellResult {
+  double median_user;
+  double adversary;
+};
+
+// policy_kind: 0 access, 1 update, 2 combined-max, 3 auto (fit skews
+// from the learned counts and use whichever signal actually has one --
+// the selection rule the paper leaves to the provider, automated with
+// analysis/zipf_fit).
+CellResult RunCell(const Quadrant& quadrant, int policy_kind) {
+  // Learn both signals from the quadrant's workload.
+  CountTracker access(kN, 1.0);
+  UpdateTracker updates(kN, 1.0);
+  Rng rng(41);
+  std::unique_ptr<KeyGenerator> qgen, ugen;
+  if (quadrant.query_alpha > 0) {
+    qgen = std::make_unique<ZipfKeyGenerator>(kN, quadrant.query_alpha);
+  } else {
+    qgen = std::make_unique<UniformKeyGenerator>(kN);
+  }
+  if (quadrant.update_alpha > 0) {
+    ugen = std::make_unique<ZipfKeyGenerator>(kN, quadrant.update_alpha);
+  } else {
+    ugen = std::make_unique<UniformKeyGenerator>(kN);
+  }
+  for (int i = 0; i < kUpdates; ++i) updates.Record(ugen->Next(&rng));
+
+  PopularityDelayParams pop;
+  pop.scale = 0.05;
+  pop.beta = 1.0;
+  pop.bounds = {0.0, kCap};
+  PopularityDelayPolicy access_policy(&access, pop);
+
+  UpdateDelayParams upd;
+  upd.c = 2.0;
+  upd.n = kN;
+  upd.rate_window_seconds = kUpdates / 100.0;  // 100 updates/s.
+  upd.bounds = {0.0, kCap};
+  UpdateDelayPolicy update_policy(&updates, upd);
+
+  CombinedDelayPolicy combined(&access_policy, &update_policy,
+                               CombineMode::kMax, {0.0, kCap});
+  const DelayPolicy* policy = nullptr;
+  switch (policy_kind) {
+    case 0: policy = &access_policy; break;
+    case 1: policy = &update_policy; break;
+    case 2: policy = &combined; break;
+    default: break;  // kind 3 chooses after a learning phase.
+  }
+
+  std::vector<int64_t> all_keys;
+  if (policy_kind == 3) {
+    all_keys.reserve(kN);
+    for (uint64_t k = 1; k <= kN; ++k) {
+      all_keys.push_back(static_cast<int64_t>(k));
+    }
+  }
+
+  QuantileSketch user;
+  for (int i = 0; i < kQueries; ++i) {
+    const int64_t key = qgen->Next(&rng);
+    access.Record(key);
+    if (policy == nullptr && i == kQueries / 10) {
+      // Auto selection after a 10% learning phase: trust whichever
+      // dimension shows real skew (fitted alpha with a decent fit);
+      // prefer access (no staleness caveats) when both qualify.
+      ZipfFit access_fit = FitZipfFromTracker(access, all_keys, 200);
+      ZipfFit update_fit = FitZipfFromTracker(updates, all_keys, 200);
+      const bool access_skewed =
+          access_fit.alpha > 0.8 && access_fit.r_squared > 0.7;
+      const bool update_skewed =
+          update_fit.alpha > 0.8 && update_fit.r_squared > 0.7;
+      if (access_skewed) {
+        policy = &access_policy;
+      } else if (update_skewed) {
+        policy = &update_policy;
+      } else {
+        policy = &update_policy;  // Least user-hostile fallback.
+      }
+    }
+    if (policy != nullptr) user.Add(policy->DelayFor(key));
+  }
+  if (policy == nullptr) policy = &update_policy;
+  ExtractionReport adversary = RunSequentialExtraction(*policy, kN);
+  return CellResult{user.Median(), adversary.total_delay_seconds};
+}
+
+}  // namespace
+
+int main() {
+  const Quadrant quadrants[4] = {
+      {"skewed-q/skewed-u", 1.2, 1.2},
+      {"skewed-q/uniform-u", 1.2, 0.0},
+      {"uniform-q/skewed-u", 0.0, 1.2},
+      {"uniform-q/uniform-u", 0.0, 0.0},
+  };
+  const char* policies[4] = {"access", "update", "combined-max",
+                             "auto(fit)"};
+
+  std::printf("# Ablation: policy vs workload quadrant "
+              "(N = %llu, cap %.0f s; median user ms / adversary h)\n",
+              static_cast<unsigned long long>(kN), kCap);
+  std::printf("%-24s %-22s %-22s %-22s %-22s\n", "workload", policies[0],
+              policies[1], policies[2], policies[3]);
+  for (const Quadrant& quadrant : quadrants) {
+    std::printf("%-24s", quadrant.name);
+    for (int p = 0; p < 4; ++p) {
+      CellResult cell = RunCell(quadrant, p);
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.2f / %.1f",
+                    cell.median_user * 1e3, cell.adversary / 3600);
+      std::printf(" %-22s", buf);
+    }
+    std::printf("\n");
+  }
+  std::printf("# combined-max maximizes adversary delay everywhere but "
+              "inherits the WORSE user experience\n"
+              "# (max of the delays). auto(fit) measures which skew "
+              "actually exists (analysis/zipf_fit) and\n"
+              "# picks that scheme -- matching the best cell in the "
+              "three usable quadrants. In the fourth\n"
+              "# (no skew anywhere) every scheme must hurt users to "
+              "hurt the adversary: the paper's stated limit.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Ablation: count-maintenance overhead (the Table 5 experiment) as a
+// function of the write-behind cache budget.
+//
+// A larger cache absorbs more increments in memory and defers more
+// write-backs; at the extreme the cache covers the whole working set
+// and the residual cost is pure computation (tracker + rank + delay).
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/protected_db.h"
+
+using namespace tarpit;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kRows = 10'000;
+constexpr int kQueries = 2'000;
+constexpr int kWarmup = 200;
+
+double MeasurePerQueryMicros(ProtectedDatabaseOptions opts,
+                             const std::string& dir, uint64_t seed,
+                             uint64_t* backing_writes) {
+  fs::create_directories(dir);
+  VirtualClock delay_clock;
+  auto pdb = ProtectedDatabase::Open(dir, "items", &delay_clock, opts);
+  if (!pdb.ok()) std::abort();
+  (void)(*pdb)->ExecuteSql(
+      "CREATE TABLE items (id INT PRIMARY KEY, payload TEXT)");
+  const std::string payload(64, 'x');
+  for (int i = 1; i <= kRows; ++i) {
+    if (!(*pdb)
+             ->BulkLoadRow({Value(static_cast<int64_t>(i)),
+                            Value(payload)})
+             .ok()) {
+      std::abort();
+    }
+  }
+  if (!(*pdb)->Checkpoint().ok()) std::abort();
+
+  Rng rng(seed);
+  RealClock wall;
+  RunningStat micros;
+  for (int q = 0; q < kWarmup + kQueries; ++q) {
+    const int64_t key = static_cast<int64_t>(rng.Uniform(kRows)) + 1;
+    const int64_t start = wall.NowMicros();
+    auto r = (*pdb)->ExecuteSql("SELECT * FROM items WHERE id = " +
+                                std::to_string(key));
+    const int64_t elapsed = wall.NowMicros() - start;
+    if (!r.ok()) std::abort();
+    if (q >= kWarmup) micros.Add(static_cast<double>(elapsed));
+  }
+  if (backing_writes != nullptr) {
+    *backing_writes = (*pdb)->count_cache() != nullptr
+                          ? (*pdb)->count_cache()->backing_writes()
+                          : 0;
+  }
+  return micros.mean();
+}
+
+}  // namespace
+
+int main() {
+  const fs::path base =
+      fs::temp_directory_path() / "tarpit_bench_ablation_cc";
+  fs::remove_all(base);
+
+  TableOptions table_options;
+  table_options.heap_pool_pages = 32;
+  table_options.index_pool_pages = 16;
+
+  ProtectedDatabaseOptions baseline;
+  baseline.mode = DelayMode::kNone;
+  baseline.table_options = table_options;
+  const double base_us = MeasurePerQueryMicros(
+      baseline, (base / "base").string(), 99, nullptr);
+
+  std::printf("# Ablation: overhead vs count-cache capacity "
+              "(%d uniform lookups over %d rows)\n",
+              kQueries, kRows);
+  std::printf("# baseline (no counting): %.2f us/query\n", base_us);
+  std::printf("%-12s %-16s %-14s %-16s\n", "cache", "us/query",
+              "overhead(%)", "backing writes");
+  for (size_t capacity : {16ul, 64ul, 256ul, 1024ul, 4096ul, 16384ul}) {
+    ProtectedDatabaseOptions opts;
+    opts.mode = DelayMode::kAccessPopularity;
+    opts.popularity.bounds = {0.0, 0.0};  // Compute, don't stall.
+    opts.persist_counts = true;
+    opts.count_cache_capacity = capacity;
+    opts.table_options = table_options;
+    uint64_t writes = 0;
+    const double us = MeasurePerQueryMicros(
+        opts, (base / ("c" + std::to_string(capacity))).string(), 99,
+        &writes);
+    std::printf("%-12zu %-16.2f %-14.0f %-16llu\n", capacity, us,
+                100.0 * (us - base_us) / base_us,
+                static_cast<unsigned long long>(writes));
+  }
+  fs::remove_all(base);
+  return 0;
+}

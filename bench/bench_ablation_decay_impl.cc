@@ -1,0 +1,95 @@
+// Ablation: decay by increment inflation (the paper's scheme, used by
+// CountTracker) vs the naive implementation that discounts every
+// counter on every request.
+//
+// The paper (section 2.3): "It is expensive to discount the value of
+// every count at each access. Instead, we inflate the value by which
+// each count increases at each access." This bench quantifies
+// "expensive": the naive sweep is O(distinct keys) per request.
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "stats/count_tracker.h"
+
+namespace tarpit {
+namespace {
+
+/// The strawman: multiplies every stored count by 1/delta on each
+/// request (no rank index, to isolate the decay cost).
+class NaiveDecayedCounts {
+ public:
+  explicit NaiveDecayedCounts(double delta) : inv_delta_(1.0 / delta) {}
+
+  void Record(int64_t key) {
+    for (auto& [k, v] : counts_) v *= inv_delta_;
+    counts_[key] += 1.0;
+  }
+  double Count(int64_t key) const {
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  double inv_delta_;
+  std::unordered_map<int64_t, double> counts_;
+};
+
+/// Inflation-based counts without a rank index, for apples-to-apples.
+class InflatedDecayedCounts {
+ public:
+  explicit InflatedDecayedCounts(double delta) : delta_(delta) {}
+
+  void Record(int64_t key) {
+    weight_ *= delta_;
+    counts_[key] += weight_;
+    if (weight_ > 1e100) {
+      const double inv = 1.0 / weight_;
+      for (auto& [k, v] : counts_) v *= inv;
+      weight_ = 1.0;
+    }
+  }
+  double Count(int64_t key) const {
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0.0 : it->second / weight_;
+  }
+
+ private:
+  double delta_;
+  double weight_ = 1.0;
+  std::unordered_map<int64_t, double> counts_;
+};
+
+template <typename Counts>
+void RunDecayBench(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  Counts counts(1.0001);
+  ZipfDistribution zipf(n, 1.2);
+  Rng rng(1);
+  // Pre-populate so the naive sweep has real work.
+  for (uint64_t i = 0; i < n; ++i) {
+    counts.Record(static_cast<int64_t>(i + 1));
+  }
+  for (auto _ : state) {
+    counts.Record(static_cast<int64_t>(zipf.Sample(&rng)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_NaiveDecay(benchmark::State& state) {
+  RunDecayBench<NaiveDecayedCounts>(state);
+}
+BENCHMARK(BM_NaiveDecay)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_InflationDecay(benchmark::State& state) {
+  RunDecayBench<InflatedDecayedCounts>(state);
+}
+BENCHMARK(BM_InflationDecay)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+}  // namespace
+}  // namespace tarpit
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Ablation: exact order-statistics treap vs approximate log-bucketed
+// rank index.
+//
+// Two questions: (1) how much faster is the bucket index per recorded
+// request, and (2) how much rank error does it introduce (which feeds
+// directly into delay error through the rank^beta term).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "stats/count_tracker.h"
+#include "stats/rank_index.h"
+
+namespace tarpit {
+namespace {
+
+void RecordWorkload(CountTracker* tracker, uint64_t n, int requests,
+                    uint64_t seed) {
+  ZipfDistribution zipf(n, 1.2);
+  Rng rng(seed);
+  for (int i = 0; i < requests; ++i) {
+    tracker->Record(static_cast<int64_t>(zipf.Sample(&rng)));
+  }
+}
+
+void BM_TreapRecord(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  CountTracker tracker(n, 1.0, std::make_unique<TreapRankIndex>());
+  ZipfDistribution zipf(n, 1.2);
+  Rng rng(1);
+  for (auto _ : state) {
+    tracker.Record(static_cast<int64_t>(zipf.Sample(&rng)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreapRecord)->Arg(10'000)->Arg(100'000);
+
+void BM_BucketRecord(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  CountTracker tracker(n, 1.0,
+                       std::make_unique<BucketRankIndex>(1.25));
+  ZipfDistribution zipf(n, 1.2);
+  Rng rng(1);
+  for (auto _ : state) {
+    tracker.Record(static_cast<int64_t>(zipf.Sample(&rng)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BucketRecord)->Arg(10'000)->Arg(100'000);
+
+void BM_TreapRankQuery(benchmark::State& state) {
+  const uint64_t n = 100'000;
+  CountTracker tracker(n, 1.0, std::make_unique<TreapRankIndex>());
+  RecordWorkload(&tracker, n, 500'000, 2);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tracker.Stats(static_cast<int64_t>(rng.Uniform(n)) + 1));
+  }
+}
+BENCHMARK(BM_TreapRankQuery);
+
+void BM_BucketRankQuery(benchmark::State& state) {
+  const uint64_t n = 100'000;
+  CountTracker tracker(n, 1.0,
+                       std::make_unique<BucketRankIndex>(1.25));
+  RecordWorkload(&tracker, n, 500'000, 2);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tracker.Stats(static_cast<int64_t>(rng.Uniform(n)) + 1));
+  }
+}
+BENCHMARK(BM_BucketRankQuery);
+
+void PrintAccuracyComparison() {
+  const uint64_t n = 20'000;
+  CountTracker exact(n, 1.0, std::make_unique<TreapRankIndex>());
+  CountTracker approx(n, 1.0,
+                      std::make_unique<BucketRankIndex>(1.25));
+  ZipfDistribution zipf(n, 1.2);
+  Rng rng(5);
+  for (int i = 0; i < 500'000; ++i) {
+    int64_t key = static_cast<int64_t>(zipf.Sample(&rng));
+    exact.Record(key);
+    approx.Record(key);
+  }
+  std::printf("# Rank accuracy (bucket growth 1.25 vs exact treap, "
+              "N = %llu, 500k Zipf(1.2) requests)\n",
+              static_cast<unsigned long long>(n));
+  std::printf("%-12s %-12s %-12s %-12s\n", "true-rank", "treap",
+              "bucket", "rel-err");
+  Rng pick(6);
+  double max_rel_err = 0;
+  for (int64_t key : {1, 5, 25, 125, 625, 3125}) {
+    uint64_t tr = exact.Stats(key).rank;
+    uint64_t br = approx.Stats(key).rank;
+    double rel =
+        std::abs(static_cast<double>(br) - static_cast<double>(tr)) /
+        static_cast<double>(tr);
+    max_rel_err = std::max(max_rel_err, rel);
+    std::printf("%-12lld %-12llu %-12llu %-12.2f\n",
+                static_cast<long long>(key),
+                static_cast<unsigned long long>(tr),
+                static_cast<unsigned long long>(br), rel);
+  }
+  std::printf("# max relative rank error at probes: %.2f\n\n",
+              max_rel_err);
+}
+
+}  // namespace
+}  // namespace tarpit
+
+int main(int argc, char** argv) {
+  tarpit::PrintAccuracyComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: WAL configuration vs write throughput on the storage
+// engine. The protected database logs logical records for crash
+// recovery; this quantifies what that durability costs on the write
+// path (the read path -- the one the paper delays -- is unaffected).
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "storage/table.h"
+
+namespace tarpit {
+namespace {
+
+namespace fs = std::filesystem;
+
+Schema BenchSchema() {
+  return Schema({{"id", ColumnType::kInt64},
+                 {"payload", ColumnType::kString}});
+}
+
+void RunInsertBench(benchmark::State& state, bool wal_enabled,
+                    bool wal_sync) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("tarpit_walbench_" + std::to_string(::getpid()) + "_" +
+       std::to_string(wal_enabled) + std::to_string(wal_sync));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  TableOptions options;
+  options.wal_enabled = wal_enabled;
+  options.wal_sync = wal_sync;
+  auto table = Table::Create(dir.string(), "t", BenchSchema(), 0,
+                             options);
+  if (!table.ok()) {
+    state.SkipWithError("table create failed");
+    return;
+  }
+  const std::string payload(64, 'x');
+  int64_t key = 0;
+  for (auto _ : state) {
+    Status st = (*table)->Insert({Value(key++), Value(payload)});
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  table->reset();
+  fs::remove_all(dir);
+}
+
+void BM_InsertNoWal(benchmark::State& state) {
+  RunInsertBench(state, false, false);
+}
+BENCHMARK(BM_InsertNoWal);
+
+void BM_InsertWalBuffered(benchmark::State& state) {
+  RunInsertBench(state, true, false);
+}
+BENCHMARK(BM_InsertWalBuffered);
+
+void BM_InsertWalSync(benchmark::State& state) {
+  RunInsertBench(state, true, true);
+}
+BENCHMARK(BM_InsertWalSync)->Iterations(2000);
+
+}  // namespace
+}  // namespace tarpit
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Figure 3: Top-10 films for the *first week* of the box-office-like
+// trace.
+//
+// Paper reference (Fig. 3): the weekly view is sharply skewed --
+// ~$30M at rank 1 dropping steeply within the top 10 -- in contrast to
+// the flatter annual aggregate of Figure 2.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "workload/boxoffice_trace.h"
+
+using namespace tarpit;
+
+int main() {
+  BoxOfficeTrace trace(BoxOfficeTraceConfig{});
+  std::vector<double> week = trace.WeekGross(0);
+  std::vector<double> annual = trace.AnnualGross();
+  std::sort(week.begin(), week.end(), std::greater<>());
+  std::sort(annual.begin(), annual.end(), std::greater<>());
+
+  std::printf("# Figure 3: Top-10 films, week 1 "
+              "(box-office-like trace)\n");
+  std::printf("%-6s %-16s\n", "rank", "weekly sales ($)");
+  for (int rank = 1; rank <= 10; ++rank) {
+    std::printf("%-6d %-16.0f\n", rank, week[rank - 1]);
+  }
+  std::printf("# weekly top-1/top-10 ratio: %.2f "
+              "(annual ratio for comparison: %.2f)\n",
+              week[0] / week[9], annual[0] / annual[9]);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Table 4: Decay-rate sweep on the box-office-like trace (rapidly
+// shifting popularity), decay applied at weekly boundaries.
+//
+// Paper reference (Table 4), 634 films, cap 10 s (max possible
+// adversary delay 1.76 h):
+//   decay 1.00 -> median 0.03 ms, adversary 1.33 h
+//   decay 1.01 -> median 0.04 ms, adversary 1.51 h
+//   ...
+//   decay 5.00 -> median 1.26 ms, adversary 1.76 h
+//
+// With fast-shifting popularity, aggressive decay barely hurts the
+// median (the current week's hits dominate regardless) while pushing
+// the adversary to ~100% of the maximum possible delay.
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "sim/access_simulation.h"
+#include "workload/boxoffice_trace.h"
+
+using namespace tarpit;
+
+int main() {
+  BoxOfficeTraceConfig trace_config;
+  BoxOfficeTrace trace(trace_config);
+  auto weekly = trace.GenerateWeeklyRequests();
+
+  std::printf("# Table 4: Delays in Box-Office-like Data (cap 10 s, "
+              "max adversary %.2f h)\n",
+              static_cast<double>(trace_config.films) * 10 / 3600);
+  std::printf("%-12s %-18s %-18s\n", "decay rate", "median user (ms)",
+              "adversary (hours)");
+  for (double decay :
+       {1.00, 1.01, 1.02, 1.05, 1.10, 1.20, 1.50, 2.00, 5.00}) {
+    PopularityDelayParams params;
+    params.scale = 0.01;
+    params.beta = 1.0;
+    params.bounds = {0.0, 10.0};
+    AccessDelaySimulation sim(trace_config.films, 1.0, params);
+    QuantileSketch user_delays;
+    for (int week = 0; week < trace_config.weeks; ++week) {
+      sim.ApplyDecayFactor(decay);  // Weekly boundary.
+      sim.ServeTrace(weekly[week], &user_delays);
+    }
+    std::printf("%-12.2f %-18.3f %-18.2f\n", decay,
+                user_delays.Median() * 1e3,
+                sim.ExtractionDelayFrozen() / 3600.0);
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Table 5: Implementation overhead of count maintenance + delay
+// computation on simple selection queries, against the real storage
+// engine (disk heap + B+tree through small buffer pools) and the
+// write-behind count cache.
+//
+// Paper reference (Table 5, commercial RDBMS, 2004 hardware):
+//   base 55.17 ms (stdev 15.61) vs with-counts 66.20 ms (stdev 27.84)
+//   => overhead 11.04 ms, ~20%.
+//
+// Absolute times differ by orders of magnitude on modern hardware with
+// our engine; the reproduction target is the *relative* overhead:
+// tens of percent, dominated by the extra count-cache I/O.
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/protected_db.h"
+
+using namespace tarpit;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kRows = 10'000;
+// The paper used 100 queries at ~55 ms each; at our microsecond
+// scale we need more samples for stable statistics.
+constexpr int kQueries = 2000;
+constexpr int kWarmupQueries = 200;
+
+// Builds the dataset once per configuration.
+void LoadData(ProtectedDatabase* db) {
+  (void)db->ExecuteSql(
+      "CREATE TABLE items (id INT PRIMARY KEY, payload TEXT, "
+      "price DOUBLE)");
+  const std::string payload(64, 'x');
+  for (int i = 1; i <= kRows; ++i) {
+    Row row = {Value(static_cast<int64_t>(i)),
+               Value(payload + std::to_string(i)), Value(i * 0.5)};
+    if (!db->BulkLoadRow(row).ok()) std::abort();
+  }
+  if (!db->Checkpoint().ok()) std::abort();
+}
+
+// Runs the 100-random-selection experiment; returns per-query stats.
+RunningStat RunQueries(ProtectedDatabase* db, uint64_t seed) {
+  Rng rng(seed);
+  RealClock wall;
+  RunningStat per_query_ms;
+  for (int q = 0; q < kWarmupQueries + kQueries; ++q) {
+    const int64_t key =
+        static_cast<int64_t>(rng.Uniform(kRows)) + 1;
+    const int64_t start = wall.NowMicros();
+    auto r = db->ExecuteSql("SELECT * FROM items WHERE id = " +
+                            std::to_string(key));
+    const int64_t elapsed = wall.NowMicros() - start;
+    if (!r.ok()) std::abort();
+    if (q >= kWarmupQueries) {
+      per_query_ms.Add(static_cast<double>(elapsed) / 1000.0);
+    }
+  }
+  return per_query_ms;
+}
+
+}  // namespace
+
+int main() {
+  const fs::path base =
+      fs::temp_directory_path() / "tarpit_bench_table5";
+  fs::remove_all(base);
+
+  // Small pools so that random point lookups touch the disk path.
+  TableOptions table_options;
+  table_options.heap_pool_pages = 32;
+  table_options.index_pool_pages = 16;
+
+  VirtualClock delay_clock;  // Delay *serving* is excluded: we measure
+                             // the compute/maintenance cost, and the
+                             // delay bounds are zero anyway.
+
+  // --- Baseline: no counting, no delay computation. ---
+  fs::create_directories(base / "baseline");
+  ProtectedDatabaseOptions baseline_opts;
+  baseline_opts.mode = DelayMode::kNone;
+  baseline_opts.table_options = table_options;
+  auto baseline_db = ProtectedDatabase::Open(
+      (base / "baseline").string(), "items", &delay_clock,
+      baseline_opts);
+  if (!baseline_db.ok()) return 1;
+  LoadData(baseline_db->get());
+  RunningStat baseline = RunQueries(baseline_db->get(), 1234);
+
+  // --- Protected: decayed counts, write-behind persistence, rank
+  //     lookup and delay computation on every retrieval. ---
+  fs::create_directories(base / "protected");
+  ProtectedDatabaseOptions protected_opts;
+  protected_opts.mode = DelayMode::kAccessPopularity;
+  protected_opts.popularity.scale = 1.0;
+  protected_opts.popularity.beta = 1.0;
+  protected_opts.popularity.bounds = {0.0, 0.0};  // Compute, don't stall.
+  protected_opts.decay_per_request = 1.000001;
+  protected_opts.persist_counts = true;
+  protected_opts.count_cache_capacity = 256;  // "small" write-behind cache.
+  protected_opts.table_options = table_options;
+  auto protected_db = ProtectedDatabase::Open(
+      (base / "protected").string(), "items", &delay_clock,
+      protected_opts);
+  if (!protected_db.ok()) return 1;
+  LoadData(protected_db->get());
+  RunningStat with_counts = RunQueries(protected_db->get(), 1234);
+
+  const double overhead_ms = with_counts.mean() - baseline.mean();
+  std::printf("# Table 5: Overheads in Simple Selection Queries "
+              "(%d random point lookups over %d rows)\n",
+              kQueries, kRows);
+  std::printf("%-22s %-12s %-12s\n", "", "avg (ms)", "stdev (ms)");
+  std::printf("%-22s %-12.3f %-12.3f\n", "base query cost",
+              baseline.mean(), baseline.stddev());
+  std::printf("%-22s %-12.3f %-12.3f\n", "with counts+delay",
+              with_counts.mean(), with_counts.stddev());
+  std::printf("%-22s %-12.3f (%.0f%%)\n", "overhead", overhead_ms,
+              100.0 * overhead_ms / std::max(1e-9, baseline.mean()));
+  std::printf("# count-cache: %llu hits, %llu misses, %llu backing "
+              "reads, %llu backing writes\n",
+              static_cast<unsigned long long>(
+                  (*protected_db)->count_cache()->hits()),
+              static_cast<unsigned long long>(
+                  (*protected_db)->count_cache()->misses()),
+              static_cast<unsigned long long>(
+                  (*protected_db)->count_cache()->backing_reads()),
+              static_cast<unsigned long long>(
+                  (*protected_db)->count_cache()->backing_writes()));
+
+  baseline_db->reset();
+  protected_db->reset();
+  fs::remove_all(base);
+  return 0;
+}

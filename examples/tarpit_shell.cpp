@@ -1,0 +1,87 @@
+// Interactive SQL shell over a delay-protected database.
+//
+//   tarpit_shell [data-dir] [protected-table]
+//
+// Defaults: ./tarpit_shell_data, table "items". Statements end at
+// newline. The shell prints each query's result and the delay that was
+// charged; meta commands:
+//   .stats        show learned-popularity summary for the protected table
+//   .delay <key>  peek the current delay for a key
+//   .quit         exit
+//
+// Uses a RealClock: delays actually stall the shell, so you can *feel*
+// the tarpit (keep caps small when playing).
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "common/clock.h"
+#include "core/protected_db.h"
+
+using namespace tarpit;
+
+int main(int argc, char** argv) {
+  const std::string dir =
+      argc > 1 ? argv[1] : "./tarpit_shell_data";
+  const std::string table = argc > 2 ? argv[2] : "items";
+  std::filesystem::create_directories(dir);
+
+  RealClock clock;
+  ProtectedDatabaseOptions options;
+  options.mode = DelayMode::kAccessPopularity;
+  options.popularity.scale = 0.05;
+  options.popularity.beta = 1.0;
+  options.popularity.bounds = {0.0, 2.0};  // Gentle cap for a demo.
+  options.persist_counts = true;
+
+  auto pdb = ProtectedDatabase::Open(dir, table, &clock, options);
+  if (!pdb.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 pdb.status().ToString().c_str());
+    return 1;
+  }
+  ProtectedDatabase& db = **pdb;
+
+  std::printf("tarpit shell -- protecting table '%s' in %s\n",
+              table.c_str(), dir.c_str());
+  std::printf("type SQL, or .stats / .delay <key> / .quit\n");
+
+  std::string line;
+  while (true) {
+    std::printf("tarpit> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == ".quit" || line == ".exit") break;
+    if (line == ".stats") {
+      std::printf("%s\n", db.Metrics().ToString().c_str());
+      continue;
+    }
+    if (line.rfind(".delay ", 0) == 0) {
+      char* end = nullptr;
+      const int64_t key = std::strtoll(line.c_str() + 7, &end, 10);
+      if (end == line.c_str() + 7) {
+        std::printf("usage: .delay <integer-key>\n");
+        continue;
+      }
+      std::printf("delay for key %lld: %.3f s\n",
+                  static_cast<long long>(key), db.PeekDelay(key));
+      continue;
+    }
+    auto result = db.ExecuteSql(line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s\n", result->result.ToString().c_str());
+    if (result->delay_seconds > 0) {
+      std::printf("-- charged %.3f s of delay\n",
+                  result->delay_seconds);
+    }
+  }
+  (void)db.Checkpoint();
+  std::printf("\nbye (state persisted to %s)\n", dir.c_str());
+  return 0;
+}

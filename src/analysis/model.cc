@@ -1,0 +1,78 @@
+#include "analysis/model.h"
+
+#include <cmath>
+
+#include "common/zipf.h"
+
+namespace tarpit {
+
+double DelayForRank(const ZipfModelParams& p, uint64_t rank) {
+  return std::pow(static_cast<double>(rank), p.alpha + p.beta) /
+         (static_cast<double>(p.n) * p.fmax);
+}
+
+uint64_t CapRank(const ZipfModelParams& p) {
+  if (p.dmax <= 0) return p.n;
+  const double exponent = p.alpha + p.beta;
+  if (exponent <= 0) return p.n;
+  const double m = std::pow(
+      p.dmax * static_cast<double>(p.n) * p.fmax, 1.0 / exponent);
+  if (m >= static_cast<double>(p.n)) return p.n;
+  if (m < 1.0) return 1;
+  return static_cast<uint64_t>(std::ceil(m));
+}
+
+double AdversaryDelayUncapped(const ZipfModelParams& p) {
+  return PowerSum(p.n, p.alpha + p.beta) /
+         (static_cast<double>(p.n) * p.fmax);
+}
+
+double AdversaryDelayCapped(const ZipfModelParams& p) {
+  if (p.dmax <= 0) return AdversaryDelayUncapped(p);
+  const uint64_t m = CapRank(p);
+  // Eq. 6: sum the true delays up to M, charge dmax beyond.
+  const double head = PowerSum(m, p.alpha + p.beta) /
+                      (static_cast<double>(p.n) * p.fmax);
+  return head + static_cast<double>(p.n - m) * p.dmax;
+}
+
+uint64_t MedianRankZipf(uint64_t n, double alpha) {
+  const double half = GeneralizedHarmonic(n, alpha) / 2.0;
+  double acc = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    acc += std::pow(static_cast<double>(i), -alpha);
+    if (acc >= half) return i;
+  }
+  return n;
+}
+
+double MedianUserDelay(const ZipfModelParams& p) {
+  const uint64_t imed = MedianRankZipf(p.n, p.alpha);
+  const double d = DelayForRank(p, imed);
+  if (p.dmax > 0 && d > p.dmax) return p.dmax;
+  return d;
+}
+
+double AdversaryToMedianRatio(const ZipfModelParams& p) {
+  return AdversaryDelayCapped(p) / MedianUserDelay(p);
+}
+
+MedianRankRegime MedianRankRegimeFor(double alpha) {
+  if (alpha < 1.0) return MedianRankRegime::kLinearInN;
+  if (alpha == 1.0) return MedianRankRegime::kSqrtN;
+  return MedianRankRegime::kLogN;
+}
+
+std::string RatioRegimeDescription(double alpha, double beta) {
+  if (alpha < 1.0) {
+    return "Theta(2^((alpha+beta)/(1-alpha)) * N), alpha=" +
+           std::to_string(alpha) + ", beta=" + std::to_string(beta);
+  }
+  if (alpha == 1.0) {
+    return "Theta(N^((beta+3)/2)), beta=" + std::to_string(beta);
+  }
+  return "Theta(N * (N/log N)^(alpha+beta)), alpha=" +
+         std::to_string(alpha) + ", beta=" + std::to_string(beta);
+}
+
+}  // namespace tarpit

@@ -1,0 +1,56 @@
+#ifndef TARPIT_ANALYSIS_MODEL_H_
+#define TARPIT_ANALYSIS_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tarpit {
+
+/// Closed-form model of the popularity-based scheme (paper section 2).
+/// All delays are in seconds; `fmax` is the request frequency of the
+/// most popular tuple in requests/second.
+struct ZipfModelParams {
+  uint64_t n = 0;
+  double alpha = 1.0;
+  double beta = 0.0;
+  double fmax = 1.0;
+  double dmax = 10.0;  // Cap (Eq. 5); <= 0 disables capping.
+};
+
+/// Eq. 1: d(i) = (1/N) i^(alpha+beta) / fmax (uncapped).
+double DelayForRank(const ZipfModelParams& p, uint64_t rank);
+
+/// Eq. 5 inverted: the rank M at which the raw delay reaches dmax.
+/// Returns n when no rank is capped.
+uint64_t CapRank(const ZipfModelParams& p);
+
+/// Eq. 2: total adversary delay with no cap.
+double AdversaryDelayUncapped(const ZipfModelParams& p);
+
+/// Eq. 6: total adversary delay with the cap applied.
+double AdversaryDelayCapped(const ZipfModelParams& p);
+
+/// Exact median popularity rank of Zipf(n, alpha): the smallest m with
+/// CDF(m) >= 1/2. (Eq. 3 gives its asymptotic class.)
+uint64_t MedianRankZipf(uint64_t n, double alpha);
+
+/// Median legitimate-user delay: d(i_med) clamped by the cap.
+double MedianUserDelay(const ZipfModelParams& p);
+
+/// Eq. 7: adversary-to-median delay ratio (capped model).
+double AdversaryToMedianRatio(const ZipfModelParams& p);
+
+/// Asymptotic class of the median rank (Eq. 3).
+enum class MedianRankRegime {
+  kLinearInN,  // alpha < 1:  Theta(2^(1/(alpha-1)) N)
+  kSqrtN,      // alpha == 1: Theta(sqrt N)
+  kLogN,       // alpha > 1:  Theta(log N)
+};
+MedianRankRegime MedianRankRegimeFor(double alpha);
+
+/// Human-readable Theta-class of the adversary/median ratio (Eq. 4).
+std::string RatioRegimeDescription(double alpha, double beta);
+
+}  // namespace tarpit
+
+#endif  // TARPIT_ANALYSIS_MODEL_H_

@@ -1,0 +1,48 @@
+#include "analysis/staleness.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/zipf.h"
+
+namespace tarpit {
+
+double SmaxApprox(double cmax, double alpha) {
+  assert(alpha > 0);
+  const double s = std::pow(cmax / (1.0 + alpha), 1.0 / alpha);
+  return std::clamp(s, 0.0, 1.0);
+}
+
+double SmaxExact(uint64_t n, double alpha, double c) {
+  assert(alpha > 0);
+  const double rhs =
+      (c / static_cast<double>(n)) * PowerSum(n, alpha);
+  const double sn = std::pow(rhs, 1.0 / alpha);
+  return std::clamp(sn / static_cast<double>(n), 0.0, 1.0);
+}
+
+double DeterministicStaleFraction(const std::vector<double>& rates,
+                                  double d_total_seconds) {
+  if (rates.empty() || d_total_seconds <= 0) return 0.0;
+  size_t stale = 0;
+  for (double r : rates) {
+    if (r > 0 && d_total_seconds >= 1.0 / r) ++stale;
+  }
+  return static_cast<double>(stale) / static_cast<double>(rates.size());
+}
+
+double ExpectedStaleFractionPoisson(
+    const std::vector<double>& rates,
+    const std::vector<double>& completion_times, double t_end) {
+  assert(rates.size() == completion_times.size());
+  if (rates.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < rates.size(); ++i) {
+    const double exposure = std::max(0.0, t_end - completion_times[i]);
+    total += 1.0 - std::exp(-rates[i] * exposure);
+  }
+  return total / static_cast<double>(rates.size());
+}
+
+}  // namespace tarpit

@@ -1,0 +1,33 @@
+#ifndef TARPIT_ANALYSIS_STALENESS_H_
+#define TARPIT_ANALYSIS_STALENESS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tarpit {
+
+/// Eq. 12: the approximate guaranteed-stale fraction
+/// S_max ~ (c_max / (1 + alpha))^(1/alpha), clamped to [0, 1].
+double SmaxApprox(double cmax, double alpha);
+
+/// Eq. 11 solved exactly for S with finite N:
+/// (S N)^alpha = (c/N) * sum_{i=1..N} i^alpha.
+double SmaxExact(uint64_t n, double alpha, double c);
+
+/// Paper Eq. 10's deterministic staleness criterion: item i (with
+/// updates-per-second rate rates[i]) is stale once the full extraction
+/// takes d_total >= 1/r_i. Returns the stale fraction of the dataset.
+double DeterministicStaleFraction(const std::vector<double>& rates,
+                                  double d_total_seconds);
+
+/// Stochastic refinement: items update as Poisson processes, item i is
+/// retrieved at completion_times[i] (seconds into the extraction) and
+/// the extraction ends at t_end; the expected stale fraction is
+/// mean_i [ 1 - exp(-r_i * (t_end - t_i)) ].
+double ExpectedStaleFractionPoisson(
+    const std::vector<double>& rates,
+    const std::vector<double>& completion_times, double t_end);
+
+}  // namespace tarpit
+
+#endif  // TARPIT_ANALYSIS_STALENESS_H_

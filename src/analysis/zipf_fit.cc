@@ -1,0 +1,57 @@
+#include "analysis/zipf_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tarpit {
+
+ZipfFit FitZipf(const std::vector<double>& counts_by_rank) {
+  ZipfFit fit;
+  // Gather (log rank, log count) pairs until the first zero count.
+  std::vector<double> xs, ys;
+  for (size_t i = 0; i < counts_by_rank.size(); ++i) {
+    if (counts_by_rank[i] <= 0) break;
+    xs.push_back(std::log(static_cast<double>(i + 1)));
+    ys.push_back(std::log(counts_by_rank[i]));
+  }
+  fit.points = xs.size();
+  if (fit.points < 2) return fit;
+
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double n = static_cast<double>(xs.size());
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0) return fit;
+  const double slope = (n * sxy - sx * sy) / denom;
+  fit.alpha = -slope;
+  fit.log_c = (sy - slope * sx) / n;
+
+  // R^2 in log-log space.
+  const double mean_y = sy / n;
+  double ss_res = 0, ss_tot = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.log_c + slope * xs[i];
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+  }
+  fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+ZipfFit FitZipfFromTracker(const CountTracker& tracker,
+                           const std::vector<int64_t>& keys,
+                           uint64_t top_k) {
+  std::vector<double> counts;
+  counts.reserve(keys.size());
+  for (int64_t key : keys) counts.push_back(tracker.Count(key));
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  if (counts.size() > top_k) counts.resize(top_k);
+  return FitZipf(counts);
+}
+
+}  // namespace tarpit

@@ -1,0 +1,35 @@
+#ifndef TARPIT_ANALYSIS_ZIPF_FIT_H_
+#define TARPIT_ANALYSIS_ZIPF_FIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/count_tracker.h"
+
+namespace tarpit {
+
+/// Result of fitting a Zipf model to observed frequencies.
+struct ZipfFit {
+  double alpha = 0;      // Fitted skew parameter.
+  double log_c = 0;      // Intercept: log f(i) ~ log_c - alpha log i.
+  double r_squared = 0;  // Fit quality in log-log space.
+  uint64_t points = 0;   // Ranks used.
+};
+
+/// Least-squares fit of log(frequency) against log(rank) over the given
+/// rank-ordered counts (index 0 = rank 1). Zero counts terminate the
+/// fitted range (they have no log). This estimates the alpha that the
+/// closed-form model (analysis/model.h) needs, directly from the
+/// counts the tracker has learned.
+ZipfFit FitZipf(const std::vector<double>& counts_by_rank);
+
+/// Convenience: extracts the rank-ordered counts of the `top_k` most
+/// popular keys from a tracker and fits them. `keys` enumerates the
+/// key universe to rank (the caller knows which keys exist).
+ZipfFit FitZipfFromTracker(const CountTracker& tracker,
+                           const std::vector<int64_t>& keys,
+                           uint64_t top_k = 1000);
+
+}  // namespace tarpit
+
+#endif  // TARPIT_ANALYSIS_ZIPF_FIT_H_

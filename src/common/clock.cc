@@ -1,0 +1,20 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace tarpit {
+
+int64_t RealClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealClock::SleepForMicros(int64_t micros) {
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+}  // namespace tarpit

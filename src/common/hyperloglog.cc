@@ -1,0 +1,85 @@
+#include "common/hyperloglog.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tarpit {
+
+namespace {
+
+uint64_t Hash64(int64_t key) {
+  // SplitMix64 finalizer: a strong enough mix for HLL register/rank
+  // extraction.
+  uint64_t z = static_cast<uint64_t>(key) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double AlphaFor(uint32_t m) {
+  switch (m) {
+    case 16: return 0.673;
+    case 32: return 0.697;
+    case 64: return 0.709;
+    default: return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+}  // namespace
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  assert(precision >= 4 && precision <= 16);
+  num_registers_ = 1u << precision_;
+  alpha_mm_ = AlphaFor(num_registers_) *
+              static_cast<double>(num_registers_) *
+              static_cast<double>(num_registers_);
+  registers_.assign(num_registers_, 0);
+}
+
+void HyperLogLog::Add(int64_t key) {
+  ++items_added_;
+  const uint64_t h = Hash64(key);
+  const uint32_t idx = static_cast<uint32_t>(h >> (64 - precision_));
+  const uint64_t rest = h << precision_;
+  // Rank: position of the leftmost 1 in the remaining bits (1-based);
+  // all-zero rest maps to the maximum rank.
+  const uint8_t rank =
+      rest == 0 ? static_cast<uint8_t>(64 - precision_ + 1)
+                : static_cast<uint8_t>(__builtin_clzll(rest) + 1);
+  if (rank > registers_[idx]) registers_[idx] = rank;
+}
+
+double HyperLogLog::Estimate() const {
+  double sum = 0.0;
+  uint32_t zeros = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -r);
+    if (r == 0) ++zeros;
+  }
+  double estimate = alpha_mm_ / sum;
+  // Small-range correction: linear counting.
+  if (estimate <= 2.5 * num_registers_ && zeros != 0) {
+    estimate = static_cast<double>(num_registers_) *
+               std::log(static_cast<double>(num_registers_) /
+                        static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+bool HyperLogLog::Merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_) return false;
+  for (uint32_t i = 0; i < num_registers_; ++i) {
+    if (other.registers_[i] > registers_[i]) {
+      registers_[i] = other.registers_[i];
+    }
+  }
+  items_added_ += other.items_added_;
+  return true;
+}
+
+void HyperLogLog::Clear() {
+  registers_.assign(num_registers_, 0);
+  items_added_ = 0;
+}
+
+}  // namespace tarpit

@@ -1,0 +1,44 @@
+#ifndef TARPIT_COMMON_HYPERLOGLOG_H_
+#define TARPIT_COMMON_HYPERLOGLOG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tarpit {
+
+/// HyperLogLog distinct-value sketch (Flajolet et al. 2007) with the
+/// standard small-range (linear counting) correction. Used by the
+/// coverage monitor to track how much of the keyspace each identity
+/// has touched in O(2^precision) bytes instead of one bit per tuple.
+class HyperLogLog {
+ public:
+  /// `precision` in [4, 16]: 2^precision registers; standard error is
+  /// about 1.04 / sqrt(2^precision) (~1.6% at precision 12).
+  explicit HyperLogLog(int precision = 12);
+
+  /// Adds a 64-bit key (hashed internally).
+  void Add(int64_t key);
+
+  /// Estimated number of distinct keys added.
+  double Estimate() const;
+
+  /// Merges another sketch of the same precision into this one.
+  /// Returns false on precision mismatch.
+  bool Merge(const HyperLogLog& other);
+
+  void Clear();
+
+  int precision() const { return precision_; }
+  uint64_t items_added() const { return items_added_; }
+
+ private:
+  int precision_;
+  uint32_t num_registers_;
+  double alpha_mm_;  // Bias constant * m^2, precomputed.
+  std::vector<uint8_t> registers_;
+  uint64_t items_added_ = 0;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_COMMON_HYPERLOGLOG_H_

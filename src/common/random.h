@@ -1,0 +1,45 @@
+#ifndef TARPIT_COMMON_RANDOM_H_
+#define TARPIT_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace tarpit {
+
+/// Deterministic, seedable PRNG (xoshiro256** seeded via splitmix64).
+/// Used everywhere instead of std::mt19937 for speed and reproducible
+/// cross-platform streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  /// Normally distributed value (Box-Muller).
+  double Gaussian(double mean, double stddev);
+
+  /// Lognormal: exp(N(log_mean, log_stddev)).
+  double LogNormal(double log_mean, double log_stddev);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_COMMON_RANDOM_H_

@@ -1,0 +1,82 @@
+#ifndef TARPIT_COMMON_RESULT_H_
+#define TARPIT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace tarpit {
+
+/// Result<T> holds either a value of type T or a non-OK Status, in the
+/// style of arrow::Result / absl::StatusOr. Accessing the value of an
+/// errored result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (the error path).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns OK when a value is held, otherwise the stored error.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or, if errored, the provided fallback.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error, otherwise
+/// assigning the value to `lhs`. Usable in functions returning Status or
+/// Result<U>.
+#define TARPIT_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  TARPIT_ASSIGN_OR_RETURN_IMPL_(                    \
+      TARPIT_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define TARPIT_CONCAT_INNER_(a, b) a##b
+#define TARPIT_CONCAT_(a, b) TARPIT_CONCAT_INNER_(a, b)
+#define TARPIT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace tarpit
+
+#endif  // TARPIT_COMMON_RESULT_H_

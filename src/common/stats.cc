@@ -1,0 +1,77 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tarpit {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double QuantileSketch::Quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (q <= 0.0) return samples_.front();
+  if (q >= 1.0) return samples_.back();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double QuantileSketch::Sum() const {
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s;
+}
+
+double QuantileSketch::Mean() const {
+  return samples_.empty() ? 0.0
+                          : Sum() / static_cast<double>(samples_.size());
+}
+
+LogHistogram::LogHistogram(double base, double growth, int buckets)
+    : base_(base), growth_(growth), counts_(buckets + 1, 0) {}
+
+void LogHistogram::Add(double x) {
+  ++total_;
+  if (x < base_) {
+    ++counts_[0];
+    return;
+  }
+  const int b =
+      1 + static_cast<int>(std::log(x / base_) / std::log(growth_));
+  if (b >= static_cast<int>(counts_.size())) {
+    ++counts_.back();
+  } else {
+    ++counts_[b];
+  }
+}
+
+double LogHistogram::BucketLowerBound(int b) const {
+  if (b == 0) return 0.0;
+  return base_ * std::pow(growth_, b - 1);
+}
+
+}  // namespace tarpit

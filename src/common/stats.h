@@ -1,0 +1,87 @@
+#ifndef TARPIT_COMMON_STATS_H_
+#define TARPIT_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tarpit {
+
+/// Welford's online mean/variance accumulator.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects samples and answers quantile queries. The paper reports
+/// *median* user delay throughout (quantiles are robust to the heavy
+/// Zipf tail; see paper section 2.1), so this is the primary metric sink
+/// of the simulation harness.
+class QuantileSketch {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  size_t count() const { return samples_.size(); }
+
+  /// q in [0,1]; linear interpolation between order statistics.
+  /// Returns 0 when empty.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+
+  double Sum() const;
+  double Mean() const;
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-boundary histogram with geometrically growing buckets, for
+/// delay distributions that span nine decades (microseconds to weeks).
+class LogHistogram {
+ public:
+  /// Buckets: [0, base), [base, base*growth), ... `buckets` of them plus
+  /// an overflow bucket.
+  LogHistogram(double base, double growth, int buckets);
+
+  void Add(double x);
+  int64_t BucketCount(int b) const { return counts_[b]; }
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  double BucketLowerBound(int b) const;
+  int64_t total() const { return total_; }
+
+ private:
+  double base_;
+  double growth_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_COMMON_STATS_H_

@@ -1,0 +1,101 @@
+#include "common/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tarpit {
+
+namespace {
+
+// Direct summation is used up to this many terms; beyond it we switch to
+// an Euler-Maclaurin approximation whose error is negligible at that
+// scale.
+constexpr uint64_t kDirectSumLimit = 20'000'000;
+
+}  // namespace
+
+double GeneralizedHarmonic(uint64_t n, double s) {
+  if (n == 0) return 0.0;
+  if (n <= kDirectSumLimit) {
+    double sum = 0.0;
+    // Summing small terms first reduces floating-point error.
+    for (uint64_t i = n; i >= 1; --i) {
+      sum += std::pow(static_cast<double>(i), -s);
+    }
+    return sum;
+  }
+  // Euler-Maclaurin: H_{n,s} = H_{m,s} + integral_m^n x^{-s} dx + ...
+  double head = GeneralizedHarmonic(kDirectSumLimit, s);
+  double m = static_cast<double>(kDirectSumLimit);
+  double nn = static_cast<double>(n);
+  double integral = (s == 1.0)
+                        ? std::log(nn / m)
+                        : (std::pow(nn, 1.0 - s) - std::pow(m, 1.0 - s)) /
+                              (1.0 - s);
+  double correction =
+      0.5 * (std::pow(nn, -s) - std::pow(m, -s));
+  return head + integral + correction;
+}
+
+double PowerSum(uint64_t n, double a) {
+  return GeneralizedHarmonic(n, -a);
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+  assert(n >= 1);
+  assert(alpha > 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -alpha_));
+  normalizer_ = GeneralizedHarmonic(n, alpha);
+}
+
+double ZipfDistribution::H(double x) const {
+  // Integral of x^{-alpha}: the antiderivative used by
+  // rejection-inversion (Hormann & Derflinger 1996).
+  if (alpha_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - alpha_) - 1.0) / (1.0 - alpha_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (alpha_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - alpha_), 1.0 / (1.0 - alpha_));
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    const double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n_) {
+      k = n_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ ||
+        u >= H(kd + 0.5) - std::pow(kd, -alpha_)) {
+      return k;
+    }
+  }
+}
+
+double ZipfDistribution::Pmf(uint64_t i) const {
+  assert(i >= 1 && i <= n_);
+  return std::pow(static_cast<double>(i), -alpha_) / normalizer_;
+}
+
+std::vector<double> ExpectedZipfCounts(uint64_t n, double alpha,
+                                       double requests) {
+  std::vector<double> counts(n);
+  const double h = GeneralizedHarmonic(n, alpha);
+  for (uint64_t i = 1; i <= n; ++i) {
+    counts[i - 1] =
+        requests * std::pow(static_cast<double>(i), -alpha) / h;
+  }
+  return counts;
+}
+
+}  // namespace tarpit

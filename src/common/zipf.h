@@ -1,0 +1,56 @@
+#ifndef TARPIT_COMMON_ZIPF_H_
+#define TARPIT_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace tarpit {
+
+/// Generalized harmonic number H_{n,s} = sum_{i=1..n} i^{-s}.
+double GeneralizedHarmonic(uint64_t n, double s);
+
+/// Sum of powers sum_{i=1..n} i^{a} (a may be positive; used by the
+/// analytical model for d_total, Eq. 2/6 of the paper).
+double PowerSum(uint64_t n, double a);
+
+/// Samples ranks from a Zipf distribution: P(rank = i) proportional to
+/// i^{-alpha}, i in [1, n]. Uses Hormann & Derflinger's
+/// rejection-inversion method, which is O(1) per sample and exact for any
+/// alpha > 0 (including alpha = 1), with no O(n) table.
+class ZipfDistribution {
+ public:
+  /// n >= 1, alpha > 0.
+  ZipfDistribution(uint64_t n, double alpha);
+
+  /// Returns a rank in [1, n].
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+  /// Probability mass of rank i (normalized by H_{n,alpha}).
+  double Pmf(uint64_t i) const;
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double alpha_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+  double normalizer_;  // H_{n,alpha}, for Pmf.
+};
+
+/// Builds the exact frequency vector (index 0 = rank 1) of `requests`
+/// draws from Zipf(n, alpha) scaled so probabilities sum to `requests` --
+/// the *expected* counts, not a sampled realization.
+std::vector<double> ExpectedZipfCounts(uint64_t n, double alpha,
+                                       double requests);
+
+}  // namespace tarpit
+
+#endif  // TARPIT_COMMON_ZIPF_H_

@@ -1,0 +1,66 @@
+#include "core/adaptive_decay.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tarpit {
+
+AdaptiveDecayTracker::AdaptiveDecayTracker(
+    uint64_t universe_size, std::vector<double> decay_candidates,
+    double score_smoothing)
+    : score_smoothing_(score_smoothing), universe_size_(universe_size) {
+  assert(!decay_candidates.empty());
+  for (double d : decay_candidates) {
+    Candidate c;
+    c.decay = d;
+    c.tracker = std::make_unique<CountTracker>(universe_size, d);
+    candidates_.push_back(std::move(c));
+  }
+}
+
+void AdaptiveDecayTracker::Record(int64_t key) {
+  ++total_requests_;
+  const double n = static_cast<double>(
+      universe_size_ > 0 ? universe_size_ : 1);
+  for (Candidate& c : candidates_) {
+    // Mixture smoothing keeps the log finite for never-seen keys while
+    // staying scale-free: a tracker's decayed totals may be tiny, and
+    // additive smoothing would unfairly flatten its predictions.
+    constexpr double kUniformMix = 0.01;
+    const double count = c.tracker->Count(key);
+    const PopularityStats s = c.tracker->Stats(key);
+    const double share = s.total_count > 0 ? count / s.total_count : 0.0;
+    const double p =
+        (1.0 - kUniformMix) * share + kUniformMix / n;
+    const double loss = -std::log(p);
+    c.score = score_smoothing_ * c.score +
+              (1.0 - score_smoothing_) * loss;
+    c.tracker->Record(key);
+  }
+}
+
+void AdaptiveDecayTracker::ApplyDecayFactor(double factor) {
+  for (Candidate& c : candidates_) c.tracker->ApplyDecayFactor(factor);
+}
+
+size_t AdaptiveDecayTracker::BestIndex() const {
+  size_t best = 0;
+  for (size_t i = 1; i < candidates_.size(); ++i) {
+    if (candidates_[i].score < candidates_[best].score) best = i;
+  }
+  return best;
+}
+
+PopularityStats AdaptiveDecayTracker::Stats(int64_t key) const {
+  return candidates_[BestIndex()].tracker->Stats(key);
+}
+
+double AdaptiveDecayTracker::best_decay() const {
+  return candidates_[BestIndex()].decay;
+}
+
+const CountTracker* AdaptiveDecayTracker::best_tracker() const {
+  return candidates_[BestIndex()].tracker.get();
+}
+
+}  // namespace tarpit

@@ -1,0 +1,70 @@
+#ifndef TARPIT_CORE_ADAPTIVE_DECAY_H_
+#define TARPIT_CORE_ADAPTIVE_DECAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "stats/count_tracker.h"
+
+namespace tarpit {
+
+/// Tracks the request stream under several candidate decay rates at
+/// once and serves statistics from whichever rate currently predicts
+/// the stream best (paper section 2.3: "one can simultaneously track
+/// counts with more than one decay term, switching to the appropriate
+/// set as the request pattern warrants" -- the technique borrowed from
+/// wireless network estimation and energy management).
+///
+/// Fit is scored by exponentially smoothed log-loss of each tracker's
+/// predicted probability for the next request; lower is better.
+class AdaptiveDecayTracker {
+ public:
+  /// `universe_size`: N. `decay_candidates`: the delta values to race
+  /// (each >= 1). `score_smoothing` in (0,1): weight given to history
+  /// when updating a candidate's log-loss.
+  AdaptiveDecayTracker(uint64_t universe_size,
+                       std::vector<double> decay_candidates,
+                       double score_smoothing = 0.999);
+
+  /// Records a request: scores all candidates on their prediction for
+  /// `key`, then records `key` into each.
+  void Record(int64_t key);
+
+  /// Applies an out-of-band decay factor to every candidate (e.g.,
+  /// weekly boundaries).
+  void ApplyDecayFactor(double factor);
+
+  /// Statistics under the currently best-fitting decay rate.
+  PopularityStats Stats(int64_t key) const;
+
+  /// The decay rate currently winning the race.
+  double best_decay() const;
+
+  /// The tracker currently winning the race (for wiring into a
+  /// PopularityDelayPolicy).
+  const CountTracker* best_tracker() const;
+
+  /// Smoothed log-loss of candidate `i` (tests/diagnostics).
+  double score(size_t i) const { return candidates_[i].score; }
+  size_t num_candidates() const { return candidates_.size(); }
+  uint64_t total_requests() const { return total_requests_; }
+
+ private:
+  struct Candidate {
+    double decay;
+    std::unique_ptr<CountTracker> tracker;
+    double score = 0.0;
+  };
+
+  size_t BestIndex() const;
+
+  std::vector<Candidate> candidates_;
+  double score_smoothing_;
+  uint64_t universe_size_;
+  uint64_t total_requests_ = 0;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_CORE_ADAPTIVE_DECAY_H_

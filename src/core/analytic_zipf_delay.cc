@@ -1,0 +1,42 @@
+#include "core/analytic_zipf_delay.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tarpit {
+
+AnalyticZipfDelayPolicy::AnalyticZipfDelayPolicy(AnalyticZipfParams params)
+    : params_(params) {
+  assert(params_.n >= 1);
+  assert(params_.fmax > 0);
+}
+
+double AnalyticZipfDelayPolicy::RawDelayForRank(uint64_t rank) const {
+  const double i = static_cast<double>(rank < 1 ? 1 : rank);
+  return std::pow(i, params_.alpha + params_.beta) /
+         (static_cast<double>(params_.n) * params_.fmax);
+}
+
+double AnalyticZipfDelayPolicy::DelayFor(int64_t rank) const {
+  if (rank < 1) rank = 1;
+  if (static_cast<uint64_t>(rank) > params_.n) {
+    rank = static_cast<int64_t>(params_.n);
+  }
+  return params_.bounds.Apply(
+      RawDelayForRank(static_cast<uint64_t>(rank)));
+}
+
+uint64_t AnalyticZipfDelayPolicy::CapRank() const {
+  // Invert d(M) = d_max: M = (d_max * N * fmax)^(1/(alpha+beta)).
+  const double exponent = params_.alpha + params_.beta;
+  if (exponent <= 0) return params_.n;
+  const double m =
+      std::pow(params_.bounds.max_seconds *
+                   static_cast<double>(params_.n) * params_.fmax,
+               1.0 / exponent);
+  if (m >= static_cast<double>(params_.n)) return params_.n;
+  if (m < 1.0) return 1;
+  return static_cast<uint64_t>(std::ceil(m));
+}
+
+}  // namespace tarpit

@@ -1,0 +1,50 @@
+#ifndef TARPIT_CORE_ANALYTIC_ZIPF_DELAY_H_
+#define TARPIT_CORE_ANALYTIC_ZIPF_DELAY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/delay_policy.h"
+
+namespace tarpit {
+
+/// Parameters of the paper's closed-form delay assignment.
+struct AnalyticZipfParams {
+  uint64_t n = 0;      // N: number of tuples.
+  double alpha = 1.0;  // Zipf parameter of the access distribution.
+  double beta = 0.0;   // Amplification exponent (penalty knob).
+  double fmax = 1.0;   // Request frequency of the most popular tuple
+                       // (requests per second).
+  DelayBounds bounds;
+};
+
+/// Implements Eq. 1/5 of the paper directly:
+///
+///   d(i) = (1/N) * i^(alpha+beta) / f_max,   capped at d_max,
+///
+/// where the tuple's key *is* its popularity rank i in [1, N]. Used when
+/// the distribution is known a priori (synthetic experiments, and as the
+/// oracle against which the learned policy is validated).
+class AnalyticZipfDelayPolicy : public DelayPolicy {
+ public:
+  explicit AnalyticZipfDelayPolicy(AnalyticZipfParams params);
+
+  double DelayFor(int64_t rank) const override;
+  std::string name() const override { return "analytic-zipf"; }
+
+  /// Uncapped Eq. 1 value.
+  double RawDelayForRank(uint64_t rank) const;
+
+  /// The cap rank M: smallest rank whose raw delay meets or exceeds the
+  /// cap (paper Eq. 5; tuples ranked >= M are all charged d_max).
+  uint64_t CapRank() const;
+
+  const AnalyticZipfParams& params() const { return params_; }
+
+ private:
+  AnalyticZipfParams params_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_CORE_ANALYTIC_ZIPF_DELAY_H_

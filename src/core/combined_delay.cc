@@ -1,0 +1,27 @@
+#include "core/combined_delay.h"
+
+#include <algorithm>
+
+namespace tarpit {
+
+CombinedDelayPolicy::CombinedDelayPolicy(const DelayPolicy* first,
+                                         const DelayPolicy* second,
+                                         CombineMode mode,
+                                         DelayBounds bounds)
+    : first_(first), second_(second), mode_(mode), bounds_(bounds) {}
+
+double CombinedDelayPolicy::DelayFor(int64_t key) const {
+  const double a = first_->DelayFor(key);
+  const double b = second_->DelayFor(key);
+  const double combined =
+      mode_ == CombineMode::kMax ? std::max(a, b) : a + b;
+  return bounds_.Apply(combined);
+}
+
+std::string CombinedDelayPolicy::name() const {
+  return std::string("combined-") +
+         (mode_ == CombineMode::kMax ? "max" : "sum") + "(" +
+         first_->name() + "," + second_->name() + ")";
+}
+
+}  // namespace tarpit

@@ -1,0 +1,43 @@
+#ifndef TARPIT_CORE_COMBINED_DELAY_H_
+#define TARPIT_CORE_COMBINED_DELAY_H_
+
+#include <string>
+
+#include "core/delay_policy.h"
+
+namespace tarpit {
+
+/// How two delay signals are combined.
+enum class CombineMode {
+  kMax,  // Charge the stronger signal (default: protects whichever
+         // dimension -- access or update skew -- the workload has).
+  kSum,  // Charge both (strictly more protective, harsher on users).
+};
+
+/// Combines two policies -- typically access-popularity (paper sec. 2)
+/// and update-rate (sec. 3). The paper presents them as alternatives
+/// chosen by workload shape; combining them removes the need to choose:
+/// a tuple is cheap only if it is popular AND frequently updated
+/// (kMax), so an adversary cannot exploit whichever skew is missing.
+class CombinedDelayPolicy : public DelayPolicy {
+ public:
+  /// Neither policy is owned; both must outlive this object.
+  CombinedDelayPolicy(const DelayPolicy* first, const DelayPolicy* second,
+                      CombineMode mode = CombineMode::kMax,
+                      DelayBounds bounds = {});
+
+  double DelayFor(int64_t key) const override;
+  std::string name() const override;
+
+  CombineMode mode() const { return mode_; }
+
+ private:
+  const DelayPolicy* first_;
+  const DelayPolicy* second_;
+  CombineMode mode_;
+  DelayBounds bounds_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_CORE_COMBINED_DELAY_H_

@@ -1,0 +1,56 @@
+#include "core/concurrent_db.h"
+
+namespace tarpit {
+
+Result<std::unique_ptr<ConcurrentProtectedDatabase>>
+ConcurrentProtectedDatabase::Open(const std::string& dir,
+                                  const std::string& table_name,
+                                  Clock* clock,
+                                  ProtectedDatabaseOptions options) {
+  options.defer_delay_sleep = true;
+  TARPIT_ASSIGN_OR_RETURN(
+      std::unique_ptr<ProtectedDatabase> inner,
+      ProtectedDatabase::Open(dir, table_name, clock, options));
+  return std::unique_ptr<ConcurrentProtectedDatabase>(
+      new ConcurrentProtectedDatabase(std::move(inner)));
+}
+
+Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSql(
+    const std::string& sql) {
+  Result<ProtectedResult> result = Status::Internal("unset");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    result = inner_->ExecuteSql(sql);
+  }
+  if (result.ok() && result->delay_seconds > 0) {
+    inner_->clock()->SleepForMicros(
+        static_cast<int64_t>(result->delay_seconds * 1e6));
+  }
+  return result;
+}
+
+Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKey(
+    int64_t key) {
+  Result<ProtectedResult> result = Status::Internal("unset");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    result = inner_->GetByKey(key);
+  }
+  if (result.ok() && result->delay_seconds > 0) {
+    inner_->clock()->SleepForMicros(
+        static_cast<int64_t>(result->delay_seconds * 1e6));
+  }
+  return result;
+}
+
+Status ConcurrentProtectedDatabase::BulkLoadRow(const Row& row) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inner_->BulkLoadRow(row);
+}
+
+Status ConcurrentProtectedDatabase::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inner_->Checkpoint();
+}
+
+}  // namespace tarpit

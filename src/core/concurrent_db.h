@@ -1,0 +1,61 @@
+#ifndef TARPIT_CORE_CONCURRENT_DB_H_
+#define TARPIT_CORE_CONCURRENT_DB_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "core/protected_db.h"
+
+namespace tarpit {
+
+/// Thread-safe front door over a ProtectedDatabase. The underlying
+/// engine (storage, trackers, executor) is single-threaded, so this
+/// wrapper serializes the *computation* of each query under one mutex
+/// -- but serves the resulting delay OUTSIDE the lock, so concurrent
+/// sessions stall in parallel. That makes the paper's parallel-attack
+/// model (section 2.4) directly executable: k threads extracting
+/// disjoint partitions each pay only their own partition's delay in
+/// wall-clock time, which is exactly why registration rate limiting is
+/// needed on top of per-tuple delays.
+///
+/// Use a RealClock: VirtualClock is not synchronized and only makes
+/// sense on a single timeline anyway.
+class ConcurrentProtectedDatabase {
+ public:
+  /// Opens the wrapped database; forces defer_delay_sleep so stalls
+  /// happen outside the lock.
+  static Result<std::unique_ptr<ConcurrentProtectedDatabase>> Open(
+      const std::string& dir, const std::string& table_name, Clock* clock,
+      ProtectedDatabaseOptions options = {});
+
+  ConcurrentProtectedDatabase(const ConcurrentProtectedDatabase&) = delete;
+  ConcurrentProtectedDatabase& operator=(
+      const ConcurrentProtectedDatabase&) = delete;
+
+  /// Executes one statement: query under the lock, stall outside it.
+  Result<ProtectedResult> ExecuteSql(const std::string& sql);
+
+  /// Single-tuple retrieval with the same locking discipline.
+  Result<ProtectedResult> GetByKey(int64_t key);
+
+  Status BulkLoadRow(const Row& row);
+  Status Checkpoint();
+
+  /// Access to the wrapped instance for setup/inspection. NOT
+  /// thread-safe; use only while no queries are in flight.
+  ProtectedDatabase* unsafe_inner() { return inner_.get(); }
+
+ private:
+  explicit ConcurrentProtectedDatabase(
+      std::unique_ptr<ProtectedDatabase> inner)
+      : inner_(std::move(inner)) {}
+
+  std::unique_ptr<ProtectedDatabase> inner_;
+  std::mutex mutex_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_CORE_CONCURRENT_DB_H_

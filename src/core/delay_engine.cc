@@ -1,0 +1,31 @@
+#include "core/delay_engine.h"
+
+namespace tarpit {
+
+double DelayEngine::Charge(int64_t key) {
+  const double d = ChargeDeferred(key);
+  clock_->SleepForMicros(static_cast<int64_t>(d * 1e6));
+  return d;
+}
+
+double DelayEngine::ChargeDeferred(int64_t key) {
+  const double d = policy_->DelayFor(key);
+  total_delay_ += d;
+  ++charges_;
+  sketch_.Add(d);
+  return d;
+}
+
+double DelayEngine::ChargeAll(const std::vector<int64_t>& keys) {
+  double total = 0.0;
+  for (int64_t key : keys) total += Charge(key);
+  return total;
+}
+
+void DelayEngine::ResetAccounting() {
+  total_delay_ = 0.0;
+  charges_ = 0;
+  sketch_.Clear();
+}
+
+}  // namespace tarpit

@@ -1,0 +1,62 @@
+#ifndef TARPIT_CORE_DELAY_ENGINE_H_
+#define TARPIT_CORE_DELAY_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/stats.h"
+#include "core/delay_policy.h"
+
+namespace tarpit {
+
+/// Applies a DelayPolicy against a Clock and keeps delay accounting.
+/// With a VirtualClock the "sleep" is instantaneous bookkeeping, which
+/// is how week-long adversary delays are measured without waiting.
+class DelayEngine {
+ public:
+  /// Neither pointer is owned; both must outlive the engine.
+  DelayEngine(Clock* clock, const DelayPolicy* policy)
+      : clock_(clock), policy_(policy) {}
+
+  /// Delay that retrieving `key` would cost right now (no side
+  /// effects).
+  double Peek(int64_t key) const { return policy_->DelayFor(key); }
+
+  /// Computes, records, and serves the delay for one tuple retrieval.
+  /// Returns the seconds charged.
+  double Charge(int64_t key);
+
+  /// Computes and records the delay WITHOUT sleeping -- for callers
+  /// that serve the stall themselves (e.g. outside a lock so parallel
+  /// sessions stall concurrently, per the paper's parallel-attack
+  /// model). Returns the seconds the caller must serve.
+  double ChargeDeferred(int64_t key);
+
+  /// Charges the aggregate delay of a multi-tuple result: the paper
+  /// treats a query returning k tuples as k simple queries, so the
+  /// delays sum.
+  double ChargeAll(const std::vector<int64_t>& keys);
+
+  Clock* clock() const { return clock_; }
+  const DelayPolicy* policy() const { return policy_; }
+
+  /// Total seconds of delay served so far.
+  double total_delay_seconds() const { return total_delay_; }
+  uint64_t charges() const { return charges_; }
+  /// Distribution of per-tuple charged delays.
+  const QuantileSketch& delay_sketch() const { return sketch_; }
+  void ResetAccounting();
+
+ private:
+  Clock* clock_;
+  const DelayPolicy* policy_;
+  double total_delay_ = 0.0;
+  uint64_t charges_ = 0;
+  QuantileSketch sketch_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_CORE_DELAY_ENGINE_H_

@@ -1,0 +1,40 @@
+#ifndef TARPIT_CORE_DELAY_POLICY_H_
+#define TARPIT_CORE_DELAY_POLICY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace tarpit {
+
+/// Clamp applied to every computed delay. The paper caps the maximum
+/// delay (section 2.2) so the least popular tuples remain tolerable for
+/// the occasional legitimate user; a floor of zero is the default.
+struct DelayBounds {
+  double min_seconds = 0.0;
+  double max_seconds = 10.0;  // The cap used throughout the paper.
+
+  double Apply(double d) const {
+    if (!(d == d)) return max_seconds;  // NaN -> worst case.
+    return std::clamp(d, min_seconds, max_seconds);
+  }
+};
+
+/// Strategy mapping a tuple to the delay (in seconds) charged for
+/// retrieving it. Implementations read learned statistics; they never
+/// mutate them (recording accesses/updates is the caller's job, which
+/// keeps "what happened" separate from "what to charge").
+class DelayPolicy {
+ public:
+  virtual ~DelayPolicy() = default;
+
+  /// Delay in seconds for retrieving the tuple identified by `key`.
+  virtual double DelayFor(int64_t key) const = 0;
+
+  /// Short policy name for logs and experiment output.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_CORE_DELAY_POLICY_H_

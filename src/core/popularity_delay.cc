@@ -1,0 +1,24 @@
+#include "core/popularity_delay.h"
+
+#include <cmath>
+
+namespace tarpit {
+
+PopularityDelayPolicy::PopularityDelayPolicy(const CountTracker* tracker,
+                                             PopularityDelayParams params)
+    : tracker_(tracker), params_(params) {}
+
+double PopularityDelayPolicy::DelayFor(int64_t key) const {
+  const PopularityStats stats = tracker_->Stats(key);
+  if (stats.count <= 0.0) {
+    // Start-up transient / never-requested tuple: worst-case delay.
+    return params_.bounds.max_seconds;
+  }
+  const double rank_term =
+      params_.beta == 0.0
+          ? 1.0
+          : std::pow(static_cast<double>(stats.rank), params_.beta);
+  return params_.bounds.Apply(params_.scale * rank_term / stats.count);
+}
+
+}  // namespace tarpit

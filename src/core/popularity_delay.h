@@ -1,0 +1,52 @@
+#ifndef TARPIT_CORE_POPULARITY_DELAY_H_
+#define TARPIT_CORE_POPULARITY_DELAY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/delay_policy.h"
+#include "stats/count_tracker.h"
+
+namespace tarpit {
+
+/// Parameters of the learned popularity-based delay (paper sections
+/// 2.1-2.3 in learned form).
+struct PopularityDelayParams {
+  /// Amplification exponent beta: the learned generalization of Eq. 1.
+  double beta = 0.0;
+  /// Seconds scale. Under a Zipf(alpha) steady state with R total
+  /// requests this reduces to Eq. 1 with scale = R / (H_{N,alpha} * N *
+  /// f_max_rate); experiments calibrate it directly.
+  double scale = 1.0;
+  DelayBounds bounds;
+};
+
+/// Charges each tuple a delay inversely proportional to its *learned*
+/// popularity, amplified by its learned rank:
+///
+///   d(key) = scale * rank(key)^beta / count(key),  clamped to bounds,
+///
+/// where count is the decayed request count and rank its position in
+/// the learned ordering. Never-seen tuples (count 0) are charged the
+/// cap -- this is exactly the paper's start-up transient behavior: all
+/// items start "equally unpopular with frequencies of zero" and the
+/// capped delay keeps them servable while the distribution is learned.
+class PopularityDelayPolicy : public DelayPolicy {
+ public:
+  /// `tracker` must outlive the policy.
+  PopularityDelayPolicy(const CountTracker* tracker,
+                        PopularityDelayParams params);
+
+  double DelayFor(int64_t key) const override;
+  std::string name() const override { return "learned-popularity"; }
+
+  const PopularityDelayParams& params() const { return params_; }
+
+ private:
+  const CountTracker* tracker_;
+  PopularityDelayParams params_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_CORE_POPULARITY_DELAY_H_

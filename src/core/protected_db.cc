@@ -1,0 +1,287 @@
+#include "core/protected_db.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sql/parser.h"
+
+namespace tarpit {
+
+namespace {
+
+/// Null-object policy for DelayMode::kNone.
+class NoDelayPolicy : public DelayPolicy {
+ public:
+  double DelayFor(int64_t) const override { return 0.0; }
+  std::string name() const override { return "none"; }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ProtectedDatabase>> ProtectedDatabase::Open(
+    const std::string& dir, const std::string& table_name, Clock* clock,
+    ProtectedDatabaseOptions options) {
+  auto pdb = std::unique_ptr<ProtectedDatabase>(
+      new ProtectedDatabase(options, clock));
+  TARPIT_RETURN_IF_ERROR(pdb->Init(dir, table_name));
+  return pdb;
+}
+
+Status ProtectedDatabase::Init(const std::string& dir,
+                               const std::string& table_name) {
+  protected_table_name_ = table_name;
+  TARPIT_ASSIGN_OR_RETURN(db_, Database::Open(dir, options_.table_options));
+  Result<Table*> table = db_->GetTable(table_name);
+  if (table.ok()) {
+    table_ = *table;
+  } else if (!table.status().IsNotFound()) {
+    return table.status();
+  }
+  // table_ may be null until the protected table is created via SQL.
+
+  executor_ = std::make_unique<Executor>(db_.get());
+
+  uint64_t n = options_.universe_size;
+  if (n == 0 && table_ != nullptr) n = table_->NumRows();
+  if (n == 0) n = 1;
+
+  access_tracker_ =
+      std::make_unique<CountTracker>(n, options_.decay_per_request);
+  update_tracker_ = std::make_unique<UpdateTracker>(n, 1.0);
+  // The update policy's Eq. 9 needs N; default it to the inferred
+  // universe when the caller left it unset.
+  if (options_.update.n <= 1) options_.update.n = n;
+
+  if (options_.persist_counts) {
+    const std::string counts_name = table_name + "__counts";
+    Result<Table*> counts = db_->GetTable(counts_name);
+    if (counts.ok()) {
+      counts_table_ = *counts;
+    } else if (counts.status().IsNotFound()) {
+      Schema schema(
+          {{"key", ColumnType::kInt64}, {"cnt", ColumnType::kDouble}});
+      TARPIT_ASSIGN_OR_RETURN(counts_table_,
+                              db_->CreateTable(counts_name, schema, "key"));
+    } else {
+      return counts.status();
+    }
+    count_cache_ = std::make_unique<CountCache>(
+        counts_table_, options_.count_cache_capacity);
+    // Warm-start: counts persisted by a previous run seed the learned
+    // distribution, so delays are sensible immediately after restart
+    // instead of re-paying the start-up transient.
+    TARPIT_RETURN_IF_ERROR(counts_table_->ScanAll([this](const Row& row) {
+      access_tracker_->Seed(row[0].AsInt(), row[1].AsDouble());
+      return Status::OK();
+    }));
+  }
+
+  switch (options_.mode) {
+    case DelayMode::kNone:
+      policy_ = std::make_unique<NoDelayPolicy>();
+      break;
+    case DelayMode::kAccessPopularity:
+      policy_ = std::make_unique<PopularityDelayPolicy>(
+          access_tracker_.get(), options_.popularity);
+      break;
+    case DelayMode::kUpdateRate: {
+      auto up = std::make_unique<UpdateDelayPolicy>(update_tracker_.get(),
+                                                    options_.update);
+      update_policy_ = up.get();
+      policy_ = std::move(up);
+      break;
+    }
+    case DelayMode::kCombinedMax: {
+      access_subpolicy_ = std::make_unique<PopularityDelayPolicy>(
+          access_tracker_.get(), options_.popularity);
+      update_subpolicy_ = std::make_unique<UpdateDelayPolicy>(
+          update_tracker_.get(), options_.update);
+      update_policy_ = update_subpolicy_.get();
+      DelayBounds bounds = options_.popularity.bounds;
+      bounds.max_seconds = std::max(bounds.max_seconds,
+                                    options_.update.bounds.max_seconds);
+      policy_ = std::make_unique<CombinedDelayPolicy>(
+          access_subpolicy_.get(), update_subpolicy_.get(),
+          CombineMode::kMax, bounds);
+      break;
+    }
+  }
+  engine_ = std::make_unique<DelayEngine>(clock_, policy_.get());
+  open_time_micros_ = clock_->NowMicros();
+  return Status::OK();
+}
+
+Result<ProtectedResult> ProtectedDatabase::ExecuteSql(
+    const std::string& sql) {
+  TARPIT_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
+  TARPIT_ASSIGN_OR_RETURN(QueryResult qr, executor_->Execute(stmt));
+
+  ProtectedResult out;
+  const bool targets_protected_table = [&] {
+    switch (stmt.kind) {
+      case Statement::Kind::kSelect:
+        return stmt.select.table == protected_table_name_;
+      case Statement::Kind::kInsert:
+        return stmt.insert.table == protected_table_name_;
+      case Statement::Kind::kUpdate:
+        return stmt.update.table == protected_table_name_;
+      case Statement::Kind::kDelete:
+        return stmt.del.table == protected_table_name_;
+      case Statement::Kind::kCreateTable:
+        return stmt.create_table.table == protected_table_name_;
+      case Statement::Kind::kCreateIndex:
+        return stmt.create_index.table == protected_table_name_;
+    }
+    return false;
+  }();
+
+  if (!targets_protected_table) {
+    out.result = std::move(qr);
+    return out;
+  }
+
+  switch (stmt.kind) {
+    case Statement::Kind::kCreateTable: {
+      TARPIT_ASSIGN_OR_RETURN(table_,
+                              db_->GetTable(protected_table_name_));
+      break;
+    }
+    case Statement::Kind::kCreateIndex:
+      break;  // DDL: nothing to learn, nothing to charge.
+    case Statement::Kind::kSelect: {
+      // Learn, then charge: each returned tuple is one access event and
+      // one delay unit.
+      for (int64_t key : qr.touched_keys) {
+        access_tracker_->Record(key);
+        if (count_cache_ != nullptr) {
+          TARPIT_RETURN_IF_ERROR(count_cache_->Add(key, 1.0));
+        }
+      }
+      if (update_policy_ != nullptr) {
+        const double elapsed =
+            std::max(1e-6, (clock_->NowMicros() - open_time_micros_) / 1e6);
+        update_policy_->set_rate_window_seconds(elapsed);
+      }
+      if (options_.defer_delay_sleep) {
+        for (int64_t key : qr.touched_keys) {
+          out.delay_seconds += engine_->ChargeDeferred(key);
+        }
+      } else {
+        out.delay_seconds = engine_->ChargeAll(qr.touched_keys);
+      }
+      break;
+    }
+    case Statement::Kind::kInsert: {
+      // Growing the relation grows N.
+      access_tracker_->set_universe_size(table_->NumRows());
+      update_tracker_->set_universe_size(table_->NumRows());
+      if (update_policy_ != nullptr) {
+        update_policy_->set_n(table_->NumRows());
+      }
+      for (int64_t key : qr.touched_keys) update_tracker_->Record(key);
+      break;
+    }
+    case Statement::Kind::kUpdate: {
+      for (int64_t key : qr.touched_keys) update_tracker_->Record(key);
+      break;
+    }
+    case Statement::Kind::kDelete: {
+      access_tracker_->set_universe_size(std::max<uint64_t>(
+          1, table_->NumRows()));
+      update_tracker_->set_universe_size(std::max<uint64_t>(
+          1, table_->NumRows()));
+      if (update_policy_ != nullptr) {
+        update_policy_->set_n(table_->NumRows());
+      }
+      break;
+    }
+  }
+  out.result = std::move(qr);
+  return out;
+}
+
+Result<ProtectedResult> ProtectedDatabase::GetByKey(int64_t key) {
+  if (table_ == nullptr) {
+    return Status::FailedPrecondition("protected table not created yet");
+  }
+  TARPIT_ASSIGN_OR_RETURN(Row row, table_->GetByKey(key));
+  access_tracker_->Record(key);
+  if (count_cache_ != nullptr) {
+    TARPIT_RETURN_IF_ERROR(count_cache_->Add(key, 1.0));
+  }
+  if (update_policy_ != nullptr) {
+    const double elapsed =
+        std::max(1e-6, (clock_->NowMicros() - open_time_micros_) / 1e6);
+    update_policy_->set_rate_window_seconds(elapsed);
+  }
+  ProtectedResult out;
+  out.delay_seconds = options_.defer_delay_sleep
+                          ? engine_->ChargeDeferred(key)
+                          : engine_->Charge(key);
+  out.result.rows.push_back(std::move(row));
+  out.result.touched_keys.push_back(key);
+  for (size_t i = 0; i < table_->schema().num_columns(); ++i) {
+    out.result.columns.push_back(table_->schema().column(i).name);
+  }
+  return out;
+}
+
+Status ProtectedDatabase::BulkLoadRow(const Row& row) {
+  if (table_ == nullptr) {
+    return Status::FailedPrecondition("protected table not created yet");
+  }
+  TARPIT_RETURN_IF_ERROR(table_->Insert(row));
+  access_tracker_->set_universe_size(table_->NumRows());
+  update_tracker_->set_universe_size(table_->NumRows());
+  if (update_policy_ != nullptr) {
+    update_policy_->set_n(table_->NumRows());
+  }
+  return Status::OK();
+}
+
+std::string ProtectedDatabaseMetrics::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "policy=%s N=%llu requests=%llu distinct=%llu charges=%llu "
+      "total_delay=%.3fs median=%.1fms p99=%.1fms "
+      "count_cache{hits=%llu misses=%llu writes=%llu}",
+      policy_name.c_str(),
+      static_cast<unsigned long long>(universe_size),
+      static_cast<unsigned long long>(total_requests),
+      static_cast<unsigned long long>(distinct_keys_seen),
+      static_cast<unsigned long long>(delays_charged),
+      total_delay_seconds, median_delay_seconds * 1e3,
+      p99_delay_seconds * 1e3,
+      static_cast<unsigned long long>(count_cache_hits),
+      static_cast<unsigned long long>(count_cache_misses),
+      static_cast<unsigned long long>(count_cache_backing_writes));
+  return buf;
+}
+
+ProtectedDatabaseMetrics ProtectedDatabase::Metrics() const {
+  ProtectedDatabaseMetrics m;
+  m.universe_size = access_tracker_->universe_size();
+  m.total_requests = access_tracker_->total_requests();
+  m.distinct_keys_seen = access_tracker_->distinct_seen();
+  m.delays_charged = engine_->charges();
+  m.total_delay_seconds = engine_->total_delay_seconds();
+  m.median_delay_seconds = engine_->delay_sketch().Median();
+  m.p99_delay_seconds = engine_->delay_sketch().Quantile(0.99);
+  if (count_cache_ != nullptr) {
+    m.count_cache_hits = count_cache_->hits();
+    m.count_cache_misses = count_cache_->misses();
+    m.count_cache_backing_writes = count_cache_->backing_writes();
+  }
+  m.policy_name = policy_->name();
+  return m;
+}
+
+Status ProtectedDatabase::Checkpoint() {
+  if (count_cache_ != nullptr) {
+    TARPIT_RETURN_IF_ERROR(count_cache_->FlushAll());
+  }
+  return db_->CheckpointAll();
+}
+
+}  // namespace tarpit

@@ -1,0 +1,150 @@
+#ifndef TARPIT_CORE_PROTECTED_DB_H_
+#define TARPIT_CORE_PROTECTED_DB_H_
+
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/delay_engine.h"
+#include "core/popularity_delay.h"
+#include "core/combined_delay.h"
+#include "core/update_delay.h"
+#include "sql/executor.h"
+#include "stats/count_cache.h"
+#include "stats/count_tracker.h"
+#include "stats/update_tracker.h"
+#include "storage/database.h"
+
+namespace tarpit {
+
+/// How retrieval delays are assigned.
+enum class DelayMode {
+  kNone,              // Pass-through (baseline for the overhead bench).
+  kAccessPopularity,  // Paper section 2: inverse learned popularity.
+  kUpdateRate,        // Paper section 3: inverse learned update rate.
+  kCombinedMax,       // max(access, update): cheap only for tuples that
+                      // are both popular AND frequently updated, so
+                      // neither missing skew leaves a hole.
+};
+
+struct ProtectedDatabaseOptions {
+  DelayMode mode = DelayMode::kAccessPopularity;
+  PopularityDelayParams popularity;
+  UpdateDelayParams update;
+  /// Decay delta applied per request to the access counts.
+  double decay_per_request = 1.0;
+  /// N for rank purposes; 0 infers the protected table's row count at
+  /// open time (and tracks inserts/deletes thereafter).
+  uint64_t universe_size = 0;
+  /// Persist per-tuple counts through a write-behind cache into a side
+  /// table `<name>__counts` (the configuration measured by the paper's
+  /// Table 5 overhead experiment).
+  bool persist_counts = false;
+  size_t count_cache_capacity = 1024;
+  /// When true, ExecuteSql/GetByKey account delays but do NOT sleep;
+  /// the caller serves the stall (ConcurrentProtectedDatabase uses
+  /// this to sleep outside its lock).
+  bool defer_delay_sleep = false;
+  TableOptions table_options;
+};
+
+/// Operational snapshot of a protected database (observability for
+/// dashboards and the shell's .stats command).
+struct ProtectedDatabaseMetrics {
+  uint64_t universe_size = 0;
+  uint64_t total_requests = 0;
+  uint64_t distinct_keys_seen = 0;
+  uint64_t delays_charged = 0;
+  double total_delay_seconds = 0;
+  double median_delay_seconds = 0;
+  double p99_delay_seconds = 0;
+  uint64_t count_cache_hits = 0;
+  uint64_t count_cache_misses = 0;
+  uint64_t count_cache_backing_writes = 0;
+  std::string policy_name;
+
+  std::string ToString() const;
+};
+
+/// A query result annotated with the delay that was charged for it.
+struct ProtectedResult {
+  QueryResult result;
+  double delay_seconds = 0;
+};
+
+/// The full system of the paper: a relational database whose front door
+/// charges every tuple retrieval a strategically computed delay.
+/// Reads record accesses (learning the popularity distribution) and are
+/// delayed; writes record update events (feeding the update-rate
+/// scheme) and are not delayed. Multi-tuple results are charged the sum
+/// of their per-tuple delays, exactly the paper's aggregation model.
+class ProtectedDatabase {
+ public:
+  /// Opens the database in `dir` and protects `table_name` (which must
+  /// exist unless it is created through this interface afterwards).
+  /// `clock` drives delay serving and must outlive the instance.
+  static Result<std::unique_ptr<ProtectedDatabase>> Open(
+      const std::string& dir, const std::string& table_name, Clock* clock,
+      ProtectedDatabaseOptions options = {});
+
+  ProtectedDatabase(const ProtectedDatabase&) = delete;
+  ProtectedDatabase& operator=(const ProtectedDatabase&) = delete;
+
+  /// Executes one SQL statement with delay protection.
+  Result<ProtectedResult> ExecuteSql(const std::string& sql);
+
+  /// Convenience single-tuple retrieval (the paper's canonical query).
+  Result<ProtectedResult> GetByKey(int64_t key);
+
+  /// Delay that retrieving `key` would cost right now.
+  double PeekDelay(int64_t key) const { return engine_->Peek(key); }
+
+  /// Point-in-time operational metrics.
+  ProtectedDatabaseMetrics Metrics() const;
+
+  /// Bulk-load path: inserts without delay accounting or update
+  /// tracking (for experiment setup).
+  Status BulkLoadRow(const Row& row);
+
+  /// Flushes dirty pages, count cache, and truncates WALs.
+  Status Checkpoint();
+
+  CountTracker* access_tracker() { return access_tracker_.get(); }
+  UpdateTracker* update_tracker() { return update_tracker_.get(); }
+  DelayEngine* engine() { return engine_.get(); }
+  Database* raw_database() { return db_.get(); }
+  Table* table() { return table_; }
+  CountCache* count_cache() { return count_cache_.get(); }
+  const ProtectedDatabaseOptions& options() const { return options_; }
+  Clock* clock() const { return clock_; }
+
+ private:
+  ProtectedDatabase(ProtectedDatabaseOptions options, Clock* clock)
+      : options_(options), clock_(clock) {}
+
+  Status Init(const std::string& dir, const std::string& table_name);
+
+  ProtectedDatabaseOptions options_;
+  Clock* clock_;
+  std::unique_ptr<Database> db_;
+  Table* table_ = nullptr;          // Borrowed from db_.
+  Table* counts_table_ = nullptr;   // Borrowed; only if persist_counts.
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<CountTracker> access_tracker_;
+  std::unique_ptr<UpdateTracker> update_tracker_;
+  std::unique_ptr<CountCache> count_cache_;
+  std::unique_ptr<DelayPolicy> policy_;
+  // Sub-policies owned when mode == kCombinedMax.
+  std::unique_ptr<DelayPolicy> access_subpolicy_;
+  std::unique_ptr<UpdateDelayPolicy> update_subpolicy_;
+  UpdateDelayPolicy* update_policy_ = nullptr;  // Borrowed view.
+  std::unique_ptr<DelayEngine> engine_;
+  int64_t open_time_micros_ = 0;
+  std::string protected_table_name_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_CORE_PROTECTED_DB_H_

@@ -1,0 +1,22 @@
+#include "core/update_delay.h"
+
+namespace tarpit {
+
+UpdateDelayPolicy::UpdateDelayPolicy(const UpdateTracker* tracker,
+                                     UpdateDelayParams params)
+    : tracker_(tracker), params_(params) {}
+
+double UpdateDelayPolicy::DelayForRate(double updates_per_second) const {
+  if (updates_per_second <= 0.0) return params_.bounds.max_seconds;
+  return params_.bounds.Apply(
+      params_.c /
+      (static_cast<double>(params_.n) * updates_per_second));
+}
+
+double UpdateDelayPolicy::DelayFor(int64_t key) const {
+  const double count = tracker_->Count(key);
+  if (count <= 0.0) return params_.bounds.max_seconds;
+  return DelayForRate(count / params_.rate_window_seconds);
+}
+
+}  // namespace tarpit

@@ -1,0 +1,58 @@
+#ifndef TARPIT_CORE_UPDATE_DELAY_H_
+#define TARPIT_CORE_UPDATE_DELAY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/delay_policy.h"
+#include "stats/update_tracker.h"
+
+namespace tarpit {
+
+/// Parameters of the update-rate-based delay (paper section 3).
+struct UpdateDelayParams {
+  /// The dimensionless constant c of Eq. 9. Larger c delays everything
+  /// more and raises the guaranteed-stale fraction
+  /// S_max ~ (c/(1+alpha))^(1/alpha) (Eq. 12).
+  double c = 1.0;
+  /// N, the relation size (the 1/N in Eq. 9).
+  uint64_t n = 1;
+  /// Window over which observed update counts are converted to rates
+  /// (r_i = count_i / window). The simulation harness sets this to the
+  /// elapsed virtual time.
+  double rate_window_seconds = 1.0;
+  DelayBounds bounds;
+};
+
+/// Charges delays inversely proportional to each tuple's *update* rate
+/// (Eq. 8): frequently-changing tuples are cheap, stable tuples are
+/// expensive, so an extracted copy is guaranteed to be partially stale.
+/// Under Zipf(alpha)-distributed updates this equals Eq. 9:
+/// d(i) = (c/N) * i^alpha / r_max. Never-updated tuples get the cap.
+class UpdateDelayPolicy : public DelayPolicy {
+ public:
+  /// `tracker` (of update events) must outlive the policy.
+  UpdateDelayPolicy(const UpdateTracker* tracker, UpdateDelayParams params);
+
+  double DelayFor(int64_t key) const override;
+  std::string name() const override { return "update-rate"; }
+
+  /// Delay computed from an explicit updates-per-second rate (bypasses
+  /// the tracker; used by the analytical benches).
+  double DelayForRate(double updates_per_second) const;
+
+  const UpdateDelayParams& params() const { return params_; }
+  void set_rate_window_seconds(double w) {
+    params_.rate_window_seconds = w;
+  }
+  /// Keeps N in sync as the relation grows/shrinks.
+  void set_n(uint64_t n) { params_.n = n == 0 ? 1 : n; }
+
+ private:
+  const UpdateTracker* tracker_;
+  UpdateDelayParams params_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_CORE_UPDATE_DELAY_H_

@@ -1,0 +1,47 @@
+#include "defense/audit_log.h"
+
+namespace tarpit {
+
+std::string AuditEventName(AuditEvent event) {
+  switch (event) {
+    case AuditEvent::kRegistered: return "registered";
+    case AuditEvent::kRegistrationDenied: return "registration-denied";
+    case AuditEvent::kQueryServed: return "query-served";
+    case AuditEvent::kRateLimitedUser: return "rate-limited-user";
+    case AuditEvent::kRateLimitedSubnet: return "rate-limited-subnet";
+    case AuditEvent::kLifetimeCapHit: return "lifetime-cap";
+    case AuditEvent::kCoverageEscalated: return "coverage-escalated";
+  }
+  return "unknown";
+}
+
+void AuditLog::Record(AuditRecord record) {
+  ++total_recorded_;
+  records_.push_back(record);
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
+void AuditLog::ForEach(
+    const std::function<bool(const AuditRecord&)>& fn) const {
+  for (const AuditRecord& record : records_) {
+    if (!fn(record)) return;
+  }
+}
+
+uint64_t AuditLog::CountOf(AuditEvent event) const {
+  uint64_t n = 0;
+  for (const AuditRecord& record : records_) {
+    if (record.event == event) ++n;
+  }
+  return n;
+}
+
+uint64_t AuditLog::CountForIdentity(IdentityId identity) const {
+  uint64_t n = 0;
+  for (const AuditRecord& record : records_) {
+    if (record.identity == identity) ++n;
+  }
+  return n;
+}
+
+}  // namespace tarpit

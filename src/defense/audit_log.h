@@ -1,0 +1,68 @@
+#ifndef TARPIT_DEFENSE_AUDIT_LOG_H_
+#define TARPIT_DEFENSE_AUDIT_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "defense/identity.h"
+
+namespace tarpit {
+
+/// What happened at the perimeter.
+enum class AuditEvent : uint8_t {
+  kRegistered,
+  kRegistrationDenied,
+  kQueryServed,
+  kRateLimitedUser,
+  kRateLimitedSubnet,
+  kLifetimeCapHit,
+  kCoverageEscalated,
+};
+
+std::string AuditEventName(AuditEvent event);
+
+struct AuditRecord {
+  double time_seconds = 0;
+  AuditEvent event = AuditEvent::kQueryServed;
+  IdentityId identity = 0;
+  uint32_t ipv4 = 0;
+  /// Event-specific magnitude: delay served, escalation factor,
+  /// retry-after seconds -- see the emitting site.
+  double magnitude = 0;
+};
+
+/// Bounded in-memory audit trail of perimeter decisions. Extraction
+/// attempts announce themselves long before they finish: a stream of
+/// rate-limit denials and coverage escalations against one identity or
+/// subnet is the operator's early warning, so the gate records every
+/// decision here for inspection and alerting.
+class AuditLog {
+ public:
+  explicit AuditLog(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void Record(AuditRecord record);
+
+  /// Iterates records oldest-first; `fn` returns false to stop.
+  void ForEach(const std::function<bool(const AuditRecord&)>& fn) const;
+
+  /// Count of records matching `event` currently retained.
+  uint64_t CountOf(AuditEvent event) const;
+
+  /// Count of retained records attributed to `identity`.
+  uint64_t CountForIdentity(IdentityId identity) const;
+
+  size_t size() const { return records_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t total_recorded() const { return total_recorded_; }
+
+ private:
+  size_t capacity_;
+  std::deque<AuditRecord> records_;
+  uint64_t total_recorded_ = 0;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_DEFENSE_AUDIT_LOG_H_

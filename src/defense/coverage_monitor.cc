@@ -1,0 +1,46 @@
+#include "defense/coverage_monitor.h"
+
+#include <algorithm>
+
+namespace tarpit {
+
+CoverageMonitor::CoverageMonitor(CoverageMonitorOptions options)
+    : options_(options) {}
+
+void CoverageMonitor::RecordAccess(IdentityId principal, int64_t key) {
+  auto it = sketches_.find(principal);
+  if (it == sketches_.end()) {
+    it = sketches_
+             .emplace(principal, HyperLogLog(options_.hll_precision))
+             .first;
+  }
+  it->second.Add(key);
+}
+
+double CoverageMonitor::DistinctTuples(IdentityId principal) const {
+  auto it = sketches_.find(principal);
+  return it == sketches_.end() ? 0.0 : it->second.Estimate();
+}
+
+double CoverageMonitor::Coverage(IdentityId principal,
+                                 uint64_t n) const {
+  if (n == 0) return 0.0;
+  return std::min(1.0, DistinctTuples(principal) /
+                           static_cast<double>(n));
+}
+
+double CoverageMonitor::EscalationFactor(IdentityId principal,
+                                         uint64_t n) const {
+  const double coverage = Coverage(principal, n);
+  if (coverage <= options_.free_coverage) return 1.0;
+  if (coverage >= options_.max_coverage) return options_.max_escalation;
+  const double t = (coverage - options_.free_coverage) /
+                   (options_.max_coverage - options_.free_coverage);
+  return 1.0 + t * (options_.max_escalation - 1.0);
+}
+
+void CoverageMonitor::Forget(IdentityId principal) {
+  sketches_.erase(principal);
+}
+
+}  // namespace tarpit

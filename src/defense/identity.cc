@@ -1,0 +1,23 @@
+#include "defense/identity.h"
+
+#include <cstdio>
+
+namespace tarpit {
+
+std::string Ipv4ToString(uint32_t ipv4) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ipv4 >> 24) & 0xFF,
+                (ipv4 >> 16) & 0xFF, (ipv4 >> 8) & 0xFF, ipv4 & 0xFF);
+  return buf;
+}
+
+uint32_t Ipv4FromString(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  int n = std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d,
+                      &tail);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) return 0;
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+}  // namespace tarpit

@@ -1,0 +1,32 @@
+#ifndef TARPIT_DEFENSE_IDENTITY_H_
+#define TARPIT_DEFENSE_IDENTITY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tarpit {
+
+using IdentityId = uint64_t;
+
+/// A registered account. The source address matters because true Sybil
+/// attacks are hard to mount from one network position (paper section
+/// 2.4): addresses are easy to forge but routing the *response* back is
+/// not, so the /24 is the natural aggregation unit for rate limiting.
+struct Identity {
+  IdentityId id = 0;
+  uint32_t ipv4 = 0;
+  int64_t registered_at_micros = 0;
+
+  /// The /24 prefix this identity belongs to.
+  uint32_t Subnet24() const { return ipv4 & 0xFFFFFF00u; }
+};
+
+/// Renders a.b.c.d.
+std::string Ipv4ToString(uint32_t ipv4);
+
+/// Parses a.b.c.d (returns 0 on malformed input).
+uint32_t Ipv4FromString(const std::string& text);
+
+}  // namespace tarpit
+
+#endif  // TARPIT_DEFENSE_IDENTITY_H_

@@ -1,0 +1,140 @@
+#include "defense/query_gate.h"
+
+namespace tarpit {
+
+QueryGate::QueryGate(ProtectedDatabase* db, QueryGateOptions options)
+    : db_(db),
+      options_(options),
+      reg_limiter_(options.registration_seconds_per_account,
+                   options.registration_burst),
+      coverage_monitor_(options.coverage) {}
+
+double QueryGate::NowSeconds() const {
+  return db_->clock()->NowSeconds();
+}
+
+Result<Identity> QueryGate::RegisterUser(uint32_t ipv4) {
+  Result<Identity> id = reg_limiter_.Register(ipv4, NowSeconds());
+  AuditRecord record;
+  record.time_seconds = NowSeconds();
+  record.ipv4 = ipv4;
+  if (id.ok()) {
+    record.event = AuditEvent::kRegistered;
+    record.identity = id->id;
+  } else {
+    record.event = AuditEvent::kRegistrationDenied;
+    record.magnitude = reg_limiter_.RetryAfter(NowSeconds());
+  }
+  audit_log_.Record(record);
+  return id;
+}
+
+QueryGate::UserState& QueryGate::UserFor(IdentityId id) {
+  auto it = users_.find(id);
+  if (it == users_.end()) {
+    it = users_
+             .emplace(id,
+                      UserState{TokenBucket(
+                                    options_.per_user_queries_per_second,
+                                    options_.per_user_burst),
+                                0})
+             .first;
+  }
+  return it->second;
+}
+
+TokenBucket& QueryGate::SubnetFor(uint32_t subnet) {
+  auto it = subnets_.find(subnet);
+  if (it == subnets_.end()) {
+    it = subnets_
+             .emplace(subnet,
+                      TokenBucket(options_.per_subnet_queries_per_second,
+                                  options_.per_subnet_burst))
+             .first;
+  }
+  return it->second;
+}
+
+Result<ProtectedResult> QueryGate::ExecuteSql(const Identity& identity,
+                                              const std::string& sql) {
+  const double now = NowSeconds();
+  UserState& user = UserFor(identity.id);
+  AuditRecord record;
+  record.time_seconds = now;
+  record.identity = identity.id;
+  record.ipv4 = identity.ipv4;
+  if (options_.per_user_lifetime_query_limit > 0 &&
+      user.lifetime_queries >= options_.per_user_lifetime_query_limit) {
+    record.event = AuditEvent::kLifetimeCapHit;
+    audit_log_.Record(record);
+    return Status::PermissionDenied(
+        "identity " + std::to_string(identity.id) +
+        " exceeded its lifetime query limit");
+  }
+  // Check the subnet aggregate FIRST so a single Sybil cannot starve
+  // its own subnet bucket of per-user tokens it failed to use.
+  TokenBucket& subnet = SubnetFor(identity.Subnet24());
+  if (!subnet.TryAcquire(now)) {
+    record.event = AuditEvent::kRateLimitedSubnet;
+    record.magnitude = subnet.RetryAfter(now);
+    audit_log_.Record(record);
+    return Status::RateLimited(
+        "subnet " + Ipv4ToString(identity.Subnet24()) +
+        "/24 rate limit; retry in " +
+        std::to_string(subnet.RetryAfter(now)) + "s");
+  }
+  if (!user.bucket.TryAcquire(now)) {
+    record.event = AuditEvent::kRateLimitedUser;
+    record.magnitude = user.bucket.RetryAfter(now);
+    audit_log_.Record(record);
+    return Status::RateLimited(
+        "identity " + std::to_string(identity.id) +
+        " rate limit; retry in " +
+        std::to_string(user.bucket.RetryAfter(now)) + "s");
+  }
+  ++user.lifetime_queries;
+
+  // Coverage escalation uses the factor accrued *before* this query so
+  // a first-time crossing is not penalized retroactively.
+  double escalation = 1.0;
+  uint64_t n = 0;
+  if (options_.coverage_escalation) {
+    n = db_->access_tracker()->universe_size();
+    escalation = coverage_monitor_.EscalationFactor(identity.id, n);
+  }
+  Result<ProtectedResult> result = db_->ExecuteSql(sql);
+  if (!result.ok()) return result;
+  if (options_.coverage_escalation) {
+    for (int64_t key : result->result.touched_keys) {
+      coverage_monitor_.RecordAccess(identity.id, key);
+    }
+    if (escalation > 1.0 && result->delay_seconds > 0) {
+      const double extra = (escalation - 1.0) * result->delay_seconds;
+      if (!db_->options().defer_delay_sleep) {
+        db_->clock()->SleepForMicros(static_cast<int64_t>(extra * 1e6));
+      }
+      result->delay_seconds += extra;
+      record.event = AuditEvent::kCoverageEscalated;
+      record.magnitude = escalation;
+      audit_log_.Record(record);
+    }
+  }
+  record.event = AuditEvent::kQueryServed;
+  record.magnitude = result->delay_seconds;
+  audit_log_.Record(record);
+  return result;
+}
+
+double QueryGate::RetryAfter(const Identity& identity) {
+  const double now = NowSeconds();
+  UserState& user = UserFor(identity.id);
+  TokenBucket& subnet = SubnetFor(identity.Subnet24());
+  return std::max(user.bucket.RetryAfter(now), subnet.RetryAfter(now));
+}
+
+uint64_t QueryGate::LifetimeQueries(IdentityId id) const {
+  auto it = users_.find(id);
+  return it == users_.end() ? 0 : it->second.lifetime_queries;
+}
+
+}  // namespace tarpit

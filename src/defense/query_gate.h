@@ -1,0 +1,90 @@
+#ifndef TARPIT_DEFENSE_QUERY_GATE_H_
+#define TARPIT_DEFENSE_QUERY_GATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/protected_db.h"
+#include "defense/audit_log.h"
+#include "defense/coverage_monitor.h"
+#include "defense/identity.h"
+#include "defense/registration_limiter.h"
+#include "defense/token_bucket.h"
+
+namespace tarpit {
+
+/// Perimeter policy knobs (paper section 2.4).
+struct QueryGateOptions {
+  /// One new account every this many seconds.
+  double registration_seconds_per_account = 60.0;
+  double registration_burst = 1.0;
+  /// Per-identity query budget.
+  double per_user_queries_per_second = 5.0;
+  double per_user_burst = 20.0;
+  /// Per-/24-subnet aggregate budget: forged or rented identities
+  /// sharing a subnet share this bucket.
+  double per_subnet_queries_per_second = 20.0;
+  double per_subnet_burst = 50.0;
+  /// Hard ceiling on lifetime queries per identity (0 = unlimited):
+  /// the storefront defense. Exceeding it is PermissionDenied.
+  uint64_t per_user_lifetime_query_limit = 0;
+  /// Coverage-tracking escalation (extension, see CoverageMonitor):
+  /// identities whose distinct-tuple coverage looks extraction-shaped
+  /// have their delays multiplied.
+  bool coverage_escalation = false;
+  CoverageMonitorOptions coverage;
+};
+
+/// The front door: account registration plus per-user and per-subnet
+/// rate limiting wrapped around the delay-protected database. Every
+/// path an adversary has into the data passes through here.
+class QueryGate {
+ public:
+  /// `db` must outlive the gate; the gate reads time from the db's
+  /// clock so simulations stay on one timeline.
+  QueryGate(ProtectedDatabase* db, QueryGateOptions options);
+
+  /// Registers a new account from `ipv4`. RateLimited when the
+  /// registration quota is exhausted.
+  Result<Identity> RegisterUser(uint32_t ipv4);
+
+  /// Executes SQL as `identity`. RateLimited / PermissionDenied when a
+  /// perimeter limit trips -- the statement is not executed.
+  Result<ProtectedResult> ExecuteSql(const Identity& identity,
+                                     const std::string& sql);
+
+  /// Seconds until `identity` may issue another query (0 = now).
+  double RetryAfter(const Identity& identity);
+
+  RegistrationLimiter* registration_limiter() { return &reg_limiter_; }
+  CoverageMonitor* coverage_monitor() { return &coverage_monitor_; }
+  AuditLog* audit_log() { return &audit_log_; }
+  uint64_t LifetimeQueries(IdentityId id) const;
+  const QueryGateOptions& options() const { return options_; }
+
+ private:
+  struct UserState {
+    TokenBucket bucket;
+    uint64_t lifetime_queries = 0;
+  };
+
+  UserState& UserFor(IdentityId id);
+  TokenBucket& SubnetFor(uint32_t subnet);
+  double NowSeconds() const;
+
+  ProtectedDatabase* db_;
+  QueryGateOptions options_;
+  RegistrationLimiter reg_limiter_;
+  CoverageMonitor coverage_monitor_;
+  AuditLog audit_log_;
+  std::unordered_map<IdentityId, UserState> users_;
+  std::unordered_map<uint32_t, TokenBucket> subnets_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_DEFENSE_QUERY_GATE_H_

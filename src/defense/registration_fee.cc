@@ -1,0 +1,33 @@
+#include "defense/registration_fee.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tarpit {
+
+double RegistrationFeeModel::AdversaryCost(uint64_t k, double fee) const {
+  if (k == 0) k = 1;
+  const double time_cost = extraction_delay_seconds /
+                           static_cast<double>(k) *
+                           adversary_value_per_second;
+  return time_cost + static_cast<double>(k) * fee;
+}
+
+uint64_t RegistrationFeeModel::OptimalIdentities(double fee) const {
+  if (fee <= 0) return UINT64_MAX;  // Unbounded parallelism is free.
+  const double k_star = std::sqrt(
+      extraction_delay_seconds * adversary_value_per_second / fee);
+  if (k_star <= 1.0) return 1;
+  // The integer optimum is one of the neighbors of the continuous one.
+  const uint64_t lo = static_cast<uint64_t>(k_star);
+  const uint64_t hi = lo + 1;
+  return AdversaryCost(lo, fee) <= AdversaryCost(hi, fee) ? lo : hi;
+}
+
+double RegistrationFeeModel::FeeToNeutralizeParallelism() const {
+  // Cost at the continuous optimum is 2*sqrt(d*v*fee); requiring that
+  // to be >= the sequential cost d*v gives fee >= d*v/4.
+  return extraction_delay_seconds * adversary_value_per_second / 4.0;
+}
+
+}  // namespace tarpit

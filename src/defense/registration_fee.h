@@ -1,0 +1,39 @@
+#ifndef TARPIT_DEFENSE_REGISTRATION_FEE_H_
+#define TARPIT_DEFENSE_REGISTRATION_FEE_H_
+
+#include <cstdint>
+
+namespace tarpit {
+
+/// The paper's monetary variant of registration limiting (section
+/// 2.4): "one can charge a small fee for registration, computed so
+/// that a parallel adversary would have to spend as much in
+/// registration fees as to collect the data separately."
+///
+/// The economics: with k identities the adversary's wall-clock cost is
+/// d_total / k, worth (d_total / k) * value_per_second to them; the
+/// fee bill is k * fee. The fee that makes the *optimal* k no cheaper
+/// than sequential extraction equates the two at the adversary's best
+/// choice of k.
+struct RegistrationFeeModel {
+  /// Total sequential extraction delay (seconds).
+  double extraction_delay_seconds = 0;
+  /// What a second of the adversary's time is worth (currency/s).
+  double adversary_value_per_second = 0;
+
+  /// Adversary's total cost (time value + fees) with k identities.
+  double AdversaryCost(uint64_t k, double fee) const;
+
+  /// The k minimizing AdversaryCost for a given fee (continuous optimum
+  /// k* = sqrt(d_total * v / fee), clamped to >= 1).
+  uint64_t OptimalIdentities(double fee) const;
+
+  /// The minimum fee such that even the adversary's best k costs at
+  /// least as much as pure sequential extraction (k = 1, zero fees):
+  /// from 2*sqrt(d*v*fee) >= d*v, fee >= d*v/4.
+  double FeeToNeutralizeParallelism() const;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_DEFENSE_REGISTRATION_FEE_H_

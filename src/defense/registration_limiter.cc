@@ -1,0 +1,32 @@
+#include "defense/registration_limiter.h"
+
+namespace tarpit {
+
+RegistrationLimiter::RegistrationLimiter(double seconds_per_account,
+                                         double burst)
+    : seconds_per_account_(seconds_per_account),
+      burst_(burst),
+      bucket_(seconds_per_account > 0 ? 1.0 / seconds_per_account : 1e18,
+              burst) {}
+
+Result<Identity> RegistrationLimiter::Register(uint32_t ipv4,
+                                               double now_seconds) {
+  if (!bucket_.TryAcquire(now_seconds)) {
+    return Status::RateLimited(
+        "registration quota exhausted; retry in " +
+        std::to_string(bucket_.RetryAfter(now_seconds)) + "s");
+  }
+  Identity identity;
+  identity.id = next_id_++;
+  identity.ipv4 = ipv4;
+  identity.registered_at_micros =
+      static_cast<int64_t>(now_seconds * 1e6);
+  return identity;
+}
+
+double RegistrationLimiter::TimeToAccumulate(uint64_t k) const {
+  if (k <= static_cast<uint64_t>(burst_)) return 0.0;
+  return (static_cast<double>(k) - burst_) * seconds_per_account_;
+}
+
+}  // namespace tarpit

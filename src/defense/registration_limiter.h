@@ -1,0 +1,49 @@
+#ifndef TARPIT_DEFENSE_REGISTRATION_LIMITER_H_
+#define TARPIT_DEFENSE_REGISTRATION_LIMITER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "defense/identity.h"
+#include "defense/token_bucket.h"
+
+namespace tarpit {
+
+/// Grants at most one new account every `seconds_per_account` (paper
+/// section 2.4): this lower-bounds the time an adversary needs to amass
+/// enough identities for a parallel extraction, which neutralizes
+/// unbounded parallelism.
+class RegistrationLimiter {
+ public:
+  /// `burst` accounts may be registered back-to-back before the limit
+  /// engages (legitimate signup spikes).
+  explicit RegistrationLimiter(double seconds_per_account,
+                               double burst = 1.0);
+
+  /// Registers a new identity from `ipv4` at `now_seconds`.
+  /// RateLimited when the quota is exhausted.
+  Result<Identity> Register(uint32_t ipv4, double now_seconds);
+
+  /// Seconds until the next registration would be admitted.
+  double RetryAfter(double now_seconds) {
+    return bucket_.RetryAfter(now_seconds);
+  }
+
+  /// Analysis helper: minimum seconds an adversary needs to accumulate
+  /// `k` identities (k-burst of them are rate-limited).
+  double TimeToAccumulate(uint64_t k) const;
+
+  uint64_t registered() const { return next_id_ - 1; }
+  double seconds_per_account() const { return seconds_per_account_; }
+
+ private:
+  double seconds_per_account_;
+  double burst_;
+  TokenBucket bucket_;
+  IdentityId next_id_ = 1;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_DEFENSE_REGISTRATION_LIMITER_H_

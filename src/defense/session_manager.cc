@@ -1,0 +1,73 @@
+#include "defense/session_manager.h"
+
+#include <vector>
+
+namespace tarpit {
+
+SessionManager::SessionManager(SessionOptions options, uint64_t seed)
+    : options_(options), rng_(seed) {}
+
+Result<SessionToken> SessionManager::Login(const Identity& identity,
+                                           double now_seconds) {
+  uint32_t& count = per_identity_[identity.id];
+  if (options_.max_sessions_per_identity > 0 &&
+      count >= options_.max_sessions_per_identity) {
+    return Status::ResourceExhausted(
+        "identity " + std::to_string(identity.id) + " already has " +
+        std::to_string(count) + " sessions");
+  }
+  SessionToken token;
+  do {
+    token = rng_.Next();
+  } while (token == 0 || sessions_.count(token));
+  sessions_[token] = Session{identity.id, now_seconds};
+  ++count;
+  return token;
+}
+
+Result<IdentityId> SessionManager::Validate(SessionToken token,
+                                            double now_seconds) {
+  auto it = sessions_.find(token);
+  if (it == sessions_.end()) {
+    return Status::PermissionDenied("unknown session token");
+  }
+  if (now_seconds - it->second.last_active_seconds >
+      options_.ttl_seconds) {
+    const IdentityId id = it->second.identity;
+    sessions_.erase(it);
+    if (--per_identity_[id] == 0) per_identity_.erase(id);
+    return Status::PermissionDenied("session expired");
+  }
+  it->second.last_active_seconds = now_seconds;
+  return it->second.identity;
+}
+
+void SessionManager::Logout(SessionToken token) {
+  auto it = sessions_.find(token);
+  if (it == sessions_.end()) return;
+  const IdentityId id = it->second.identity;
+  sessions_.erase(it);
+  auto pit = per_identity_.find(id);
+  if (pit != per_identity_.end() && --pit->second == 0) {
+    per_identity_.erase(pit);
+  }
+}
+
+size_t SessionManager::ExpireStale(double now_seconds) {
+  std::vector<SessionToken> dead;
+  for (const auto& [token, session] : sessions_) {
+    if (now_seconds - session.last_active_seconds >
+        options_.ttl_seconds) {
+      dead.push_back(token);
+    }
+  }
+  for (SessionToken token : dead) Logout(token);
+  return dead.size();
+}
+
+uint32_t SessionManager::SessionsOf(IdentityId id) const {
+  auto it = per_identity_.find(id);
+  return it == per_identity_.end() ? 0 : it->second;
+}
+
+}  // namespace tarpit

@@ -1,0 +1,58 @@
+#ifndef TARPIT_DEFENSE_TOKEN_BUCKET_H_
+#define TARPIT_DEFENSE_TOKEN_BUCKET_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace tarpit {
+
+/// Classic token bucket over explicit timestamps (the caller supplies
+/// "now" from whichever Clock drives the simulation).
+class TokenBucket {
+ public:
+  /// `rate_per_second` tokens accrue continuously up to `burst`.
+  TokenBucket(double rate_per_second, double burst)
+      : rate_(rate_per_second), burst_(burst), tokens_(burst) {}
+
+  /// Attempts to take one token at time `now_seconds`. Returns true on
+  /// success; on failure the bucket is unchanged.
+  bool TryAcquire(double now_seconds) {
+    Refill(now_seconds);
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return true;
+    }
+    return false;
+  }
+
+  /// Seconds from `now_seconds` until one token will be available
+  /// (0 when a token is ready).
+  double RetryAfter(double now_seconds) {
+    Refill(now_seconds);
+    if (tokens_ >= 1.0) return 0.0;
+    if (rate_ <= 0.0) return 1e18;  // Never.
+    return (1.0 - tokens_) / rate_;
+  }
+
+  double tokens() const { return tokens_; }
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void Refill(double now_seconds) {
+    if (now_seconds > last_refill_) {
+      tokens_ = std::min(burst_,
+                         tokens_ + (now_seconds - last_refill_) * rate_);
+      last_refill_ = now_seconds;
+    }
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_refill_ = 0.0;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_DEFENSE_TOKEN_BUCKET_H_

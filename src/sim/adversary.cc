@@ -1,0 +1,61 @@
+#include "sim/adversary.h"
+
+#include <algorithm>
+
+namespace tarpit {
+
+ExtractionReport RunSequentialExtraction(const DelayPolicy& policy,
+                                         uint64_t n) {
+  ExtractionReport report;
+  report.completion_times.reserve(n);
+  double t = 0.0;
+  for (uint64_t key = 1; key <= n; ++key) {
+    t += policy.DelayFor(static_cast<int64_t>(key));
+    report.completion_times.push_back(t);
+  }
+  report.total_delay_seconds = t;
+  return report;
+}
+
+ParallelExtractionReport RunParallelExtraction(
+    const DelayPolicy& policy, uint64_t n, uint64_t identities,
+    double registration_seconds_per_account) {
+  ParallelExtractionReport report;
+  report.identities = std::max<uint64_t>(1, identities);
+  report.registration_seconds =
+      report.identities <= 1
+          ? 0.0
+          : static_cast<double>(report.identities - 1) *
+                registration_seconds_per_account;
+  std::vector<double> partition(report.identities, 0.0);
+  for (uint64_t key = 1; key <= n; ++key) {
+    partition[(key - 1) % report.identities] +=
+        policy.DelayFor(static_cast<int64_t>(key));
+  }
+  report.max_partition_delay_seconds =
+      *std::max_element(partition.begin(), partition.end());
+  report.total_attack_seconds =
+      report.registration_seconds + report.max_partition_delay_seconds;
+  return report;
+}
+
+StorefrontReport AnalyzeStorefront(
+    uint64_t n, uint64_t per_user_lifetime_limit,
+    double registration_seconds_per_account) {
+  StorefrontReport report;
+  if (per_user_lifetime_limit == 0) {
+    report.identities_needed = 1;
+    report.registration_seconds = 0;
+    return report;
+  }
+  report.identities_needed =
+      (n + per_user_lifetime_limit - 1) / per_user_lifetime_limit;
+  report.registration_seconds =
+      report.identities_needed <= 1
+          ? 0.0
+          : static_cast<double>(report.identities_needed - 1) *
+                registration_seconds_per_account;
+  return report;
+}
+
+}  // namespace tarpit

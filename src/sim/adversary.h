@@ -1,0 +1,60 @@
+#ifndef TARPIT_SIM_ADVERSARY_H_
+#define TARPIT_SIM_ADVERSARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/delay_policy.h"
+
+namespace tarpit {
+
+/// Outcome of a sequential extraction over keys 1..n.
+struct ExtractionReport {
+  double total_delay_seconds = 0;
+  /// completion_times[i]: seconds into the attack when key i+1 was
+  /// obtained.
+  std::vector<double> completion_times;
+};
+
+/// A single identity querying every key back-to-back; per-key delays
+/// come from the (frozen) policy.
+ExtractionReport RunSequentialExtraction(const DelayPolicy& policy,
+                                         uint64_t n);
+
+/// Outcome of a Sybil-parallel extraction (paper section 2.4).
+struct ParallelExtractionReport {
+  uint64_t identities = 0;
+  /// Time to amass the identities under registration rate limiting.
+  double registration_seconds = 0;
+  /// The slowest identity's extraction time (keys are striped so each
+  /// identity gets every k-th key; delays are serialized per identity).
+  double max_partition_delay_seconds = 0;
+  /// registration + slowest partition: the attack's wall-clock time.
+  double total_attack_seconds = 0;
+};
+
+/// Models an adversary with `identities` accounts splitting the
+/// keyspace. With registration limited to one account per
+/// `registration_seconds_per_account`, total time is the identity
+/// accumulation plus the slowest partition -- showing how rate-limited
+/// registration restores most of the sequential penalty.
+ParallelExtractionReport RunParallelExtraction(
+    const DelayPolicy& policy, uint64_t n, uint64_t identities,
+    double registration_seconds_per_account);
+
+/// Storefront attack bound (paper section 2.4): the attacker forwards
+/// legitimate queries through registered identities, each capped at
+/// `per_user_lifetime_limit` queries. To cover all n keys it needs
+/// ceil(n / limit) identities, which registration limiting stretches
+/// over time.
+struct StorefrontReport {
+  uint64_t identities_needed = 0;
+  double registration_seconds = 0;
+};
+StorefrontReport AnalyzeStorefront(uint64_t n,
+                                   uint64_t per_user_lifetime_limit,
+                                   double registration_seconds_per_account);
+
+}  // namespace tarpit
+
+#endif  // TARPIT_SIM_ADVERSARY_H_

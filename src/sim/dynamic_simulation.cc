@@ -1,0 +1,61 @@
+#include "sim/dynamic_simulation.h"
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/staleness.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/zipf.h"
+#include "sim/adversary.h"
+#include "stats/update_tracker.h"
+
+namespace tarpit {
+
+DynamicSimResult RunDynamicSimulation(const DynamicSimConfig& config) {
+  DynamicSimResult result;
+
+  // Learning phase: the tracker observes warmup_updates update events
+  // drawn Zipf(update_alpha); they span warmup/updates_per_second
+  // seconds of (virtual) time.
+  UpdateTracker tracker(config.n, 1.0);
+  ZipfDistribution zipf(config.n, config.update_alpha);
+  Rng rng(config.seed);
+  for (uint64_t i = 0; i < config.warmup_updates; ++i) {
+    tracker.Record(static_cast<int64_t>(zipf.Sample(&rng)));
+  }
+  const double window = static_cast<double>(config.warmup_updates) /
+                        config.updates_per_second;
+
+  UpdateDelayParams params = config.delay;
+  params.n = config.n;
+  params.rate_window_seconds = window;
+  UpdateDelayPolicy policy(&tracker, params);
+
+  // Median legitimate-user delay under uniform queries.
+  QuantileSketch user_delays;
+  for (uint64_t i = 0; i < config.measured_queries; ++i) {
+    const int64_t key =
+        static_cast<int64_t>(rng.Uniform(config.n)) + 1;
+    user_delays.Add(policy.DelayFor(key));
+  }
+  result.median_user_delay_seconds = user_delays.Median();
+
+  // Adversary: full extraction with learned (frozen) delays.
+  ExtractionReport extraction = RunSequentialExtraction(policy, config.n);
+  result.adversary_delay_seconds = extraction.total_delay_seconds;
+
+  // Staleness against the *true* update rates r_i = R * pmf(i).
+  std::vector<double> rates(config.n);
+  for (uint64_t i = 1; i <= config.n; ++i) {
+    rates[i - 1] = config.updates_per_second * zipf.Pmf(i);
+  }
+  result.stale_fraction = DeterministicStaleFraction(
+      rates, extraction.total_delay_seconds);
+  result.expected_stale_fraction = ExpectedStaleFractionPoisson(
+      rates, extraction.completion_times,
+      extraction.total_delay_seconds);
+  return result;
+}
+
+}  // namespace tarpit

@@ -1,0 +1,44 @@
+#ifndef TARPIT_SIM_DYNAMIC_SIMULATION_H_
+#define TARPIT_SIM_DYNAMIC_SIMULATION_H_
+
+#include <cstdint>
+
+#include "core/update_delay.h"
+
+namespace tarpit {
+
+/// Configuration of the dynamic-data simulation behind paper Figures
+/// 4-6: uniform queries against a relation receiving Zipf-distributed
+/// updates, with delays assigned by update rate.
+struct DynamicSimConfig {
+  uint64_t n = 100'000;
+  /// Zipf parameter of the update distribution (the x-axis of the
+  /// figures).
+  double update_alpha = 1.0;
+  /// Aggregate update throughput (updates/second across all tuples).
+  double updates_per_second = 100.0;
+  /// Learning phase length.
+  uint64_t warmup_updates = 1'000'000;
+  /// Number of legitimate (uniform) queries measured for median delay.
+  uint64_t measured_queries = 10'000;
+  UpdateDelayParams delay;
+  uint64_t seed = 42;
+};
+
+struct DynamicSimResult {
+  double median_user_delay_seconds = 0;
+  double adversary_delay_seconds = 0;
+  /// Deterministic staleness (paper Eq. 10 criterion with the true
+  /// update rates).
+  double stale_fraction = 0;
+  /// Poisson-model expected staleness (accounting for when each tuple
+  /// was retrieved during the extraction).
+  double expected_stale_fraction = 0;
+};
+
+/// Runs one point of the Figures 4-6 sweep.
+DynamicSimResult RunDynamicSimulation(const DynamicSimConfig& config);
+
+}  // namespace tarpit
+
+#endif  // TARPIT_SIM_DYNAMIC_SIMULATION_H_

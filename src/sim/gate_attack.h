@@ -1,0 +1,52 @@
+#ifndef TARPIT_SIM_GATE_ATTACK_H_
+#define TARPIT_SIM_GATE_ATTACK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "defense/query_gate.h"
+
+namespace tarpit {
+
+/// Configuration of a determined extraction attack mounted through the
+/// full defense perimeter (QueryGate) on a virtual timeline.
+struct GateAttackConfig {
+  /// Keys [1, n] to extract.
+  uint64_t n = 0;
+  /// SQL table being extracted.
+  std::string table = "items";
+  /// Name of the PK column in SQL.
+  std::string pk_column = "id";
+  /// How many identities the adversary tries to operate; registrations
+  /// beyond the gate's quota cost waiting time.
+  uint64_t identities = 1;
+  /// Base IP; sybil i gets base+i (same /24 unless spread_subnets).
+  uint32_t base_ipv4 = 0x0A000001;  // 10.0.0.1.
+  /// Put each sybil in its own /24 (a stronger adversary who controls
+  /// many network positions).
+  bool spread_subnets = false;
+  /// Give up if the attack exceeds this much virtual time.
+  double give_up_after_seconds = 1e9;
+};
+
+struct GateAttackReport {
+  /// Virtual seconds from attack start to full extraction.
+  double attack_seconds = 0;
+  uint64_t tuples_obtained = 0;
+  uint64_t queries_issued = 0;
+  uint64_t rate_limited = 0;
+  uint64_t identities_used = 0;
+  bool completed = false;
+};
+
+/// Runs the attack: registers identities (waiting out the registration
+/// limiter as needed), then extracts keys round-robin across them,
+/// advancing the virtual clock through every rate-limit backoff and
+/// served delay. Requires the gate's database to run on `clock`.
+GateAttackReport RunGateExtraction(QueryGate* gate, VirtualClock* clock,
+                                   const GateAttackConfig& config);
+
+}  // namespace tarpit
+
+#endif  // TARPIT_SIM_GATE_ATTACK_H_

@@ -1,0 +1,33 @@
+#include "sim/trace_replay.h"
+
+namespace tarpit {
+
+Result<TraceReplayReport> ReplayTrace(
+    ProtectedDatabase* db, const std::string& table_name,
+    const std::vector<TraceRequest>& trace,
+    VirtualClock* clock_to_advance) {
+  TraceReplayReport report;
+  Result<Table*> table = db->raw_database()->GetTable(table_name);
+  TARPIT_RETURN_IF_ERROR(table.status());
+  const std::string pk_name =
+      (*table)->schema().column((*table)->pk_column()).name;
+  const std::string prefix =
+      "SELECT * FROM " + table_name + " WHERE " + pk_name + " = ";
+
+  for (const TraceRequest& request : trace) {
+    if (clock_to_advance != nullptr) {
+      clock_to_advance->AdvanceToMicros(
+          static_cast<int64_t>(request.time_seconds * 1e6));
+    }
+    Result<ProtectedResult> r =
+        db->ExecuteSql(prefix + std::to_string(request.key));
+    TARPIT_RETURN_IF_ERROR(r.status());
+    ++report.requests;
+    if (r->result.rows.empty()) ++report.not_found;
+    report.total_delay_seconds += r->delay_seconds;
+    report.per_request_delays.Add(r->delay_seconds);
+  }
+  return report;
+}
+
+}  // namespace tarpit

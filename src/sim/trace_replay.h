@@ -1,0 +1,36 @@
+#ifndef TARPIT_SIM_TRACE_REPLAY_H_
+#define TARPIT_SIM_TRACE_REPLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/protected_db.h"
+#include "workload/calgary_trace.h"
+
+namespace tarpit {
+
+/// Outcome of replaying a trace end-to-end through the SQL front door.
+struct TraceReplayReport {
+  uint64_t requests = 0;
+  uint64_t not_found = 0;
+  double total_delay_seconds = 0;
+  QuantileSketch per_request_delays;
+};
+
+/// Replays a timestamped request trace against a ProtectedDatabase:
+/// each TraceRequest becomes `SELECT * FROM <table> WHERE <pk> = key`
+/// through the full parse/plan/execute/learn/charge pipeline. When the
+/// database runs on a VirtualClock, the clock is advanced to each
+/// request's trace timestamp before executing it (so inter-arrival
+/// time and charged delay both flow through one timeline).
+Result<TraceReplayReport> ReplayTrace(
+    ProtectedDatabase* db, const std::string& table_name,
+    const std::vector<TraceRequest>& trace,
+    VirtualClock* clock_to_advance = nullptr);
+
+}  // namespace tarpit
+
+#endif  // TARPIT_SIM_TRACE_REPLAY_H_

@@ -1,0 +1,55 @@
+#include "sim/user_model.h"
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/zipf.h"
+
+namespace tarpit {
+
+UserPopulationReport RunUserPopulation(
+    CountTracker* tracker, const DelayPolicy& policy,
+    const UserPopulationConfig& config) {
+  UserPopulationReport report;
+  Rng rng(config.seed);
+  ZipfDistribution zipf(tracker->universe_size(), config.zipf_alpha);
+
+  // Min-heap of (next wake time, user id).
+  using Event = std::pair<double, uint64_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+  for (uint64_t u = 0; u < config.num_users; ++u) {
+    queue.emplace(rng.Exponential(1.0 / config.think_time_mean_seconds),
+                  u);
+  }
+
+  QuantileSketch delays;
+  uint64_t intolerable = 0;
+  double now = 0;
+  while (report.requests < config.total_requests && !queue.empty()) {
+    auto [wake, user] = queue.top();
+    queue.pop();
+    now = wake;
+    const int64_t key = static_cast<int64_t>(zipf.Sample(&rng));
+    tracker->Record(key);
+    const double d = policy.DelayFor(key);
+    delays.Add(d);
+    if (d > config.tolerance_seconds) ++intolerable;
+    ++report.requests;
+    queue.emplace(
+        now + d +
+            rng.Exponential(1.0 / config.think_time_mean_seconds),
+        user);
+  }
+  report.median_delay_seconds = delays.Median();
+  report.p99_delay_seconds = delays.Quantile(0.99);
+  report.intolerable_fraction =
+      report.requests == 0
+          ? 0
+          : static_cast<double>(intolerable) /
+                static_cast<double>(report.requests);
+  report.duration_seconds = now;
+  return report;
+}
+
+}  // namespace tarpit

@@ -1,0 +1,51 @@
+#ifndef TARPIT_SIM_USER_MODEL_H_
+#define TARPIT_SIM_USER_MODEL_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/delay_policy.h"
+#include "stats/count_tracker.h"
+
+namespace tarpit {
+
+/// A closed-loop population of legitimate users: each user thinks for
+/// an exponential interval, issues one Zipf-distributed request, waits
+/// out its delay, and repeats. Captures what the paper's per-request
+/// replay cannot: how served delays feed back into user pacing, and
+/// what fraction of requests exceed a human tolerance threshold
+/// (Bhatti et al., cited by the paper for tolerable wait times).
+struct UserPopulationConfig {
+  uint64_t num_users = 100;
+  /// Mean think time between a user's requests (exponential).
+  double think_time_mean_seconds = 30.0;
+  /// Shared popularity preference across the population.
+  double zipf_alpha = 1.2;
+  /// Delay above which a request counts as "intolerable".
+  double tolerance_seconds = 1.0;
+  uint64_t total_requests = 100'000;
+  uint64_t seed = 99;
+};
+
+struct UserPopulationReport {
+  uint64_t requests = 0;
+  double median_delay_seconds = 0;
+  double p99_delay_seconds = 0;
+  /// Fraction of requests delayed beyond the tolerance threshold.
+  double intolerable_fraction = 0;
+  /// Virtual time the population took to issue all requests.
+  double duration_seconds = 0;
+};
+
+/// Runs the population against a tracker + policy pair: every request
+/// records its access (learning) and is charged policy delay on the
+/// issuing user's own timeline. The tracker's universe_size defines the
+/// keyspace.
+UserPopulationReport RunUserPopulation(CountTracker* tracker,
+                                       const DelayPolicy& policy,
+                                       const UserPopulationConfig& config);
+
+}  // namespace tarpit
+
+#endif  // TARPIT_SIM_USER_MODEL_H_

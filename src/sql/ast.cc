@@ -1,0 +1,53 @@
+#include "sql/ast.h"
+
+namespace tarpit {
+
+std::string BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNotEq: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLtEq: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGtEq: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+std::string AggregateFuncName(AggregateFunc f) {
+  switch (f) {
+    case AggregateFunc::kCount: return "COUNT";
+    case AggregateFunc::kSum: return "SUM";
+    case AggregateFunc::kAvg: return "AVG";
+    case AggregateFunc::kMin: return "MIN";
+    case AggregateFunc::kMax: return "MAX";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kColumn:
+      return column;
+    case Kind::kBinary:
+      return "(" + lhs->ToString() + " " + BinaryOpName(op) + " " +
+             rhs->ToString() + ")";
+    case Kind::kNot:
+      return "(NOT " + lhs->ToString() + ")";
+    case Kind::kIn: {
+      std::string out = "(" + lhs->ToString() + " IN (";
+      for (size_t i = 0; i < in_list.size(); ++i) {
+        if (i) out += ", ";
+        out += in_list[i].ToString();
+      }
+      return out + "))";
+    }
+  }
+  return "?";
+}
+
+}  // namespace tarpit

@@ -1,0 +1,177 @@
+#ifndef TARPIT_SQL_AST_H_
+#define TARPIT_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace tarpit {
+
+// ---------- Expressions ----------
+
+enum class BinaryOp {
+  kEq,
+  kNotEq,
+  kLt,
+  kLtEq,
+  kGt,
+  kGtEq,
+  kAnd,
+  kOr,
+};
+
+std::string BinaryOpName(BinaryOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// WHERE-clause expression tree: literals, column references, NOT, and
+/// binary comparisons/connectives.
+struct Expr {
+  enum class Kind { kLiteral, kColumn, kBinary, kNot, kIn };
+
+  Kind kind;
+  // kLiteral:
+  Value literal;
+  // kColumn:
+  std::string column;
+  // kBinary:
+  BinaryOp op = BinaryOp::kEq;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  // kNot reuses lhs. kIn uses lhs plus in_list.
+  std::vector<Value> in_list;
+
+  static ExprPtr MakeLiteral(Value v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kLiteral;
+    e->literal = std::move(v);
+    return e;
+  }
+  static ExprPtr MakeColumn(std::string name) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kColumn;
+    e->column = std::move(name);
+    return e;
+  }
+  static ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kBinary;
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+  static ExprPtr MakeNot(ExprPtr inner) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kNot;
+    e->lhs = std::move(inner);
+    return e;
+  }
+  static ExprPtr MakeIn(ExprPtr lhs, std::vector<Value> list) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kIn;
+    e->lhs = std::move(lhs);
+    e->in_list = std::move(list);
+    return e;
+  }
+
+  std::string ToString() const;
+};
+
+// ---------- Statements ----------
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type;
+  bool primary_key = false;
+};
+
+struct CreateTableStatement {
+  std::string table;
+  std::vector<ColumnDef> columns;
+};
+
+/// CREATE INDEX [name] ON table (column). The optional name is kept
+/// for SQL compatibility; indexes are addressed by (table, column).
+struct CreateIndexStatement {
+  std::string index_name;
+  std::string table;
+  std::string column;
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<std::string> columns;  // Empty = schema order.
+  std::vector<Row> rows;
+};
+
+struct OrderBy {
+  std::string column;
+  bool ascending = true;
+};
+
+/// Aggregate functions usable in a SELECT list (no GROUP BY in this
+/// subset; an aggregate query returns exactly one row).
+enum class AggregateFunc { kCount, kSum, kAvg, kMin, kMax };
+
+std::string AggregateFuncName(AggregateFunc f);
+
+struct AggregateExpr {
+  AggregateFunc func;
+  std::string column;  // Empty for COUNT(*).
+};
+
+struct SelectStatement {
+  std::string table;
+  std::vector<std::string> columns;  // Empty = '*'.
+  /// Non-empty makes this an aggregate query. Plain columns may only
+  /// be mixed with aggregates when they appear in group_by.
+  std::vector<AggregateExpr> aggregates;
+  /// GROUP BY columns (empty = whole-table aggregation or plain scan).
+  std::vector<std::string> group_by;
+  ExprPtr where;                     // May be null.
+  std::optional<OrderBy> order_by;
+  std::optional<uint64_t> limit;
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::vector<std::pair<std::string, Value>> assignments;
+  ExprPtr where;  // May be null (whole table).
+};
+
+struct DeleteStatement {
+  std::string table;
+  ExprPtr where;  // May be null (whole table).
+};
+
+/// A parsed SQL statement (tagged union).
+struct Statement {
+  enum class Kind {
+    kCreateTable,
+    kCreateIndex,
+    kInsert,
+    kSelect,
+    kUpdate,
+    kDelete,
+  };
+
+  /// EXPLAIN prefix: report the access plan instead of executing.
+  bool explain = false;
+
+  Kind kind;
+  CreateTableStatement create_table;
+  CreateIndexStatement create_index;
+  InsertStatement insert;
+  SelectStatement select;
+  UpdateStatement update;
+  DeleteStatement del;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_SQL_AST_H_

@@ -1,0 +1,650 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "sql/parser.h"
+
+namespace tarpit {
+
+namespace {
+
+/// Evaluates a scalar (non-connective) expression to a Value.
+Result<Value> EvalScalar(const Expr* expr, const Schema& schema,
+                         const Row& row) {
+  switch (expr->kind) {
+    case Expr::Kind::kLiteral:
+      return expr->literal;
+    case Expr::Kind::kColumn: {
+      TARPIT_ASSIGN_OR_RETURN(size_t idx,
+                              schema.ColumnIndex(expr->column));
+      return row[idx];
+    }
+    default:
+      return Status::InvalidArgument(
+          "nested boolean expression used as scalar: " + expr->ToString());
+  }
+}
+
+/// Index-availability probe bound to one table, for the planner.
+std::function<bool(const std::string&)> IndexProbeFor(Table* table) {
+  return [table](const std::string& column) {
+    Result<size_t> idx = table->schema().ColumnIndex(column);
+    return idx.ok() && table->HasSecondaryIndex(*idx);
+  };
+}
+
+bool TypesComparable(const Value& a, const Value& b) {
+  const bool a_num = a.is_int() || a.is_double();
+  const bool b_num = b.is_int() || b.is_double();
+  return (a_num && b_num) || (a.is_string() && b.is_string());
+}
+
+}  // namespace
+
+Result<bool> EvalPredicate(const Expr* expr, const Schema& schema,
+                           const Row& row) {
+  switch (expr->kind) {
+    case Expr::Kind::kNot: {
+      TARPIT_ASSIGN_OR_RETURN(bool inner,
+                              EvalPredicate(expr->lhs.get(), schema, row));
+      return !inner;
+    }
+    case Expr::Kind::kBinary: {
+      if (expr->op == BinaryOp::kAnd) {
+        TARPIT_ASSIGN_OR_RETURN(
+            bool lhs, EvalPredicate(expr->lhs.get(), schema, row));
+        if (!lhs) return false;
+        return EvalPredicate(expr->rhs.get(), schema, row);
+      }
+      if (expr->op == BinaryOp::kOr) {
+        TARPIT_ASSIGN_OR_RETURN(
+            bool lhs, EvalPredicate(expr->lhs.get(), schema, row));
+        if (lhs) return true;
+        return EvalPredicate(expr->rhs.get(), schema, row);
+      }
+      TARPIT_ASSIGN_OR_RETURN(Value a,
+                              EvalScalar(expr->lhs.get(), schema, row));
+      TARPIT_ASSIGN_OR_RETURN(Value b,
+                              EvalScalar(expr->rhs.get(), schema, row));
+      // Two-valued logic: anything compared with NULL is false, and
+      // incomparable types (number vs string) are a statement error.
+      if (a.is_null() || b.is_null()) return false;
+      if (!TypesComparable(a, b)) {
+        return Status::InvalidArgument(
+            "cannot compare " + a.ToString() + " with " + b.ToString());
+      }
+      const int cmp = a.Compare(b);
+      switch (expr->op) {
+        case BinaryOp::kEq: return cmp == 0;
+        case BinaryOp::kNotEq: return cmp != 0;
+        case BinaryOp::kLt: return cmp < 0;
+        case BinaryOp::kLtEq: return cmp <= 0;
+        case BinaryOp::kGt: return cmp > 0;
+        case BinaryOp::kGtEq: return cmp >= 0;
+        default: break;
+      }
+      return Status::Internal("unhandled comparison");
+    }
+    case Expr::Kind::kIn: {
+      TARPIT_ASSIGN_OR_RETURN(Value v,
+                              EvalScalar(expr->lhs.get(), schema, row));
+      if (v.is_null()) return false;
+      for (const Value& candidate : expr->in_list) {
+        if (candidate.is_null()) continue;
+        if (!TypesComparable(v, candidate)) {
+          return Status::InvalidArgument(
+              "cannot compare " + v.ToString() + " with " +
+              candidate.ToString());
+        }
+        if (v.Compare(candidate) == 0) return true;
+      }
+      return false;
+    }
+    case Expr::Kind::kLiteral:
+    case Expr::Kind::kColumn:
+      return Status::InvalidArgument(
+          "expression is not a predicate: " + expr->ToString());
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+std::string QueryResult::ToString() const {
+  std::ostringstream os;
+  if (!columns.empty()) {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i) os << " | ";
+      os << columns[i];
+    }
+    os << "\n";
+    for (const Row& row : rows) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i) os << " | ";
+        os << row[i].ToString();
+      }
+      os << "\n";
+    }
+    os << "(" << rows.size() << " rows)";
+  } else {
+    os << "(" << affected << " rows affected)";
+  }
+  return os.str();
+}
+
+Result<QueryResult> Executor::ExecuteSql(const std::string& sql) {
+  TARPIT_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
+  return Execute(stmt);
+}
+
+Result<QueryResult> Executor::Execute(const Statement& stmt) {
+  if (stmt.explain) return Explain(stmt);
+  switch (stmt.kind) {
+    case Statement::Kind::kCreateTable:
+      return ExecuteCreateTable(stmt.create_table);
+    case Statement::Kind::kCreateIndex:
+      return ExecuteCreateIndex(stmt.create_index);
+    case Statement::Kind::kInsert:
+      return ExecuteInsert(stmt.insert);
+    case Statement::Kind::kSelect:
+      return ExecuteSelect(stmt.select);
+    case Statement::Kind::kUpdate:
+      return ExecuteUpdate(stmt.update);
+    case Statement::Kind::kDelete:
+      return ExecuteDelete(stmt.del);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<QueryResult> Executor::Explain(const Statement& stmt) {
+  QueryResult result;
+  result.columns = {"plan"};
+  const Expr* where = nullptr;
+  std::string table_name;
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      where = stmt.select.where.get();
+      table_name = stmt.select.table;
+      break;
+    case Statement::Kind::kUpdate:
+      where = stmt.update.where.get();
+      table_name = stmt.update.table;
+      break;
+    case Statement::Kind::kDelete:
+      where = stmt.del.where.get();
+      table_name = stmt.del.table;
+      break;
+    default:
+      return Status::InvalidArgument(
+          "EXPLAIN supports SELECT/UPDATE/DELETE");
+  }
+  TARPIT_ASSIGN_OR_RETURN(Table * table, db_->GetTable(table_name));
+  const std::string& pk_name =
+      table->schema().column(table->pk_column()).name;
+  AccessPlan plan = PlanAccess(where, pk_name, IndexProbeFor(table));
+  result.plan = plan;
+  result.rows.push_back({Value(plan.ToString())});
+  if (where != nullptr) {
+    result.rows.push_back({Value("filter: " + where->ToString())});
+  }
+  return result;
+}
+
+Result<QueryResult> Executor::ExecuteCreateTable(
+    const CreateTableStatement& stmt) {
+  std::vector<Column> cols;
+  std::string pk_name;
+  for (const ColumnDef& def : stmt.columns) {
+    cols.push_back({def.name, def.type});
+    if (def.primary_key) {
+      if (!pk_name.empty()) {
+        return Status::InvalidArgument("multiple PRIMARY KEY columns");
+      }
+      pk_name = def.name;
+    }
+  }
+  if (pk_name.empty()) {
+    return Status::InvalidArgument(
+        "table requires an INT PRIMARY KEY column");
+  }
+  TARPIT_RETURN_IF_ERROR(
+      db_->CreateTable(stmt.table, Schema(std::move(cols)), pk_name)
+          .status());
+  return QueryResult{};
+}
+
+Result<QueryResult> Executor::ExecuteCreateIndex(
+    const CreateIndexStatement& stmt) {
+  TARPIT_RETURN_IF_ERROR(db_->CreateIndex(stmt.table, stmt.column));
+  return QueryResult{};
+}
+
+Result<QueryResult> Executor::ExecuteInsert(const InsertStatement& stmt) {
+  TARPIT_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  const Schema& schema = table->schema();
+
+  // Map statement columns to schema positions.
+  std::vector<size_t> positions;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      positions.push_back(i);
+    }
+  } else {
+    for (const std::string& name : stmt.columns) {
+      TARPIT_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
+      positions.push_back(idx);
+    }
+  }
+
+  QueryResult result;
+  for (const Row& values : stmt.rows) {
+    if (values.size() != positions.size()) {
+      return Status::InvalidArgument(
+          "INSERT arity mismatch: " + std::to_string(values.size()) +
+          " values for " + std::to_string(positions.size()) + " columns");
+    }
+    Row row(schema.num_columns(), Value::Null());
+    for (size_t i = 0; i < positions.size(); ++i) {
+      row[positions[i]] = values[i];
+    }
+    TARPIT_RETURN_IF_ERROR(table->Insert(row));
+    result.touched_keys.push_back(row[table->pk_column()].AsInt());
+    ++result.affected;
+  }
+  return result;
+}
+
+Status Executor::ScanMatching(
+    Table* table, const Expr* where, const AccessPlan& plan,
+    const std::function<Status(const Row&)>& fn) {
+  const Schema& schema = table->schema();
+  auto filtered = [&](const Row& row) -> Status {
+    if (where != nullptr) {
+      TARPIT_ASSIGN_OR_RETURN(bool match,
+                              EvalPredicate(where, schema, row));
+      if (!match) return Status::OK();
+    }
+    return fn(row);
+  };
+  if (plan.empty) return Status::OK();
+  switch (plan.kind) {
+    case AccessPathKind::kPointLookup: {
+      Result<Row> row = table->GetByKey(plan.point_key);
+      if (!row.ok()) {
+        if (row.status().IsNotFound()) return Status::OK();
+        return row.status();
+      }
+      return filtered(*row);
+    }
+    case AccessPathKind::kMultiPoint: {
+      for (int64_t key : plan.multi_keys) {
+        Result<Row> row = table->GetByKey(key);
+        if (!row.ok()) {
+          if (row.status().IsNotFound()) continue;
+          return row.status();
+        }
+        TARPIT_RETURN_IF_ERROR(filtered(*row));
+      }
+      return Status::OK();
+    }
+    case AccessPathKind::kRangeScan:
+      return table->ScanRange(plan.range_lo, plan.range_hi, filtered);
+    case AccessPathKind::kSecondaryLookup: {
+      TARPIT_ASSIGN_OR_RETURN(
+          size_t col, schema.ColumnIndex(plan.secondary_column));
+      return table->LookupBySecondary(col, plan.secondary_value,
+                                      filtered);
+    }
+    case AccessPathKind::kFullScan:
+      return table->ScanAll(filtered);
+  }
+  return Status::Internal("unhandled access path");
+}
+
+Result<QueryResult> Executor::ExecuteSelect(const SelectStatement& stmt) {
+  TARPIT_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  const Schema& schema = table->schema();
+  if (!stmt.aggregates.empty() || !stmt.group_by.empty()) {
+    // GROUP BY without aggregates is DISTINCT-like grouping.
+    return ExecuteAggregateSelect(stmt, table);
+  }
+
+  std::vector<size_t> projection;
+  QueryResult result;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      projection.push_back(i);
+      result.columns.push_back(schema.column(i).name);
+    }
+  } else {
+    for (const std::string& name : stmt.columns) {
+      TARPIT_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
+      projection.push_back(idx);
+      result.columns.push_back(name);
+    }
+  }
+
+  const std::string& pk_name = schema.column(table->pk_column()).name;
+  result.plan = PlanAccess(stmt.where.get(), pk_name,
+                           IndexProbeFor(table));
+
+  // ORDER BY and LIMIT interact: without ORDER BY we can stop early at
+  // LIMIT; with it we must materialize all matches first.
+  std::optional<size_t> order_idx;
+  if (stmt.order_by.has_value()) {
+    TARPIT_ASSIGN_OR_RETURN(size_t idx,
+                            schema.ColumnIndex(stmt.order_by->column));
+    order_idx = idx;
+  }
+
+  std::vector<Row> matched;
+  const uint64_t limit =
+      stmt.limit.value_or(std::numeric_limits<uint64_t>::max());
+  bool limit_reached = false;
+  Status st = ScanMatching(
+      table, stmt.where.get(), result.plan, [&](const Row& row) -> Status {
+        matched.push_back(row);
+        if (!order_idx.has_value() && matched.size() >= limit) {
+          limit_reached = true;
+          return Status::FailedPrecondition("__limit__");
+        }
+        return Status::OK();
+      });
+  if (!st.ok() && !limit_reached) return st;
+
+  if (order_idx.has_value()) {
+    const bool asc = stmt.order_by->ascending;
+    std::stable_sort(matched.begin(), matched.end(),
+                     [&](const Row& a, const Row& b) {
+                       int c = a[*order_idx].Compare(b[*order_idx]);
+                       return asc ? c < 0 : c > 0;
+                     });
+    if (matched.size() > limit) matched.resize(limit);
+  }
+
+  for (const Row& row : matched) {
+    result.touched_keys.push_back(row[table->pk_column()].AsInt());
+    Row projected;
+    projected.reserve(projection.size());
+    for (size_t idx : projection) projected.push_back(row[idx]);
+    result.rows.push_back(std::move(projected));
+  }
+  return result;
+}
+
+Result<QueryResult> Executor::ExecuteAggregateSelect(
+    const SelectStatement& stmt, Table* table) {
+  const Schema& schema = table->schema();
+
+  struct Accumulator {
+    AggregateFunc func;
+    size_t column = 0;      // Unused for COUNT(*).
+    bool count_star = false;
+    uint64_t count = 0;     // Non-null inputs seen (or rows for *).
+    double sum = 0;
+    bool sum_is_int = true;
+    Value min, max;         // Null until the first input.
+  };
+
+  // Validate aggregate specs once; per-group accumulators are cloned
+  // from this prototype.
+  std::vector<Accumulator> prototype;
+  QueryResult result;
+  std::vector<size_t> group_cols;
+  for (const std::string& g : stmt.group_by) {
+    TARPIT_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(g));
+    group_cols.push_back(idx);
+  }
+  // Output columns: the selected plain (grouping) columns first, then
+  // the aggregates, each in select-list order.
+  std::vector<size_t> plain_cols;
+  for (const std::string& col : stmt.columns) {
+    TARPIT_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(col));
+    plain_cols.push_back(idx);
+    result.columns.push_back(col);
+  }
+  for (const AggregateExpr& agg : stmt.aggregates) {
+    Accumulator acc;
+    acc.func = agg.func;
+    if (agg.column.empty()) {
+      acc.count_star = true;
+      result.columns.push_back("COUNT(*)");
+    } else {
+      TARPIT_ASSIGN_OR_RETURN(size_t idx,
+                              schema.ColumnIndex(agg.column));
+      if (agg.func != AggregateFunc::kCount &&
+          agg.func != AggregateFunc::kMin &&
+          agg.func != AggregateFunc::kMax &&
+          schema.column(idx).type == ColumnType::kString) {
+        return Status::InvalidArgument(
+            AggregateFuncName(agg.func) + " needs a numeric column");
+      }
+      acc.column = idx;
+      result.columns.push_back(AggregateFuncName(agg.func) + "(" +
+                               agg.column + ")");
+    }
+    prototype.push_back(std::move(acc));
+  }
+
+  auto accumulate = [](std::vector<Accumulator>* accs, const Row& row) {
+    for (Accumulator& acc : *accs) {
+      if (acc.count_star) {
+        ++acc.count;
+        continue;
+      }
+      const Value& v = row[acc.column];
+      if (v.is_null()) continue;  // SQL: nulls ignored.
+      ++acc.count;
+      if (acc.func == AggregateFunc::kSum ||
+          acc.func == AggregateFunc::kAvg) {
+        acc.sum += v.AsDouble();
+        if (!v.is_int()) acc.sum_is_int = false;
+      }
+      if (acc.min.is_null() || v.Compare(acc.min) < 0) acc.min = v;
+      if (acc.max.is_null() || v.Compare(acc.max) > 0) acc.max = v;
+    }
+  };
+  auto finalize = [](const std::vector<Accumulator>& accs, Row* out) {
+    for (const Accumulator& acc : accs) {
+      switch (acc.func) {
+        case AggregateFunc::kCount:
+          out->push_back(Value(static_cast<int64_t>(acc.count)));
+          break;
+        case AggregateFunc::kSum:
+          if (acc.count == 0) {
+            out->push_back(Value::Null());
+          } else if (acc.sum_is_int) {
+            out->push_back(Value(static_cast<int64_t>(acc.sum)));
+          } else {
+            out->push_back(Value(acc.sum));
+          }
+          break;
+        case AggregateFunc::kAvg:
+          out->push_back(acc.count == 0
+                             ? Value::Null()
+                             : Value(acc.sum /
+                                     static_cast<double>(acc.count)));
+          break;
+        case AggregateFunc::kMin:
+          out->push_back(acc.min);
+          break;
+        case AggregateFunc::kMax:
+          out->push_back(acc.max);
+          break;
+      }
+    }
+  };
+  // Order-insensitive unique encoding of a group key.
+  auto encode_group = [&](const Row& row) {
+    std::string key;
+    for (size_t idx : group_cols) {
+      const Value& v = row[idx];
+      if (v.is_null()) {
+        key += '\x00';
+      } else if (v.is_int()) {
+        key += '\x01';
+        int64_t x = v.AsInt();
+        key.append(reinterpret_cast<const char*>(&x), 8);
+      } else if (v.is_double()) {
+        key += '\x02';
+        double d = v.AsDouble();
+        key.append(reinterpret_cast<const char*>(&d), 8);
+      } else {
+        key += '\x03';
+        uint32_t len = static_cast<uint32_t>(v.AsString().size());
+        key.append(reinterpret_cast<const char*>(&len), 4);
+        key += v.AsString();
+      }
+    }
+    return key;
+  };
+
+  const std::string& pk_name = schema.column(table->pk_column()).name;
+  result.plan = PlanAccess(stmt.where.get(), pk_name,
+                           IndexProbeFor(table));
+
+  struct Group {
+    Row sample;  // First row of the group (for the plain columns).
+    std::vector<Accumulator> accs;
+    size_t order;  // First-seen order for deterministic output.
+  };
+  std::map<std::string, Group> groups;
+  std::vector<Accumulator> global = prototype;  // No-GROUP BY case.
+  bool saw_any = false;
+  Row first_row;
+
+  Status st = ScanMatching(
+      table, stmt.where.get(), result.plan, [&](const Row& row) {
+        result.touched_keys.push_back(row[table->pk_column()].AsInt());
+        if (group_cols.empty()) {
+          saw_any = true;
+          accumulate(&global, row);
+          return Status::OK();
+        }
+        const std::string key = encode_group(row);
+        auto it = groups.find(key);
+        if (it == groups.end()) {
+          Group g;
+          g.sample = row;
+          g.accs = prototype;
+          g.order = groups.size();
+          it = groups.emplace(key, std::move(g)).first;
+        }
+        accumulate(&it->second.accs, row);
+        return Status::OK();
+      });
+  TARPIT_RETURN_IF_ERROR(st);
+  (void)saw_any;
+
+  if (group_cols.empty()) {
+    // Whole-table aggregation always yields exactly one row.
+    Row out;
+    finalize(global, &out);
+    result.rows.push_back(std::move(out));
+  } else {
+    // Emit groups in first-seen order.
+    std::vector<const Group*> ordered(groups.size());
+    for (const auto& [key, group] : groups) {
+      ordered[group.order] = &group;
+    }
+    for (const Group* group : ordered) {
+      Row out;
+      for (size_t idx : plain_cols) out.push_back(group->sample[idx]);
+      finalize(group->accs, &out);
+      result.rows.push_back(std::move(out));
+    }
+    if (stmt.order_by.has_value()) {
+      // ORDER BY names an *output* column here (a grouping column or
+      // an aggregate label like "COUNT(*)").
+      size_t sort_idx = result.columns.size();
+      for (size_t i = 0; i < result.columns.size(); ++i) {
+        if (result.columns[i] == stmt.order_by->column) {
+          sort_idx = i;
+          break;
+        }
+      }
+      if (sort_idx == result.columns.size()) {
+        return Status::InvalidArgument(
+            "ORDER BY column '" + stmt.order_by->column +
+            "' is not in the grouped output");
+      }
+      const bool asc = stmt.order_by->ascending;
+      std::stable_sort(result.rows.begin(), result.rows.end(),
+                       [&](const Row& a, const Row& b) {
+                         int c = a[sort_idx].Compare(b[sort_idx]);
+                         return asc ? c < 0 : c > 0;
+                       });
+    }
+    if (stmt.limit.has_value() && result.rows.size() > *stmt.limit) {
+      result.rows.resize(*stmt.limit);
+    }
+  }
+  return result;
+}
+
+Result<QueryResult> Executor::ExecuteUpdate(const UpdateStatement& stmt) {
+  TARPIT_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  const Schema& schema = table->schema();
+
+  std::vector<std::pair<size_t, Value>> assignments;
+  for (const auto& [name, value] : stmt.assignments) {
+    TARPIT_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
+    if (idx == table->pk_column()) {
+      return Status::InvalidArgument(
+          "updating the primary key is not supported; "
+          "DELETE then INSERT instead");
+    }
+    assignments.emplace_back(idx, value);
+  }
+
+  const std::string& pk_name = schema.column(table->pk_column()).name;
+  AccessPlan plan =
+      PlanAccess(stmt.where.get(), pk_name, IndexProbeFor(table));
+
+  // Two-phase: collect matches first so updates cannot affect scan order
+  // (no Halloween problem).
+  std::vector<Row> matched;
+  TARPIT_RETURN_IF_ERROR(ScanMatching(table, stmt.where.get(), plan,
+                                      [&](const Row& row) {
+                                        matched.push_back(row);
+                                        return Status::OK();
+                                      }));
+  QueryResult result;
+  result.plan = plan;
+  for (Row& row : matched) {
+    for (const auto& [idx, value] : assignments) {
+      row[idx] = value;
+    }
+    const int64_t key = row[table->pk_column()].AsInt();
+    TARPIT_RETURN_IF_ERROR(table->UpdateByKey(key, row));
+    result.touched_keys.push_back(key);
+    ++result.affected;
+  }
+  return result;
+}
+
+Result<QueryResult> Executor::ExecuteDelete(const DeleteStatement& stmt) {
+  TARPIT_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  const Schema& schema = table->schema();
+  const std::string& pk_name = schema.column(table->pk_column()).name;
+  AccessPlan plan =
+      PlanAccess(stmt.where.get(), pk_name, IndexProbeFor(table));
+
+  std::vector<int64_t> keys;
+  TARPIT_RETURN_IF_ERROR(ScanMatching(
+      table, stmt.where.get(), plan, [&](const Row& row) {
+        keys.push_back(row[table->pk_column()].AsInt());
+        return Status::OK();
+      }));
+  QueryResult result;
+  result.plan = plan;
+  for (int64_t key : keys) {
+    TARPIT_RETURN_IF_ERROR(table->DeleteByKey(key));
+    result.touched_keys.push_back(key);
+    ++result.affected;
+  }
+  return result;
+}
+
+}  // namespace tarpit

@@ -1,0 +1,73 @@
+#ifndef TARPIT_SQL_EXECUTOR_H_
+#define TARPIT_SQL_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/planner.h"
+#include "storage/database.h"
+
+namespace tarpit {
+
+/// Result of executing one statement.
+struct QueryResult {
+  std::vector<std::string> columns;  // For SELECT.
+  std::vector<Row> rows;             // For SELECT.
+  uint64_t affected = 0;             // For INSERT/UPDATE/DELETE.
+  /// Primary keys of every tuple returned (SELECT) or written
+  /// (INSERT/UPDATE/DELETE), in emission order. The delay engine charges
+  /// per entry here: in the paper's model a multi-tuple result is the
+  /// aggregate of single-tuple retrievals.
+  std::vector<int64_t> touched_keys;
+  /// The access path the planner chose (diagnostics / tests).
+  AccessPlan plan;
+
+  std::string ToString() const;
+};
+
+/// Evaluates a WHERE expression against a row. Comparisons involving
+/// NULL are false (two-valued logic); AND/OR/NOT operate on the
+/// resulting booleans.
+Result<bool> EvalPredicate(const Expr* expr, const Schema& schema,
+                           const Row& row);
+
+/// Executes parsed statements against a Database. Stateless aside from
+/// the borrowed Database pointer.
+class Executor {
+ public:
+  explicit Executor(Database* db) : db_(db) {}
+
+  /// Parses and executes one SQL string.
+  Result<QueryResult> ExecuteSql(const std::string& sql);
+
+  Result<QueryResult> Execute(const Statement& stmt);
+
+ private:
+  /// EXPLAIN: returns the access plan and filter without executing.
+  Result<QueryResult> Explain(const Statement& stmt);
+  Result<QueryResult> ExecuteCreateTable(const CreateTableStatement& stmt);
+  Result<QueryResult> ExecuteCreateIndex(const CreateIndexStatement& stmt);
+  Result<QueryResult> ExecuteInsert(const InsertStatement& stmt);
+  Result<QueryResult> ExecuteSelect(const SelectStatement& stmt);
+  /// Aggregate-list SELECT (COUNT/SUM/AVG/MIN/MAX, single output row).
+  Result<QueryResult> ExecuteAggregateSelect(const SelectStatement& stmt,
+                                             Table* table);
+  Result<QueryResult> ExecuteUpdate(const UpdateStatement& stmt);
+  Result<QueryResult> ExecuteDelete(const DeleteStatement& stmt);
+
+  /// Runs the chosen access path, invoking `fn` for each row matching
+  /// `where` (after residual filtering).
+  Status ScanMatching(Table* table, const Expr* where,
+                      const AccessPlan& plan,
+                      const std::function<Status(const Row&)>& fn);
+
+  Database* db_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_SQL_EXECUTOR_H_

@@ -1,0 +1,233 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace tarpit {
+
+std::string TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    case TokenType::kComma: return "','";
+    case TokenType::kStar: return "'*'";
+    case TokenType::kEq: return "'='";
+    case TokenType::kNotEq: return "'!='";
+    case TokenType::kLt: return "'<'";
+    case TokenType::kLtEq: return "'<='";
+    case TokenType::kGt: return "'>'";
+    case TokenType::kGtEq: return "'>='";
+    case TokenType::kSemicolon: return "';'";
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kIntLiteral: return "integer";
+    case TokenType::kDoubleLiteral: return "double";
+    case TokenType::kStringLiteral: return "string";
+    case TokenType::kSelect: return "SELECT";
+    case TokenType::kFrom: return "FROM";
+    case TokenType::kWhere: return "WHERE";
+    case TokenType::kAnd: return "AND";
+    case TokenType::kOr: return "OR";
+    case TokenType::kNot: return "NOT";
+    case TokenType::kInsert: return "INSERT";
+    case TokenType::kInto: return "INTO";
+    case TokenType::kValues: return "VALUES";
+    case TokenType::kUpdate: return "UPDATE";
+    case TokenType::kSet: return "SET";
+    case TokenType::kDelete: return "DELETE";
+    case TokenType::kCreate: return "CREATE";
+    case TokenType::kTable: return "TABLE";
+    case TokenType::kPrimary: return "PRIMARY";
+    case TokenType::kKey: return "KEY";
+    case TokenType::kInt: return "INT";
+    case TokenType::kDouble: return "DOUBLE";
+    case TokenType::kText: return "TEXT";
+    case TokenType::kLimit: return "LIMIT";
+    case TokenType::kNull: return "NULL";
+    case TokenType::kOrder: return "ORDER";
+    case TokenType::kGroup: return "GROUP";
+    case TokenType::kHaving: return "HAVING";
+    case TokenType::kIndex: return "INDEX";
+    case TokenType::kOn: return "ON";
+    case TokenType::kIn: return "IN";
+    case TokenType::kExplain: return "EXPLAIN";
+    case TokenType::kBetween: return "BETWEEN";
+    case TokenType::kBy: return "BY";
+    case TokenType::kAsc: return "ASC";
+    case TokenType::kDesc: return "DESC";
+    case TokenType::kEof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokenType>& KeywordMap() {
+  static const auto* map = new std::unordered_map<std::string, TokenType>{
+      {"SELECT", TokenType::kSelect},  {"FROM", TokenType::kFrom},
+      {"WHERE", TokenType::kWhere},    {"AND", TokenType::kAnd},
+      {"OR", TokenType::kOr},          {"NOT", TokenType::kNot},
+      {"INSERT", TokenType::kInsert},  {"INTO", TokenType::kInto},
+      {"VALUES", TokenType::kValues},  {"UPDATE", TokenType::kUpdate},
+      {"SET", TokenType::kSet},        {"DELETE", TokenType::kDelete},
+      {"CREATE", TokenType::kCreate},  {"TABLE", TokenType::kTable},
+      {"PRIMARY", TokenType::kPrimary},{"KEY", TokenType::kKey},
+      {"INT", TokenType::kInt},        {"INTEGER", TokenType::kInt},
+      {"DOUBLE", TokenType::kDouble},  {"REAL", TokenType::kDouble},
+      {"TEXT", TokenType::kText},      {"VARCHAR", TokenType::kText},
+      {"LIMIT", TokenType::kLimit},    {"NULL", TokenType::kNull},
+      {"ORDER", TokenType::kOrder},    {"BY", TokenType::kBy},
+      {"GROUP", TokenType::kGroup},    {"HAVING", TokenType::kHaving},
+      {"INDEX", TokenType::kIndex},    {"ON", TokenType::kOn},
+      {"IN", TokenType::kIn},       {"EXPLAIN", TokenType::kExplain},
+      {"BETWEEN", TokenType::kBetween},
+      {"ASC", TokenType::kAsc},        {"DESC", TokenType::kDesc},
+  };
+  return *map;
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    switch (c) {
+      case '(': tokens.push_back({TokenType::kLParen, "", 0, 0, start}); ++i; continue;
+      case ')': tokens.push_back({TokenType::kRParen, "", 0, 0, start}); ++i; continue;
+      case ',': tokens.push_back({TokenType::kComma, "", 0, 0, start}); ++i; continue;
+      case '*': tokens.push_back({TokenType::kStar, "", 0, 0, start}); ++i; continue;
+      case ';': tokens.push_back({TokenType::kSemicolon, "", 0, 0, start}); ++i; continue;
+      case '=': tokens.push_back({TokenType::kEq, "", 0, 0, start}); ++i; continue;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenType::kNotEq, "", 0, 0, start});
+          i += 2;
+          continue;
+        }
+        return Status::InvalidArgument("unexpected '!' at offset " +
+                                       std::to_string(start));
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenType::kLtEq, "", 0, 0, start});
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          tokens.push_back({TokenType::kNotEq, "", 0, 0, start});
+          i += 2;
+        } else {
+          tokens.push_back({TokenType::kLt, "", 0, 0, start});
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenType::kGtEq, "", 0, 0, start});
+          i += 2;
+        } else {
+          tokens.push_back({TokenType::kGt, "", 0, 0, start});
+          ++i;
+        }
+        continue;
+      case '\'': {
+        std::string body;
+        ++i;
+        bool closed = false;
+        while (i < n) {
+          if (sql[i] == '\'') {
+            if (i + 1 < n && sql[i + 1] == '\'') {  // Escaped quote.
+              body.push_back('\'');
+              i += 2;
+              continue;
+            }
+            ++i;
+            closed = true;
+            break;
+          }
+          body.push_back(sql[i]);
+          ++i;
+        }
+        if (!closed) {
+          return Status::InvalidArgument("unterminated string at offset " +
+                                         std::to_string(start));
+        }
+        Token t{TokenType::kStringLiteral, body, 0, 0, start};
+        tokens.push_back(std::move(t));
+        continue;
+      }
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + (c == '-' ? 1 : 0);
+      bool is_double = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E' ||
+                       ((sql[j] == '+' || sql[j] == '-') && j > 0 &&
+                        (sql[j - 1] == 'e' || sql[j - 1] == 'E')))) {
+        if (sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E') {
+          is_double = true;
+        }
+        ++j;
+      }
+      std::string text = sql.substr(i, j - i);
+      Token t;
+      t.position = start;
+      errno = 0;
+      char* end = nullptr;
+      if (is_double) {
+        t.type = TokenType::kDoubleLiteral;
+        t.double_value = std::strtod(text.c_str(), &end);
+        if (errno != 0 || end != text.c_str() + text.size()) {
+          return Status::InvalidArgument("bad numeric literal: " + text);
+        }
+      } else {
+        t.type = TokenType::kIntLiteral;
+        t.int_value = std::strtoll(text.c_str(), &end, 10);
+        if (errno != 0 || end != text.c_str() + text.size()) {
+          return Status::InvalidArgument("integer out of range: " + text);
+        }
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      std::string word = sql.substr(i, j - i);
+      auto it = KeywordMap().find(ToUpper(word));
+      if (it != KeywordMap().end()) {
+        tokens.push_back({it->second, "", 0, 0, start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, word, 0, 0, start});
+      }
+      i = j;
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") +
+                                   c + "' at offset " +
+                                   std::to_string(start));
+  }
+  tokens.push_back({TokenType::kEof, "", 0, 0, n});
+  return tokens;
+}
+
+}  // namespace tarpit

@@ -1,0 +1,20 @@
+#ifndef TARPIT_SQL_LEXER_H_
+#define TARPIT_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace tarpit {
+
+/// Tokenizes one SQL statement. Keywords are case-insensitive;
+/// identifiers preserve case. Strings use single quotes with ''
+/// escaping.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace tarpit
+
+#endif  // TARPIT_SQL_LEXER_H_

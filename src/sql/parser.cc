@@ -1,0 +1,422 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <optional>
+
+#include "sql/lexer.h"
+
+namespace tarpit {
+
+Result<Statement> Parser::Parse(const std::string& sql) {
+  TARPIT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  TARPIT_ASSIGN_OR_RETURN(Statement stmt, parser.ParseStatement());
+  parser.Match(TokenType::kSemicolon);
+  if (!parser.Check(TokenType::kEof)) {
+    return parser.ErrorAtCurrent("trailing input after statement");
+  }
+  return stmt;
+}
+
+Status Parser::Expect(TokenType t) {
+  if (Match(t)) return Status::OK();
+  return ErrorAtCurrent("expected " + TokenTypeName(t));
+}
+
+Status Parser::ErrorAtCurrent(const std::string& msg) const {
+  return Status::InvalidArgument(
+      msg + " (got " + TokenTypeName(Peek().type) + " at offset " +
+      std::to_string(Peek().position) + ")");
+}
+
+Result<Statement> Parser::ParseStatement() {
+  Statement stmt;
+  if (Match(TokenType::kExplain)) {
+    stmt.explain = true;
+  }
+  switch (Peek().type) {
+    case TokenType::kCreate: {
+      if (pos_ + 1 < tokens_.size() &&
+          tokens_[pos_ + 1].type == TokenType::kIndex) {
+        TARPIT_ASSIGN_OR_RETURN(stmt.create_index, ParseCreateIndex());
+        stmt.kind = Statement::Kind::kCreateIndex;
+        return stmt;
+      }
+      TARPIT_ASSIGN_OR_RETURN(stmt.create_table, ParseCreateTable());
+      stmt.kind = Statement::Kind::kCreateTable;
+      return stmt;
+    }
+    case TokenType::kInsert: {
+      TARPIT_ASSIGN_OR_RETURN(stmt.insert, ParseInsert());
+      stmt.kind = Statement::Kind::kInsert;
+      return stmt;
+    }
+    case TokenType::kSelect: {
+      TARPIT_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+      stmt.kind = Statement::Kind::kSelect;
+      return stmt;
+    }
+    case TokenType::kUpdate: {
+      TARPIT_ASSIGN_OR_RETURN(stmt.update, ParseUpdate());
+      stmt.kind = Statement::Kind::kUpdate;
+      return stmt;
+    }
+    case TokenType::kDelete: {
+      TARPIT_ASSIGN_OR_RETURN(stmt.del, ParseDelete());
+      stmt.kind = Statement::Kind::kDelete;
+      return stmt;
+    }
+    default:
+      return ErrorAtCurrent("expected a statement keyword");
+  }
+}
+
+Result<CreateTableStatement> Parser::ParseCreateTable() {
+  CreateTableStatement stmt;
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kCreate));
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kTable));
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorAtCurrent("expected table name");
+  }
+  stmt.table = Advance().text;
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+  while (true) {
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorAtCurrent("expected column name");
+    }
+    ColumnDef def;
+    def.name = Advance().text;
+    switch (Peek().type) {
+      case TokenType::kInt:
+        def.type = ColumnType::kInt64;
+        break;
+      case TokenType::kDouble:
+        def.type = ColumnType::kDouble;
+        break;
+      case TokenType::kText:
+        def.type = ColumnType::kString;
+        break;
+      default:
+        return ErrorAtCurrent("expected column type (INT/DOUBLE/TEXT)");
+    }
+    Advance();
+    if (Match(TokenType::kPrimary)) {
+      TARPIT_RETURN_IF_ERROR(Expect(TokenType::kKey));
+      def.primary_key = true;
+    }
+    stmt.columns.push_back(std::move(def));
+    if (Match(TokenType::kComma)) continue;
+    break;
+  }
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+  return stmt;
+}
+
+Result<CreateIndexStatement> Parser::ParseCreateIndex() {
+  CreateIndexStatement stmt;
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kCreate));
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kIndex));
+  if (Check(TokenType::kIdentifier)) {
+    stmt.index_name = Advance().text;  // Optional name.
+  }
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kOn));
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorAtCurrent("expected table name");
+  }
+  stmt.table = Advance().text;
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorAtCurrent("expected column name");
+  }
+  stmt.column = Advance().text;
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+  return stmt;
+}
+
+Result<Value> Parser::ParseLiteral() {
+  switch (Peek().type) {
+    case TokenType::kIntLiteral:
+      return Value(Advance().int_value);
+    case TokenType::kDoubleLiteral:
+      return Value(Advance().double_value);
+    case TokenType::kStringLiteral:
+      return Value(Advance().text);
+    case TokenType::kNull:
+      Advance();
+      return Value::Null();
+    default:
+      return ErrorAtCurrent("expected a literal");
+  }
+}
+
+Result<InsertStatement> Parser::ParseInsert() {
+  InsertStatement stmt;
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kInsert));
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kInto));
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorAtCurrent("expected table name");
+  }
+  stmt.table = Advance().text;
+  if (Match(TokenType::kLParen)) {
+    while (true) {
+      if (!Check(TokenType::kIdentifier)) {
+        return ErrorAtCurrent("expected column name");
+      }
+      stmt.columns.push_back(Advance().text);
+      if (Match(TokenType::kComma)) continue;
+      break;
+    }
+    TARPIT_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+  }
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kValues));
+  while (true) {
+    TARPIT_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+    Row row;
+    while (true) {
+      TARPIT_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      row.push_back(std::move(v));
+      if (Match(TokenType::kComma)) continue;
+      break;
+    }
+    TARPIT_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    stmt.rows.push_back(std::move(row));
+    if (Match(TokenType::kComma)) continue;
+    break;
+  }
+  return stmt;
+}
+
+namespace {
+
+/// Maps an identifier to an aggregate function (case-insensitive);
+/// nullopt when it is a plain column name.
+std::optional<AggregateFunc> AggregateFuncFor(const std::string& name) {
+  std::string upper = name;
+  for (char& c : upper) c = static_cast<char>(std::toupper(c));
+  if (upper == "COUNT") return AggregateFunc::kCount;
+  if (upper == "SUM") return AggregateFunc::kSum;
+  if (upper == "AVG") return AggregateFunc::kAvg;
+  if (upper == "MIN") return AggregateFunc::kMin;
+  if (upper == "MAX") return AggregateFunc::kMax;
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<SelectStatement> Parser::ParseSelect() {
+  SelectStatement stmt;
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kSelect));
+  if (!Match(TokenType::kStar)) {
+    while (true) {
+      if (!Check(TokenType::kIdentifier)) {
+        return ErrorAtCurrent("expected column name or '*'");
+      }
+      std::string name = Advance().text;
+      if (Match(TokenType::kLParen)) {
+        // Aggregate call: FUNC(column) or COUNT(*).
+        auto func = AggregateFuncFor(name);
+        if (!func.has_value()) {
+          return ErrorAtCurrent("unknown function '" + name + "'");
+        }
+        AggregateExpr agg;
+        agg.func = *func;
+        if (Match(TokenType::kStar)) {
+          if (agg.func != AggregateFunc::kCount) {
+            return ErrorAtCurrent("only COUNT accepts '*'");
+          }
+        } else if (Check(TokenType::kIdentifier)) {
+          agg.column = Advance().text;
+        } else {
+          return ErrorAtCurrent("expected column or '*' in aggregate");
+        }
+        TARPIT_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+        stmt.aggregates.push_back(std::move(agg));
+      } else {
+        stmt.columns.push_back(std::move(name));
+      }
+      if (Match(TokenType::kComma)) continue;
+      break;
+    }
+  }
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kFrom));
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorAtCurrent("expected table name");
+  }
+  stmt.table = Advance().text;
+  if (Match(TokenType::kWhere)) {
+    TARPIT_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  if (Match(TokenType::kGroup)) {
+    TARPIT_RETURN_IF_ERROR(Expect(TokenType::kBy));
+    while (true) {
+      if (!Check(TokenType::kIdentifier)) {
+        return ErrorAtCurrent("expected GROUP BY column");
+      }
+      stmt.group_by.push_back(Advance().text);
+      if (Match(TokenType::kComma)) continue;
+      break;
+    }
+  }
+  // Plain columns must be grouping columns when aggregating.
+  if (!stmt.aggregates.empty() || !stmt.group_by.empty()) {
+    for (const std::string& col : stmt.columns) {
+      bool grouped = false;
+      for (const std::string& g : stmt.group_by) {
+        if (g == col) {
+          grouped = true;
+          break;
+        }
+      }
+      if (!grouped) {
+        return Status::InvalidArgument(
+            "column '" + col +
+            "' must appear in GROUP BY or inside an aggregate");
+      }
+    }
+  }
+  if (Match(TokenType::kOrder)) {
+    TARPIT_RETURN_IF_ERROR(Expect(TokenType::kBy));
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorAtCurrent("expected ORDER BY column");
+    }
+    OrderBy ob;
+    ob.column = Advance().text;
+    if (Match(TokenType::kDesc)) {
+      ob.ascending = false;
+    } else {
+      Match(TokenType::kAsc);
+    }
+    stmt.order_by = std::move(ob);
+  }
+  if (Match(TokenType::kLimit)) {
+    if (!Check(TokenType::kIntLiteral) || Peek().int_value < 0) {
+      return ErrorAtCurrent("expected non-negative LIMIT");
+    }
+    stmt.limit = static_cast<uint64_t>(Advance().int_value);
+  }
+  return stmt;
+}
+
+Result<UpdateStatement> Parser::ParseUpdate() {
+  UpdateStatement stmt;
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kUpdate));
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorAtCurrent("expected table name");
+  }
+  stmt.table = Advance().text;
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kSet));
+  while (true) {
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorAtCurrent("expected column name");
+    }
+    std::string col = Advance().text;
+    TARPIT_RETURN_IF_ERROR(Expect(TokenType::kEq));
+    TARPIT_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+    stmt.assignments.emplace_back(std::move(col), std::move(v));
+    if (Match(TokenType::kComma)) continue;
+    break;
+  }
+  if (Match(TokenType::kWhere)) {
+    TARPIT_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<DeleteStatement> Parser::ParseDelete() {
+  DeleteStatement stmt;
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kDelete));
+  TARPIT_RETURN_IF_ERROR(Expect(TokenType::kFrom));
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorAtCurrent("expected table name");
+  }
+  stmt.table = Advance().text;
+  if (Match(TokenType::kWhere)) {
+    TARPIT_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<ExprPtr> Parser::ParseExpr() {
+  TARPIT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (Match(TokenType::kOr)) {
+    TARPIT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = Expr::MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  TARPIT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  while (Match(TokenType::kAnd)) {
+    TARPIT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+    lhs = Expr::MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (Match(TokenType::kNot)) {
+    TARPIT_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+    return Expr::MakeNot(std::move(inner));
+  }
+  if (Match(TokenType::kLParen)) {
+    TARPIT_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+    TARPIT_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    return inner;
+  }
+  // Comparison: primary op primary, or primary IN (list).
+  TARPIT_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary());
+  if (Match(TokenType::kBetween)) {
+    // Sugar: x BETWEEN lo AND hi  ==  (x >= lo AND x <= hi). The
+    // desugared form flows through the planner's existing range
+    // analysis, so a PK BETWEEN becomes a RangeScan for free.
+    TARPIT_ASSIGN_OR_RETURN(Value lo, ParseLiteral());
+    TARPIT_RETURN_IF_ERROR(Expect(TokenType::kAnd));
+    TARPIT_ASSIGN_OR_RETURN(Value hi, ParseLiteral());
+    auto lhs_copy = lhs->kind == Expr::Kind::kColumn
+                        ? Expr::MakeColumn(lhs->column)
+                        : Expr::MakeLiteral(lhs->literal);
+    return Expr::MakeBinary(
+        BinaryOp::kAnd,
+        Expr::MakeBinary(BinaryOp::kGtEq, std::move(lhs),
+                         Expr::MakeLiteral(std::move(lo))),
+        Expr::MakeBinary(BinaryOp::kLtEq, std::move(lhs_copy),
+                         Expr::MakeLiteral(std::move(hi))));
+  }
+  if (Match(TokenType::kIn)) {
+    TARPIT_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+    std::vector<Value> list;
+    while (true) {
+      TARPIT_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      list.push_back(std::move(v));
+      if (Match(TokenType::kComma)) continue;
+      break;
+    }
+    TARPIT_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    return Expr::MakeIn(std::move(lhs), std::move(list));
+  }
+  BinaryOp op;
+  switch (Peek().type) {
+    case TokenType::kEq: op = BinaryOp::kEq; break;
+    case TokenType::kNotEq: op = BinaryOp::kNotEq; break;
+    case TokenType::kLt: op = BinaryOp::kLt; break;
+    case TokenType::kLtEq: op = BinaryOp::kLtEq; break;
+    case TokenType::kGt: op = BinaryOp::kGt; break;
+    case TokenType::kGtEq: op = BinaryOp::kGtEq; break;
+    default:
+      return ErrorAtCurrent("expected comparison operator");
+  }
+  Advance();
+  TARPIT_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+  return Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  if (Check(TokenType::kIdentifier)) {
+    return Expr::MakeColumn(Advance().text);
+  }
+  TARPIT_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+  return Expr::MakeLiteral(std::move(v));
+}
+
+}  // namespace tarpit

@@ -1,0 +1,67 @@
+#ifndef TARPIT_SQL_PARSER_H_
+#define TARPIT_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace tarpit {
+
+/// Recursive-descent parser for the SQL subset:
+///
+///   CREATE TABLE t (col TYPE [PRIMARY KEY], ...)
+///   INSERT INTO t [(cols)] VALUES (lit, ...), (lit, ...) ...
+///   SELECT *|cols FROM t [WHERE expr] [ORDER BY col [ASC|DESC]]
+///          [LIMIT n]
+///   UPDATE t SET col = lit [, col = lit]* [WHERE expr]
+///   DELETE FROM t [WHERE expr]
+///
+/// expr: OR-connected AND-terms of comparisons
+///       (col op lit | lit op col | NOT expr | (expr)).
+class Parser {
+ public:
+  /// Parses exactly one statement (optional trailing ';').
+  static Result<Statement> Parse(const std::string& sql);
+
+ private:
+  explicit Parser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType t) const { return Peek().type == t; }
+  bool Match(TokenType t) {
+    if (Check(t)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenType t);
+  Status ErrorAtCurrent(const std::string& msg) const;
+
+  Result<Statement> ParseStatement();
+  Result<CreateTableStatement> ParseCreateTable();
+  Result<CreateIndexStatement> ParseCreateIndex();
+  Result<InsertStatement> ParseInsert();
+  Result<SelectStatement> ParseSelect();
+  Result<UpdateStatement> ParseUpdate();
+  Result<DeleteStatement> ParseDelete();
+
+  Result<ExprPtr> ParseExpr();     // OR level.
+  Result<ExprPtr> ParseAnd();      // AND level.
+  Result<ExprPtr> ParseUnary();    // NOT / parens / comparison.
+  Result<ExprPtr> ParsePrimary();  // Literal or column.
+  Result<Value> ParseLiteral();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_SQL_PARSER_H_

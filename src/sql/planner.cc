@@ -1,0 +1,211 @@
+#include "sql/planner.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace tarpit {
+
+namespace {
+
+/// Collects top-level AND-connected conjuncts.
+void CollectConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e->kind == Expr::Kind::kBinary && e->op == BinaryOp::kAnd) {
+    CollectConjuncts(e->lhs.get(), out);
+    CollectConjuncts(e->rhs.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+struct PkComparison {
+  BinaryOp op;
+  int64_t value;
+};
+
+/// Recognizes `pk op int-literal` (or flipped) comparisons.
+std::optional<PkComparison> MatchPkComparison(
+    const Expr* e, const std::string& pk_column) {
+  if (e->kind != Expr::Kind::kBinary) return std::nullopt;
+  switch (e->op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLtEq:
+    case BinaryOp::kGt:
+    case BinaryOp::kGtEq:
+      break;
+    default:
+      return std::nullopt;
+  }
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  bool flipped = false;
+  if (e->lhs->kind == Expr::Kind::kColumn &&
+      e->rhs->kind == Expr::Kind::kLiteral) {
+    col = e->lhs.get();
+    lit = e->rhs.get();
+  } else if (e->lhs->kind == Expr::Kind::kLiteral &&
+             e->rhs->kind == Expr::Kind::kColumn) {
+    col = e->rhs.get();
+    lit = e->lhs.get();
+    flipped = true;
+  } else {
+    return std::nullopt;
+  }
+  if (col->column != pk_column || !lit->literal.is_int()) {
+    return std::nullopt;
+  }
+  BinaryOp op = e->op;
+  if (flipped) {
+    // `5 < pk` means `pk > 5`.
+    switch (op) {
+      case BinaryOp::kLt: op = BinaryOp::kGt; break;
+      case BinaryOp::kLtEq: op = BinaryOp::kGtEq; break;
+      case BinaryOp::kGt: op = BinaryOp::kLt; break;
+      case BinaryOp::kGtEq: op = BinaryOp::kLtEq; break;
+      default: break;
+    }
+  }
+  return PkComparison{op, lit->literal.AsInt()};
+}
+
+}  // namespace
+
+std::string AccessPlan::ToString() const {
+  if (empty) return "EmptyScan";
+  switch (kind) {
+    case AccessPathKind::kPointLookup:
+      return "PointLookup(" + std::to_string(point_key) + ")";
+    case AccessPathKind::kRangeScan:
+      return "RangeScan[" + std::to_string(range_lo) + ", " +
+             std::to_string(range_hi) + "]";
+    case AccessPathKind::kMultiPoint:
+      return "MultiPoint(" + std::to_string(multi_keys.size()) +
+             " keys)";
+    case AccessPathKind::kSecondaryLookup:
+      return "SecondaryLookup(" + secondary_column + " = " +
+             secondary_value.ToString() + ")";
+    case AccessPathKind::kFullScan:
+      return "FullScan";
+  }
+  return "?";
+}
+
+AccessPlan PlanAccess(const Expr* where, const std::string& pk_column) {
+  return PlanAccess(where, pk_column, nullptr);
+}
+
+AccessPlan PlanAccess(
+    const Expr* where, const std::string& pk_column,
+    const std::function<bool(const std::string&)>& has_index) {
+  AccessPlan plan;
+  if (where == nullptr) return plan;  // Full scan.
+
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(where, &conjuncts);
+
+  int64_t lo = INT64_MIN;
+  int64_t hi = INT64_MAX;
+  bool narrowed = false;
+  for (const Expr* c : conjuncts) {
+    auto cmp = MatchPkComparison(c, pk_column);
+    if (!cmp.has_value()) continue;
+    narrowed = true;
+    switch (cmp->op) {
+      case BinaryOp::kEq:
+        lo = std::max(lo, cmp->value);
+        hi = std::min(hi, cmp->value);
+        break;
+      case BinaryOp::kLt:
+        if (cmp->value == INT64_MIN) {
+          plan.empty = true;
+          return plan;
+        }
+        hi = std::min(hi, cmp->value - 1);
+        break;
+      case BinaryOp::kLtEq:
+        hi = std::min(hi, cmp->value);
+        break;
+      case BinaryOp::kGt:
+        if (cmp->value == INT64_MAX) {
+          plan.empty = true;
+          return plan;
+        }
+        lo = std::max(lo, cmp->value + 1);
+        break;
+      case BinaryOp::kGtEq:
+        lo = std::max(lo, cmp->value);
+        break;
+      default:
+        break;
+    }
+  }
+  if (!narrowed) {
+    // The PK range gave nothing; try a PK IN-list.
+    for (const Expr* c : conjuncts) {
+      if (c->kind != Expr::Kind::kIn ||
+          c->lhs->kind != Expr::Kind::kColumn ||
+          c->lhs->column != pk_column) {
+        continue;
+      }
+      bool all_ints = true;
+      for (const Value& v : c->in_list) {
+        if (!v.is_int()) {
+          all_ints = false;
+          break;
+        }
+      }
+      if (!all_ints) continue;
+      plan.kind = AccessPathKind::kMultiPoint;
+      for (const Value& v : c->in_list) {
+        plan.multi_keys.push_back(v.AsInt());
+      }
+      std::sort(plan.multi_keys.begin(), plan.multi_keys.end());
+      plan.multi_keys.erase(
+          std::unique(plan.multi_keys.begin(), plan.multi_keys.end()),
+          plan.multi_keys.end());
+      return plan;
+    }
+    // Otherwise, look for an equality on an indexed column.
+    if (has_index != nullptr) {
+      for (const Expr* c : conjuncts) {
+        if (c->kind != Expr::Kind::kBinary || c->op != BinaryOp::kEq) {
+          continue;
+        }
+        const Expr* col = nullptr;
+        const Expr* lit = nullptr;
+        if (c->lhs->kind == Expr::Kind::kColumn &&
+            c->rhs->kind == Expr::Kind::kLiteral) {
+          col = c->lhs.get();
+          lit = c->rhs.get();
+        } else if (c->lhs->kind == Expr::Kind::kLiteral &&
+                   c->rhs->kind == Expr::Kind::kColumn) {
+          col = c->rhs.get();
+          lit = c->lhs.get();
+        } else {
+          continue;
+        }
+        if (lit->literal.is_null() || !has_index(col->column)) continue;
+        plan.kind = AccessPathKind::kSecondaryLookup;
+        plan.secondary_column = col->column;
+        plan.secondary_value = lit->literal;
+        return plan;
+      }
+    }
+    return plan;  // Full scan.
+  }
+  if (lo > hi) {
+    plan.empty = true;
+    return plan;
+  }
+  if (lo == hi) {
+    plan.kind = AccessPathKind::kPointLookup;
+    plan.point_key = lo;
+    return plan;
+  }
+  plan.kind = AccessPathKind::kRangeScan;
+  plan.range_lo = lo;
+  plan.range_hi = hi;
+  return plan;
+}
+
+}  // namespace tarpit

@@ -1,0 +1,56 @@
+#ifndef TARPIT_SQL_PLANNER_H_
+#define TARPIT_SQL_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+#include <optional>
+#include <string>
+
+#include <functional>
+
+#include "sql/ast.h"
+
+namespace tarpit {
+
+/// Chosen access path for a statement's row source.
+enum class AccessPathKind {
+  kPointLookup,      // Single key via the primary index.
+  kMultiPoint,       // IN-list of keys via the primary index.
+  kRangeScan,        // Key range via the primary index.
+  kSecondaryLookup,  // Equality via a secondary index.
+  kFullScan,         // Whole table.
+};
+
+/// The physical access decision for one table's predicate: which index
+/// path to take plus the residual predicate evaluated per row (always
+/// the full WHERE clause — re-checking the bound conjuncts is cheap and
+/// keeps the evaluator single-sourced).
+struct AccessPlan {
+  AccessPathKind kind = AccessPathKind::kFullScan;
+  int64_t point_key = 0;                 // kPointLookup.
+  int64_t range_lo = INT64_MIN;          // kRangeScan.
+  int64_t range_hi = INT64_MAX;          // kRangeScan.
+  bool empty = false;  // Statically contradictory (e.g. pk=1 AND pk=2).
+  std::string secondary_column;  // kSecondaryLookup.
+  Value secondary_value;         // kSecondaryLookup.
+  std::vector<int64_t> multi_keys;  // kMultiPoint, sorted unique.
+
+  std::string ToString() const;
+};
+
+/// Derives the access plan from a WHERE clause given the primary-key
+/// column name. Only top-level AND-connected comparisons against the PK
+/// narrow the path; anything else (OR, NOT, non-PK columns) leaves a
+/// full scan with the whole predicate residual.
+AccessPlan PlanAccess(const Expr* where, const std::string& pk_column);
+
+/// As above, but when the PK yields no useful path, a top-level
+/// equality conjunct on a column for which `has_index` returns true
+/// selects a secondary-index lookup instead of a full scan.
+AccessPlan PlanAccess(
+    const Expr* where, const std::string& pk_column,
+    const std::function<bool(const std::string&)>& has_index);
+
+}  // namespace tarpit
+
+#endif  // TARPIT_SQL_PLANNER_H_

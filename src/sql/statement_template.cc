@@ -1,0 +1,87 @@
+#include "sql/statement_template.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace tarpit {
+
+Result<StatementTemplate> StatementTemplate::Parse(
+    const std::string& sql) {
+  std::vector<std::string> segments;
+  std::string current;
+  bool in_string = false;
+  for (size_t i = 0; i < sql.size(); ++i) {
+    const char c = sql[i];
+    if (in_string) {
+      current.push_back(c);
+      if (c == '\'') {
+        if (i + 1 < sql.size() && sql[i + 1] == '\'') {
+          current.push_back(sql[++i]);  // Escaped quote.
+        } else {
+          in_string = false;
+        }
+      }
+      continue;
+    }
+    if (c == '\'') {
+      in_string = true;
+      current.push_back(c);
+      continue;
+    }
+    if (c == '?') {
+      segments.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (in_string) {
+    return Status::InvalidArgument("unterminated string in template");
+  }
+  segments.push_back(std::move(current));
+  return StatementTemplate(sql, std::move(segments));
+}
+
+std::string StatementTemplate::EscapeLiteral(const Value& v) {
+  if (v.is_null()) return "NULL";
+  if (v.is_int()) return std::to_string(v.AsInt());
+  if (v.is_double()) {
+    const double d = v.AsDouble();
+    if (!std::isfinite(d)) return "NULL";  // No literal form; refuse.
+    std::ostringstream os;
+    os.precision(17);
+    os << d;
+    std::string s = os.str();
+    // Ensure the literal re-lexes as a DOUBLE, not an INT.
+    if (s.find('.') == std::string::npos &&
+        s.find('e') == std::string::npos &&
+        s.find('E') == std::string::npos) {
+      s += ".0";
+    }
+    return s;
+  }
+  std::string out = "'";
+  for (char c : v.AsString()) {
+    out.push_back(c);
+    if (c == '\'') out.push_back('\'');  // Double the quote.
+  }
+  out.push_back('\'');
+  return out;
+}
+
+Result<std::string> StatementTemplate::Render(
+    const std::vector<Value>& params) const {
+  if (params.size() != num_params()) {
+    return Status::InvalidArgument(
+        "template expects " + std::to_string(num_params()) +
+        " parameters, got " + std::to_string(params.size()));
+  }
+  std::string out = segments_[0];
+  for (size_t i = 0; i < params.size(); ++i) {
+    out += EscapeLiteral(params[i]);
+    out += segments_[i + 1];
+  }
+  return out;
+}
+
+}  // namespace tarpit

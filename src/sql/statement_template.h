@@ -1,0 +1,55 @@
+#ifndef TARPIT_SQL_STATEMENT_TEMPLATE_H_
+#define TARPIT_SQL_STATEMENT_TEMPLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace tarpit {
+
+/// Client-side parameterized statement: SQL text with `?` placeholders
+/// that are spliced in as correctly escaped literals at render time.
+/// This is how applications should build queries from untrusted input
+/// -- string concatenation of raw input into SQL is an injection
+/// hazard even in a reduced dialect (a crafted string literal can
+/// smuggle extra predicates and widen what the delay engine charges
+/// to someone else's account).
+///
+///   auto tmpl = StatementTemplate::Parse(
+///       "SELECT * FROM users WHERE city = ? AND age > ?");
+///   auto sql = tmpl->Render({Value("ann arbor"), Value(int64_t{21})});
+///
+/// Placeholders are recognized only where a literal could appear (they
+/// are found lexically outside string literals), and Render validates
+/// the parameter count.
+class StatementTemplate {
+ public:
+  /// Validates the template (placeholder scan + balanced quotes).
+  static Result<StatementTemplate> Parse(const std::string& sql);
+
+  /// Produces executable SQL with each `?` replaced by the
+  /// corresponding escaped literal. InvalidArgument on arity mismatch.
+  Result<std::string> Render(const std::vector<Value>& params) const;
+
+  size_t num_params() const { return segments_.size() - 1; }
+  const std::string& text() const { return text_; }
+
+  /// Escapes a value as a SQL literal of this dialect (strings get
+  /// single quotes doubled).
+  static std::string EscapeLiteral(const Value& v);
+
+ private:
+  StatementTemplate(std::string text, std::vector<std::string> segments)
+      : text_(std::move(text)), segments_(std::move(segments)) {}
+
+  std::string text_;
+  /// SQL split at placeholders: render = seg[0] + p0 + seg[1] + p1 ...
+  std::vector<std::string> segments_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_SQL_STATEMENT_TEMPLATE_H_

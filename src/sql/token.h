@@ -1,0 +1,76 @@
+#ifndef TARPIT_SQL_TOKEN_H_
+#define TARPIT_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tarpit {
+
+enum class TokenType {
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kStar,
+  kEq,
+  kNotEq,
+  kLt,
+  kLtEq,
+  kGt,
+  kGtEq,
+  kSemicolon,
+  // Literals and identifiers.
+  kIdentifier,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  // Keywords.
+  kSelect,
+  kFrom,
+  kWhere,
+  kAnd,
+  kOr,
+  kNot,
+  kInsert,
+  kInto,
+  kValues,
+  kUpdate,
+  kSet,
+  kDelete,
+  kCreate,
+  kTable,
+  kPrimary,
+  kKey,
+  kInt,
+  kDouble,
+  kText,
+  kLimit,
+  kNull,
+  kOrder,
+  kBy,
+  kGroup,
+  kHaving,
+  kIndex,
+  kOn,
+  kIn,
+  kExplain,
+  kBetween,
+  kAsc,
+  kDesc,
+  kEof,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;     // Identifier name or string literal body.
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;  // Byte offset in the statement, for errors.
+};
+
+/// Human-readable token name for error messages.
+std::string TokenTypeName(TokenType t);
+
+}  // namespace tarpit
+
+#endif  // TARPIT_SQL_TOKEN_H_

@@ -1,0 +1,83 @@
+#include "stats/count_cache.h"
+
+namespace tarpit {
+
+CountCache::CountCache(Table* backing, size_t capacity)
+    : backing_(backing), capacity_(capacity == 0 ? 1 : capacity) {}
+
+Result<CountCache::Entry*> CountCache::Load(int64_t key) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+    return &it->second;
+  }
+  ++misses_;
+  double value = 0;
+  Result<Row> row = backing_->GetByKey(key);
+  if (row.ok()) {
+    value = (*row)[1].AsDouble();
+    ++backing_reads_;
+  } else if (!row.status().IsNotFound()) {
+    return row.status();
+  }
+  if (entries_.size() >= capacity_) {
+    TARPIT_RETURN_IF_ERROR(Evict());
+  }
+  lru_.push_back(key);
+  Entry entry;
+  entry.value = value;
+  entry.dirty = false;
+  entry.lru_pos = std::prev(lru_.end());
+  auto [eit, inserted] = entries_.emplace(key, entry);
+  (void)inserted;
+  return &eit->second;
+}
+
+Status CountCache::Evict() {
+  if (lru_.empty()) return Status::OK();
+  const int64_t victim = lru_.front();
+  lru_.pop_front();
+  auto it = entries_.find(victim);
+  if (it != entries_.end()) {
+    if (it->second.dirty) {
+      TARPIT_RETURN_IF_ERROR(WriteBack(victim, it->second.value));
+    }
+    entries_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status CountCache::WriteBack(int64_t key, double value) {
+  ++backing_writes_;
+  Row row = {Value(key), Value(value)};
+  Status st = backing_->UpdateByKey(key, row);
+  if (st.IsNotFound()) {
+    return backing_->Insert(row);
+  }
+  return st;
+}
+
+Result<double> CountCache::Get(int64_t key) {
+  TARPIT_ASSIGN_OR_RETURN(Entry * entry, Load(key));
+  return entry->value;
+}
+
+Status CountCache::Add(int64_t key, double delta) {
+  TARPIT_ASSIGN_OR_RETURN(Entry * entry, Load(key));
+  entry->value += delta;
+  entry->dirty = true;
+  return Status::OK();
+}
+
+Status CountCache::FlushAll() {
+  for (auto& [key, entry] : entries_) {
+    if (entry.dirty) {
+      TARPIT_RETURN_IF_ERROR(WriteBack(key, entry.value));
+      entry.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tarpit

@@ -1,0 +1,88 @@
+#include "stats/count_tracker.h"
+
+namespace tarpit {
+
+namespace {
+// Renormalize before raw values approach the limit of double precision.
+// At this threshold a unit increment is still representable relative to
+// the largest raw count.
+constexpr double kRenormalizeThreshold = 1e100;
+}  // namespace
+
+CountTracker::CountTracker(uint64_t universe_size,
+                           double decay_per_request,
+                           std::unique_ptr<RankIndex> index)
+    : universe_size_(universe_size),
+      decay_per_request_(decay_per_request),
+      index_(index ? std::move(index)
+                   : std::make_unique<TreapRankIndex>()) {}
+
+void CountTracker::Record(int64_t key) {
+  ++total_requests_;
+  // Inflate first so that older counts decay relative to this request:
+  // adding delta^t and normalizing by delta^t equals multiplying all
+  // previous counts by 1/delta.
+  weight_ *= decay_per_request_;
+  auto [it, inserted] = counts_.try_emplace(key, 0.0);
+  const double old_raw = it->second;
+  it->second += weight_;
+  raw_total_ += weight_;
+  index_->UpdateCount(key, old_raw, !inserted, it->second);
+  RenormalizeIfNeeded();
+}
+
+void CountTracker::Seed(int64_t key, double count) {
+  if (count <= 0) return;
+  auto [it, inserted] = counts_.try_emplace(key, 0.0);
+  const double old_raw = it->second;
+  it->second += count * weight_;
+  raw_total_ += count * weight_;
+  index_->UpdateCount(key, old_raw, !inserted, it->second);
+  RenormalizeIfNeeded();
+}
+
+void CountTracker::ApplyDecayFactor(double factor) {
+  // Uniform decay of all counts == scaling up the future weight.
+  weight_ *= factor;
+  RenormalizeIfNeeded();
+}
+
+void CountTracker::RenormalizeIfNeeded() {
+  if (weight_ < kRenormalizeThreshold &&
+      raw_total_ < kRenormalizeThreshold) {
+    return;
+  }
+  const double inv = 1.0 / weight_;
+  for (auto& [key, raw] : counts_) raw *= inv;
+  raw_total_ *= inv;
+  index_->Rescale(inv);
+  weight_ = 1.0;
+  ++renormalizations_;
+}
+
+double CountTracker::Count(int64_t key) const {
+  auto it = counts_.find(key);
+  if (it == counts_.end()) return 0.0;
+  return it->second / weight_;
+}
+
+PopularityStats CountTracker::Stats(int64_t key) const {
+  PopularityStats stats;
+  stats.total_requests = total_requests_;
+  stats.distinct_seen = static_cast<uint64_t>(counts_.size());
+  stats.max_count = index_->MaxCount() / weight_;
+  stats.total_count = raw_total_ / weight_;
+  auto it = counts_.find(key);
+  if (it == counts_.end()) {
+    stats.count = 0.0;
+    // All never-seen keys are tied at the bottom of the universe.
+    stats.rank = universe_size_ > 0 ? universe_size_
+                                    : stats.distinct_seen + 1;
+    return stats;
+  }
+  stats.count = it->second / weight_;
+  stats.rank = index_->Rank(key, it->second);
+  return stats;
+}
+
+}  // namespace tarpit

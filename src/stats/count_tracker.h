@@ -1,0 +1,96 @@
+#ifndef TARPIT_STATS_COUNT_TRACKER_H_
+#define TARPIT_STATS_COUNT_TRACKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "stats/rank_index.h"
+
+namespace tarpit {
+
+/// Snapshot of one tuple's popularity as learned so far.
+struct PopularityStats {
+  /// Decayed request count (normalized to the current scale). 0 for
+  /// never-seen keys.
+  double count = 0;
+  /// 1-based popularity rank. Never-seen keys all share the bottom
+  /// rank, which equals `universe_size` (paper section 2.3: start-up
+  /// transients treat all items as equally unpopular with frequency 0).
+  uint64_t rank = 0;
+  /// Count of the most popular key (f_max), same units as `count`.
+  double max_count = 0;
+  /// Distinct keys observed at least once.
+  uint64_t distinct_seen = 0;
+  /// Raw number of Record() calls (no decay).
+  uint64_t total_requests = 0;
+  /// Sum of all decayed counts (normalized).
+  double total_count = 0;
+};
+
+/// Learns the popularity distribution from the request stream
+/// (paper section 2.3). Each request adds weight to its tuple's count;
+/// all counts decay exponentially with age at rate `decay_per_request`
+/// (>= 1.0; 1.0 disables decay). Decay is implemented by inflating the
+/// increment rather than discounting every counter, with periodic
+/// renormalization to avoid overflow -- exactly the scheme the paper
+/// describes.
+class CountTracker {
+ public:
+  /// `universe_size`: N, the number of tuples in the protected relation
+  /// (used as the rank of never-seen keys).
+  /// `decay_per_request`: delta applied at each request.
+  /// `index`: rank structure (defaults to the exact treap).
+  CountTracker(uint64_t universe_size, double decay_per_request,
+               std::unique_ptr<RankIndex> index = nullptr);
+
+  CountTracker(const CountTracker&) = delete;
+  CountTracker& operator=(const CountTracker&) = delete;
+
+  /// Records one request for `key`.
+  void Record(int64_t key);
+
+  /// Seeds a key's count directly -- used to warm-start the tracker
+  /// from counts persisted by a previous run. Seeded mass behaves as if
+  /// accrued at seed time (it decays from now on, like any old count).
+  /// Seeding an already-seen key adds to its count.
+  void Seed(int64_t key, double count);
+
+  /// Applies an extra decay factor to all counts at once (e.g., at
+  /// weekly boundaries for the box-office workload). factor >= 1.
+  void ApplyDecayFactor(double factor);
+
+  /// Popularity snapshot for `key` (works for never-seen keys too).
+  PopularityStats Stats(int64_t key) const;
+
+  /// Normalized decayed count for `key` (0 if never seen).
+  double Count(int64_t key) const;
+
+  uint64_t universe_size() const { return universe_size_; }
+  void set_universe_size(uint64_t n) { universe_size_ = n; }
+  double decay_per_request() const { return decay_per_request_; }
+  uint64_t total_requests() const { return total_requests_; }
+  uint64_t distinct_seen() const {
+    return static_cast<uint64_t>(counts_.size());
+  }
+  /// Number of renormalizations performed (observability/tests).
+  uint64_t renormalizations() const { return renormalizations_; }
+
+ private:
+  void RenormalizeIfNeeded();
+
+  uint64_t universe_size_;
+  double decay_per_request_;
+  std::unique_ptr<RankIndex> index_;
+
+  // Raw (inflated-scale) counts; normalized count = raw / weight_.
+  std::unordered_map<int64_t, double> counts_;
+  double weight_ = 1.0;      // Current increment weight.
+  double raw_total_ = 0.0;   // Sum of raw counts.
+  uint64_t total_requests_ = 0;
+  uint64_t renormalizations_ = 0;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_STATS_COUNT_TRACKER_H_

@@ -1,0 +1,216 @@
+#include "stats/rank_index.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tarpit {
+
+// ---------- TreapRankIndex ----------
+
+struct TreapRankIndex::Node {
+  double count;
+  int64_t key;
+  uint64_t priority;
+  uint64_t size = 1;
+  Node* left = nullptr;
+  Node* right = nullptr;
+};
+
+namespace {
+uint64_t NextPriority(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+TreapRankIndex::TreapRankIndex() : rng_state_(0xC0FFEE1234ULL) {}
+
+TreapRankIndex::~TreapRankIndex() { FreeTree(root_); }
+
+bool TreapRankIndex::Before(double c1, int64_t k1, double c2, int64_t k2) {
+  if (c1 != c2) return c1 > c2;  // Higher count ranks earlier.
+  return k1 < k2;
+}
+
+uint64_t TreapRankIndex::Size(const Node* n) { return n ? n->size : 0; }
+
+TreapRankIndex::Node* TreapRankIndex::Merge(Node* a, Node* b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  if (a->priority > b->priority) {
+    a->right = Merge(a->right, b);
+    a->size = 1 + Size(a->left) + Size(a->right);
+    return a;
+  }
+  b->left = Merge(a, b->left);
+  b->size = 1 + Size(b->left) + Size(b->right);
+  return b;
+}
+
+void TreapRankIndex::Split(Node* t, double count, int64_t key, Node** left,
+                           Node** right) {
+  if (t == nullptr) {
+    *left = nullptr;
+    *right = nullptr;
+    return;
+  }
+  if (Before(t->count, t->key, count, key)) {
+    Split(t->right, count, key, &t->right, right);
+    *left = t;
+    t->size = 1 + Size(t->left) + Size(t->right);
+  } else {
+    Split(t->left, count, key, left, &t->left);
+    *right = t;
+    t->size = 1 + Size(t->left) + Size(t->right);
+  }
+}
+
+void TreapRankIndex::UpdateCount(int64_t key, double old_count,
+                                 bool was_tracked, double new_count) {
+  if (was_tracked) {
+    // Erase the (old_count, key) node: split around it, drop it.
+    Node *left, *mid_right, *mid, *right;
+    Split(root_, old_count, key, &left, &mid_right);
+    // mid_right's first node in order should be exactly our node.
+    // Split mid_right at the position just after (old_count, key):
+    // everything Before-or-equal goes left.  Use the successor pivot:
+    // (old_count, key+1) sorts immediately after (old_count, key).
+    if (key != INT64_MAX) {
+      Split(mid_right, old_count, key + 1, &mid, &right);
+    } else {
+      // key == INT64_MAX: split by slightly smaller count.
+      mid = mid_right;
+      right = nullptr;
+      if (mid != nullptr) {
+        Split(mid_right, std::nextafter(old_count, -1.0), INT64_MIN, &mid,
+              &right);
+      }
+    }
+    assert(Size(mid) == 1);
+    FreeTree(mid);
+    root_ = Merge(left, right);
+  }
+  // Insert (new_count, key).
+  Node* node = new Node{new_count, key, NextPriority(&rng_state_)};
+  Node *left, *right;
+  Split(root_, new_count, key, &left, &right);
+  root_ = Merge(Merge(left, node), right);
+}
+
+uint64_t TreapRankIndex::Rank(int64_t key, double count) const {
+  uint64_t rank = 1;
+  const Node* n = root_;
+  while (n != nullptr) {
+    if (n->count == count && n->key == key) {
+      return rank + Size(n->left);
+    }
+    if (Before(count, key, n->count, n->key)) {
+      n = n->left;
+    } else {
+      rank += Size(n->left) + 1;
+      n = n->right;
+    }
+  }
+  // Key not present (caller bug); report the bottom rank rather than
+  // crashing in release builds.
+  assert(false && "Rank() on untracked key");
+  return rank;
+}
+
+double TreapRankIndex::MaxCount() const {
+  const Node* n = root_;
+  if (n == nullptr) return 0;
+  while (n->left != nullptr) n = n->left;
+  return n->count;
+}
+
+uint64_t TreapRankIndex::NumTracked() const { return Size(root_); }
+
+void TreapRankIndex::Rescale(double factor) {
+  RescaleTree(root_, factor);
+}
+
+void TreapRankIndex::RescaleTree(Node* n, double factor) {
+  if (n == nullptr) return;
+  n->count *= factor;
+  RescaleTree(n->left, factor);
+  RescaleTree(n->right, factor);
+}
+
+void TreapRankIndex::FreeTree(Node* n) {
+  if (n == nullptr) return;
+  FreeTree(n->left);
+  FreeTree(n->right);
+  delete n;
+}
+
+// ---------- BucketRankIndex ----------
+
+BucketRankIndex::BucketRankIndex(double growth)
+    : growth_(growth), log_growth_(std::log(growth)) {
+  assert(growth > 1.0);
+}
+
+int BucketRankIndex::BucketFor(double count) const {
+  const double scaled = count / rescale_;
+  if (scaled <= 0) return INT32_MIN / 2;
+  return static_cast<int>(std::floor(std::log(scaled) / log_growth_));
+}
+
+void BucketRankIndex::UpdateCount(int64_t key, double old_count,
+                                  bool was_tracked, double new_count) {
+  (void)key;
+  if (was_tracked) {
+    const int ob = BucketFor(old_count);
+    const size_t oi = static_cast<size_t>(ob + bucket_offset_);
+    if (oi < buckets_.size() && buckets_[oi] > 0) --buckets_[oi];
+  } else {
+    ++tracked_;
+  }
+  int nb = BucketFor(new_count);
+  // Grow the bucket array to cover nb.
+  if (buckets_.empty()) {
+    bucket_offset_ = -nb;
+    buckets_.assign(1, 0);
+  }
+  while (nb + bucket_offset_ < 0) {
+    buckets_.insert(buckets_.begin(), 0);
+    ++bucket_offset_;
+  }
+  while (static_cast<size_t>(nb + bucket_offset_) >= buckets_.size()) {
+    buckets_.push_back(0);
+  }
+  ++buckets_[static_cast<size_t>(nb + bucket_offset_)];
+  if (new_count > max_count_) max_count_ = new_count;
+}
+
+uint64_t BucketRankIndex::Rank(int64_t key, double count) const {
+  (void)key;
+  const int b = BucketFor(count);
+  const int bi = b + bucket_offset_;
+  uint64_t above = 0;
+  for (int i = static_cast<int>(buckets_.size()) - 1; i > bi; --i) {
+    above += buckets_[i];
+  }
+  uint64_t in_bucket = 0;
+  if (bi >= 0 && static_cast<size_t>(bi) < buckets_.size()) {
+    in_bucket = buckets_[static_cast<size_t>(bi)];
+  }
+  // Estimate position as the middle of the bucket.
+  return above + (in_bucket + 1) / 2 + (in_bucket == 0 ? 1 : 0);
+}
+
+double BucketRankIndex::MaxCount() const { return max_count_; }
+
+uint64_t BucketRankIndex::NumTracked() const { return tracked_; }
+
+void BucketRankIndex::Rescale(double factor) {
+  // Conceptual counts scale by `factor`; shifting the reference scale by
+  // the same factor keeps every key's bucket assignment stable.
+  rescale_ *= factor;
+  max_count_ *= factor;
+}
+
+}  // namespace tarpit

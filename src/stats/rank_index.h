@@ -1,0 +1,99 @@
+#ifndef TARPIT_STATS_RANK_INDEX_H_
+#define TARPIT_STATS_RANK_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tarpit {
+
+/// Maintains the popularity ordering of tracked keys so the delay engine
+/// can ask "what is this tuple's rank?" (rank 1 = most popular) and
+/// "what is f_max?" in O(log n). Two implementations exist: an exact
+/// order-statistics treap and an approximate log-bucketed histogram (the
+/// ablation in bench_ablation_rank_index compares them).
+class RankIndex {
+ public:
+  virtual ~RankIndex() = default;
+
+  /// Registers a count change for `key`. `old_count` == 0 with
+  /// `was_tracked` == false means the key is new to the index.
+  virtual void UpdateCount(int64_t key, double old_count, bool was_tracked,
+                           double new_count) = 0;
+
+  /// 1-based rank of a key currently holding `count` (ties broken by
+  /// key, deterministic). Precondition: the key is tracked.
+  virtual uint64_t Rank(int64_t key, double count) const = 0;
+
+  /// Count of the most popular tracked key (0 when empty).
+  virtual double MaxCount() const = 0;
+
+  virtual uint64_t NumTracked() const = 0;
+
+  /// Multiplies every stored count by `factor` (> 0), preserving order;
+  /// used when the owning tracker renormalizes its decay scale.
+  virtual void Rescale(double factor) = 0;
+};
+
+/// Exact order-statistics treap keyed by (count desc, key asc).
+class TreapRankIndex : public RankIndex {
+ public:
+  TreapRankIndex();
+  ~TreapRankIndex() override;
+
+  void UpdateCount(int64_t key, double old_count, bool was_tracked,
+                   double new_count) override;
+  uint64_t Rank(int64_t key, double count) const override;
+  double MaxCount() const override;
+  uint64_t NumTracked() const override;
+  void Rescale(double factor) override;
+
+ private:
+  struct Node;
+  // (count, key) ordering: higher count first, then smaller key.
+  static bool Before(double c1, int64_t k1, double c2, int64_t k2);
+  static uint64_t Size(const Node* n);
+  Node* Merge(Node* a, Node* b);
+  // Splits into (< pivot) and (>= pivot) in Before-order.
+  void Split(Node* t, double count, int64_t key, Node** left,
+             Node** right);
+  void FreeTree(Node* n);
+  void RescaleTree(Node* n, double factor);
+
+  Node* root_ = nullptr;
+  uint64_t rng_state_;
+};
+
+/// Approximate rank index: counts are binned into geometric buckets;
+/// rank is estimated as the number of keys in strictly-greater buckets
+/// plus half of the key's own bucket. O(1) updates, O(#buckets) rank
+/// queries, and bounded relative rank error set by `growth`.
+class BucketRankIndex : public RankIndex {
+ public:
+  /// `growth` > 1 controls bucket width (relative count resolution).
+  explicit BucketRankIndex(double growth = 1.25);
+
+  void UpdateCount(int64_t key, double old_count, bool was_tracked,
+                   double new_count) override;
+  uint64_t Rank(int64_t key, double count) const override;
+  double MaxCount() const override;
+  uint64_t NumTracked() const override;
+  void Rescale(double factor) override;
+
+ private:
+  int BucketFor(double count) const;
+
+  double growth_;
+  double log_growth_;
+  // bucket index -> number of keys currently in it. Bucket indexes can
+  // be negative for counts < 1; store with an offset map.
+  std::vector<uint64_t> buckets_;
+  int bucket_offset_ = 0;  // buckets_[i] holds bucket (i - offset).
+  uint64_t tracked_ = 0;
+  double max_count_ = 0;
+  double rescale_ = 1.0;  // Lazy global multiplier applied to counts.
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_STATS_RANK_INDEX_H_

@@ -1,0 +1,60 @@
+#include "stats/synopsis.h"
+
+#include <vector>
+
+namespace tarpit {
+
+CountingSample::CountingSample(size_t capacity, uint64_t seed,
+                               double growth)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      growth_(growth),
+      rng_(seed) {}
+
+void CountingSample::Observe(int64_t key) {
+  ++observed_;
+  auto it = sample_.find(key);
+  if (it != sample_.end()) {
+    ++it->second;
+    return;
+  }
+  if (rng_.Bernoulli(1.0 / tau_)) {
+    sample_[key] = 1;
+    while (sample_.size() > capacity_) RaiseThreshold();
+  }
+}
+
+void CountingSample::RaiseThreshold() {
+  const double old_tau = tau_;
+  tau_ *= growth_;
+  // Gibbons' thinning: for each key, the first hit survives with
+  // probability old_tau/new_tau; if it dies, subsequent hits each
+  // survive a 1/new_tau coin until one lives (all earlier ones are
+  // discarded), else the key leaves the sample.
+  std::vector<int64_t> doomed;
+  for (auto& [key, count] : sample_) {
+    if (rng_.Bernoulli(old_tau / tau_)) continue;
+    uint64_t remaining = count - 1;
+    uint64_t new_count = 0;
+    while (remaining > 0) {
+      --remaining;
+      if (rng_.Bernoulli(1.0 / tau_)) {
+        new_count = remaining + 1;
+        break;
+      }
+    }
+    if (new_count == 0) {
+      doomed.push_back(key);
+    } else {
+      count = new_count;
+    }
+  }
+  for (int64_t key : doomed) sample_.erase(key);
+}
+
+double CountingSample::EstimatedCount(int64_t key) const {
+  auto it = sample_.find(key);
+  if (it == sample_.end()) return 0.0;
+  return static_cast<double>(it->second - 1) + tau_;
+}
+
+}  // namespace tarpit

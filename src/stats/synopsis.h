@@ -1,0 +1,53 @@
+#ifndef TARPIT_STATS_SYNOPSIS_H_
+#define TARPIT_STATS_SYNOPSIS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/random.h"
+
+namespace tarpit {
+
+/// Counting sample in the style of Gibbons & Matias (SIGMOD '98),
+/// which the paper cites as the way to shrink count-maintenance
+/// overhead further: a bounded-memory synopsis that tracks approximate
+/// per-key counts for the hottest keys. Keys enter the sample with
+/// probability 1/tau; when the sample exceeds its capacity the
+/// threshold tau is raised and existing entries are probabilistically
+/// thinned.
+class CountingSample {
+ public:
+  /// `capacity`: max tracked keys. `growth`: factor by which tau rises
+  /// on overflow (> 1).
+  CountingSample(size_t capacity, uint64_t seed = 1,
+                 double growth = 1.5);
+
+  /// Observes one request for `key`.
+  void Observe(int64_t key);
+
+  /// Unbiased-ish estimate of the total observations of `key`;
+  /// 0 for untracked keys. For a tracked key with sample count c the
+  /// estimate is (c - 1) + tau.
+  double EstimatedCount(int64_t key) const;
+
+  bool Tracks(int64_t key) const { return sample_.count(key) > 0; }
+  size_t size() const { return sample_.size(); }
+  size_t capacity() const { return capacity_; }
+  double threshold() const { return tau_; }
+  uint64_t observed() const { return observed_; }
+
+ private:
+  void RaiseThreshold();
+
+  size_t capacity_;
+  double growth_;
+  double tau_ = 1.0;
+  std::unordered_map<int64_t, uint64_t> sample_;
+  Rng rng_;
+  uint64_t observed_ = 0;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_STATS_SYNOPSIS_H_

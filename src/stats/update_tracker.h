@@ -1,0 +1,17 @@
+#ifndef TARPIT_STATS_UPDATE_TRACKER_H_
+#define TARPIT_STATS_UPDATE_TRACKER_H_
+
+#include "stats/count_tracker.h"
+
+namespace tarpit {
+
+/// Tracks per-tuple *update* rates for the data-change scheme of paper
+/// section 3. The machinery is identical to access tracking -- decayed
+/// counts plus a rank structure -- only the event stream differs (calls
+/// come from the write path instead of the read path), so this is the
+/// same class under a domain-specific name.
+using UpdateTracker = CountTracker;
+
+}  // namespace tarpit
+
+#endif  // TARPIT_STATS_UPDATE_TRACKER_H_

@@ -1,0 +1,417 @@
+#include "storage/btree.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace tarpit {
+
+namespace {
+
+// Meta page (page 0): [magic:u32][root:u32].
+constexpr uint32_t kBTreeMagic = 0x54425431;  // "TBT1"
+
+// Node header: [is_leaf:u8][pad:u8][count:u16][next:u32] = 8 bytes.
+constexpr size_t kNodeHeaderSize = 8;
+
+// Leaf entry: key:i64, page:u32, slot:u16 = 14 bytes.
+constexpr size_t kLeafEntrySize = 14;
+constexpr int kLeafCapacity =
+    static_cast<int>((kPageSize - kNodeHeaderSize) / kLeafEntrySize);
+
+// Internal layout: child0:u32 at offset 8, then count x {key:i64,
+// child:u32} (12 bytes each).
+constexpr size_t kInternalEntrySize = 12;
+constexpr int kInternalCapacity = static_cast<int>(
+    (kPageSize - kNodeHeaderSize - 4) / kInternalEntrySize);
+
+uint16_t LoadU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+int64_t LoadI64(const char* p) {
+  int64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+void StoreU16(char* p, uint16_t v) { std::memcpy(p, &v, 2); }
+void StoreU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+void StoreI64(char* p, int64_t v) { std::memcpy(p, &v, 8); }
+
+// Typed view over a node page image.
+struct Node {
+  char* d;
+
+  bool is_leaf() const { return d[0] != 0; }
+  void set_is_leaf(bool v) { d[0] = v ? 1 : 0; }
+  int count() const { return LoadU16(d + 2); }
+  void set_count(int c) { StoreU16(d + 2, static_cast<uint16_t>(c)); }
+  PageId next() const { return LoadU32(d + 4); }
+  void set_next(PageId p) { StoreU32(d + 4, p); }
+
+  // --- Leaf accessors ---
+  char* leaf_entry(int i) const {
+    return d + kNodeHeaderSize + i * kLeafEntrySize;
+  }
+  int64_t leaf_key(int i) const { return LoadI64(leaf_entry(i)); }
+  RecordId leaf_rid(int i) const {
+    const char* e = leaf_entry(i);
+    return RecordId{LoadU32(e + 8), LoadU16(e + 12)};
+  }
+  void set_leaf(int i, int64_t key, RecordId rid) {
+    char* e = leaf_entry(i);
+    StoreI64(e, key);
+    StoreU32(e + 8, rid.page_id);
+    StoreU16(e + 12, rid.slot);
+  }
+  void leaf_shift_right(int from) {
+    std::memmove(leaf_entry(from + 1), leaf_entry(from),
+                 (count() - from) * kLeafEntrySize);
+  }
+  void leaf_shift_left(int from) {
+    std::memmove(leaf_entry(from), leaf_entry(from + 1),
+                 (count() - from - 1) * kLeafEntrySize);
+  }
+  // First index with key >= k (binary search).
+  int leaf_lower_bound(int64_t k) const {
+    int lo = 0, hi = count();
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (leaf_key(mid) < k) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // --- Internal accessors ---
+  PageId child(int i) const {  // i in [0, count()].
+    if (i == 0) return LoadU32(d + kNodeHeaderSize);
+    const char* e =
+        d + kNodeHeaderSize + 4 + (i - 1) * kInternalEntrySize;
+    return LoadU32(e + 8);
+  }
+  void set_child0(PageId p) { StoreU32(d + kNodeHeaderSize, p); }
+  int64_t internal_key(int i) const {  // i in [0, count()-1].
+    return LoadI64(d + kNodeHeaderSize + 4 + i * kInternalEntrySize);
+  }
+  void set_internal(int i, int64_t key, PageId child) {
+    char* e = d + kNodeHeaderSize + 4 + i * kInternalEntrySize;
+    StoreI64(e, key);
+    StoreU32(e + 8, child);
+  }
+  void internal_shift_right(int from) {
+    char* base = d + kNodeHeaderSize + 4;
+    std::memmove(base + (from + 1) * kInternalEntrySize,
+                 base + from * kInternalEntrySize,
+                 (count() - from) * kInternalEntrySize);
+  }
+  // Index of the child to descend into for key k: the first key
+  // strictly greater than k bounds the child.
+  int internal_descend_index(int64_t k) const {
+    int lo = 0, hi = count();
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (internal_key(mid) <= k) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+};
+
+}  // namespace
+
+Status BTree::Open() {
+  if (pool_->disk()->PageCount() == 0) {
+    // Page 0: meta. Page 1: empty root leaf.
+    TARPIT_ASSIGN_OR_RETURN(PageGuard meta, pool_->NewPage());
+    TARPIT_ASSIGN_OR_RETURN(PageGuard rootp, pool_->NewPage());
+    Node root{rootp.data()};
+    root.set_is_leaf(true);
+    root.set_count(0);
+    root.set_next(kInvalidPageId);
+    rootp.MarkDirty();
+    StoreU32(meta.data(), kBTreeMagic);
+    StoreU32(meta.data() + 4, rootp.page_id());
+    meta.MarkDirty();
+    return Status::OK();
+  }
+  TARPIT_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(0));
+  if (LoadU32(meta.data()) != kBTreeMagic) {
+    return Status::Corruption("not a btree file");
+  }
+  return Status::OK();
+}
+
+Result<PageId> BTree::root() const {
+  TARPIT_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(0));
+  return LoadU32(meta.data() + 4);
+}
+
+Status BTree::SetRoot(PageId root) {
+  TARPIT_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(0));
+  StoreU32(meta.data() + 4, root);
+  meta.MarkDirty();
+  return Status::OK();
+}
+
+Result<PageId> BTree::FindLeaf(int64_t key,
+                               std::vector<PathEntry>* path) const {
+  TARPIT_ASSIGN_OR_RETURN(PageId cur, root());
+  while (true) {
+    TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+    Node node{guard.data()};
+    if (node.is_leaf()) return cur;
+    int idx = node.internal_descend_index(key);
+    if (path != nullptr) path->push_back({cur, idx});
+    cur = node.child(idx);
+  }
+}
+
+Result<RecordId> BTree::Search(int64_t key) const {
+  TARPIT_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(leaf_id));
+  Node leaf{guard.data()};
+  int i = leaf.leaf_lower_bound(key);
+  if (i < leaf.count() && leaf.leaf_key(i) == key) {
+    return leaf.leaf_rid(i);
+  }
+  return Status::NotFound("key " + std::to_string(key));
+}
+
+Status BTree::Insert(int64_t key, RecordId rid) {
+  std::vector<PathEntry> path;
+  TARPIT_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, &path));
+
+  int64_t sep_key = 0;
+  PageId new_right = kInvalidPageId;
+  {
+    TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(leaf_id));
+    Node leaf{guard.data()};
+    int i = leaf.leaf_lower_bound(key);
+    if (i < leaf.count() && leaf.leaf_key(i) == key) {
+      return Status::AlreadyExists("key " + std::to_string(key));
+    }
+    if (leaf.count() < kLeafCapacity) {
+      leaf.leaf_shift_right(i);
+      leaf.set_leaf(i, key, rid);
+      leaf.set_count(leaf.count() + 1);
+      guard.MarkDirty();
+      return Status::OK();
+    }
+    // Split the leaf: left keeps the lower half.
+    TARPIT_ASSIGN_OR_RETURN(PageGuard rightg, pool_->NewPage());
+    Node right{rightg.data()};
+    right.set_is_leaf(true);
+    const int total = leaf.count();
+    const int keep = total / 2;
+    right.set_count(total - keep);
+    std::memcpy(right.leaf_entry(0), leaf.leaf_entry(keep),
+                (total - keep) * kLeafEntrySize);
+    leaf.set_count(keep);
+    right.set_next(leaf.next());
+    leaf.set_next(rightg.page_id());
+
+    // Insert the new key into the proper half.
+    Node* target = (i <= keep) ? &leaf : &right;
+    int pos = (i <= keep) ? i : i - keep;
+    // A boundary insert at i == keep belongs to the left node only if
+    // key < right's first key; leaf_lower_bound already guarantees that.
+    target->leaf_shift_right(pos);
+    target->set_leaf(pos, key, rid);
+    target->set_count(target->count() + 1);
+
+    sep_key = right.leaf_key(0);
+    new_right = rightg.page_id();
+    guard.MarkDirty();
+    rightg.MarkDirty();
+  }
+  return InsertIntoParent(&path, sep_key, new_right);
+}
+
+Status BTree::InsertIntoParent(std::vector<PathEntry>* path,
+                               int64_t sep_key, PageId right_child) {
+  while (true) {
+    if (path->empty()) {
+      // Split reached the root: grow the tree by one level.
+      TARPIT_ASSIGN_OR_RETURN(PageId old_root, root());
+      TARPIT_ASSIGN_OR_RETURN(PageGuard rootg, pool_->NewPage());
+      Node newroot{rootg.data()};
+      newroot.set_is_leaf(false);
+      newroot.set_count(1);
+      newroot.set_next(kInvalidPageId);
+      newroot.set_child0(old_root);
+      newroot.set_internal(0, sep_key, right_child);
+      rootg.MarkDirty();
+      return SetRoot(rootg.page_id());
+    }
+    PathEntry pe = path->back();
+    path->pop_back();
+    TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(pe.page_id));
+    Node node{guard.data()};
+    if (node.count() < kInternalCapacity) {
+      node.internal_shift_right(pe.child_index);
+      node.set_internal(pe.child_index, sep_key, right_child);
+      node.set_count(node.count() + 1);
+      guard.MarkDirty();
+      return Status::OK();
+    }
+    // Split the internal node. Gather entries (+1 new) then redistribute
+    // with the middle key promoted.
+    const int total = node.count();
+    std::vector<int64_t> keys;
+    std::vector<PageId> children;
+    keys.reserve(total + 1);
+    children.reserve(total + 2);
+    children.push_back(node.child(0));
+    for (int i = 0; i < total; ++i) {
+      keys.push_back(node.internal_key(i));
+      children.push_back(node.child(i + 1));
+    }
+    keys.insert(keys.begin() + pe.child_index, sep_key);
+    children.insert(children.begin() + pe.child_index + 1, right_child);
+
+    const int mid = static_cast<int>(keys.size()) / 2;
+    const int64_t promote = keys[mid];
+
+    node.set_count(mid);
+    node.set_child0(children[0]);
+    for (int i = 0; i < mid; ++i) {
+      node.set_internal(i, keys[i], children[i + 1]);
+    }
+    guard.MarkDirty();
+
+    TARPIT_ASSIGN_OR_RETURN(PageGuard rightg, pool_->NewPage());
+    Node right{rightg.data()};
+    right.set_is_leaf(false);
+    right.set_next(kInvalidPageId);
+    const int right_count = static_cast<int>(keys.size()) - mid - 1;
+    right.set_count(right_count);
+    right.set_child0(children[mid + 1]);
+    for (int i = 0; i < right_count; ++i) {
+      right.set_internal(i, keys[mid + 1 + i], children[mid + 2 + i]);
+    }
+    rightg.MarkDirty();
+
+    sep_key = promote;
+    right_child = rightg.page_id();
+  }
+}
+
+Status BTree::UpdateRid(int64_t key, RecordId rid) {
+  TARPIT_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(leaf_id));
+  Node leaf{guard.data()};
+  int i = leaf.leaf_lower_bound(key);
+  if (i >= leaf.count() || leaf.leaf_key(i) != key) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  leaf.set_leaf(i, key, rid);
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status BTree::Delete(int64_t key) {
+  TARPIT_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(leaf_id));
+  Node leaf{guard.data()};
+  int i = leaf.leaf_lower_bound(key);
+  if (i >= leaf.count() || leaf.leaf_key(i) != key) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  leaf.leaf_shift_left(i);
+  leaf.set_count(leaf.count() - 1);
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status BTree::RangeScan(
+    int64_t lo, int64_t hi,
+    const std::function<Status(int64_t, RecordId)>& fn) const {
+  if (lo > hi) return Status::OK();
+  TARPIT_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(lo, nullptr));
+  PageId cur = leaf_id;
+  while (cur != kInvalidPageId) {
+    TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+    Node leaf{guard.data()};
+    int i = leaf.leaf_lower_bound(lo);
+    for (; i < leaf.count(); ++i) {
+      int64_t k = leaf.leaf_key(i);
+      if (k > hi) return Status::OK();
+      TARPIT_RETURN_IF_ERROR(fn(k, leaf.leaf_rid(i)));
+    }
+    cur = leaf.next();
+  }
+  return Status::OK();
+}
+
+Result<BTree::Cursor> BTree::SeekGE(int64_t key) const {
+  TARPIT_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(leaf_id));
+  Node leaf{guard.data()};
+  Cursor cursor(this, leaf_id, leaf.leaf_lower_bound(key));
+  TARPIT_RETURN_IF_ERROR(cursor.LoadCurrent());
+  return cursor;
+}
+
+Status BTree::Cursor::LoadCurrent() {
+  valid_ = false;
+  PageId page = leaf_;
+  int index = index_;
+  while (page != kInvalidPageId) {
+    TARPIT_ASSIGN_OR_RETURN(PageGuard guard, tree_->pool_->FetchPage(page));
+    Node leaf{guard.data()};
+    if (index < leaf.count()) {
+      leaf_ = page;
+      index_ = index;
+      key_ = leaf.leaf_key(index);
+      rid_ = leaf.leaf_rid(index);
+      valid_ = true;
+      return Status::OK();
+    }
+    // Ran past this (possibly empty) leaf: hop along the chain.
+    page = leaf.next();
+    index = 0;
+  }
+  return Status::OK();
+}
+
+Status BTree::Cursor::Next() {
+  if (!valid_) return Status::OK();
+  ++index_;
+  return LoadCurrent();
+}
+
+Result<uint64_t> BTree::CountEntries() const {
+  uint64_t n = 0;
+  TARPIT_RETURN_IF_ERROR(RangeScan(
+      INT64_MIN, INT64_MAX, [&n](int64_t, RecordId) {
+        ++n;
+        return Status::OK();
+      }));
+  return n;
+}
+
+Result<int> BTree::Height() const {
+  TARPIT_ASSIGN_OR_RETURN(PageId cur, root());
+  int h = 1;
+  while (true) {
+    TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+    Node node{guard.data()};
+    if (node.is_leaf()) return h;
+    cur = node.child(0);
+    ++h;
+  }
+}
+
+}  // namespace tarpit

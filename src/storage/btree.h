@@ -1,0 +1,108 @@
+#ifndef TARPIT_STORAGE_BTREE_H_
+#define TARPIT_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace tarpit {
+
+/// Disk-backed B+tree mapping int64 keys to RecordIds, used as the
+/// primary-key index of a table. Unique keys only. Deletes remove
+/// entries without rebalancing (underfull nodes are tolerated, as in
+/// several production engines); the paper's workloads never shrink
+/// tables, so space reclamation is not on the critical path.
+class BTree {
+ public:
+  explicit BTree(BufferPool* pool) : pool_(pool) {}
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Formats a fresh index (empty file) or opens an existing one.
+  Status Open();
+
+  /// Inserts a unique key. AlreadyExists if the key is present.
+  Status Insert(int64_t key, RecordId rid);
+
+  /// Looks up a key.
+  Result<RecordId> Search(int64_t key) const;
+
+  /// Re-points an existing key at a new RecordId (after heap
+  /// relocation). NotFound if absent.
+  Status UpdateRid(int64_t key, RecordId rid);
+
+  /// Removes a key. NotFound if absent.
+  Status Delete(int64_t key);
+
+  /// Calls `fn(key, rid)` for every entry with key in [lo, hi],
+  /// ascending. Stops early and propagates non-OK from fn.
+  Status RangeScan(
+      int64_t lo, int64_t hi,
+      const std::function<Status(int64_t, RecordId)>& fn) const;
+
+  /// Number of entries (walks the leaf chain).
+  Result<uint64_t> CountEntries() const;
+
+  /// Height of the tree (1 = just a root leaf).
+  Result<int> Height() const;
+
+  /// Forward cursor over the leaf chain. Valid() is false once
+  /// exhausted. The cursor pins no pages between calls (it re-fetches
+  /// by page id), so it stays correct across unrelated reads but, like
+  /// most B+tree cursors, must not straddle concurrent structural
+  /// modification of the tree it walks.
+  class Cursor {
+   public:
+    bool Valid() const { return valid_; }
+    int64_t key() const { return key_; }
+    RecordId rid() const { return rid_; }
+
+    /// Advances to the next entry. Returns an error only on I/O
+    /// failure; running off the end just invalidates the cursor.
+    Status Next();
+
+   private:
+    friend class BTree;
+    Cursor(const BTree* tree, PageId leaf, int index)
+        : tree_(tree), leaf_(leaf), index_(index) {}
+
+    /// Loads (key_, rid_) from the current position, hopping to the
+    /// next leaf if the index ran off this one.
+    Status LoadCurrent();
+
+    const BTree* tree_ = nullptr;
+    PageId leaf_ = kInvalidPageId;
+    int index_ = 0;
+    bool valid_ = false;
+    int64_t key_ = 0;
+    RecordId rid_;
+  };
+
+  /// Positions a cursor at the first entry with key >= `key`.
+  Result<Cursor> SeekGE(int64_t key) const;
+
+ private:
+  struct PathEntry {
+    PageId page_id;
+    int child_index;  // Which child we descended into.
+  };
+
+  Result<PageId> FindLeaf(int64_t key,
+                          std::vector<PathEntry>* path) const;
+  Status InsertIntoParent(std::vector<PathEntry>* path, int64_t sep_key,
+                          PageId right_child);
+  Result<PageId> root() const;
+  Status SetRoot(PageId root);
+
+  BufferPool* pool_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_STORAGE_BTREE_H_

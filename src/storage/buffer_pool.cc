@@ -1,0 +1,136 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace tarpit {
+
+PageGuard::~PageGuard() { Release(); }
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    page_ = other.page_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+  }
+  return *this;
+}
+
+void PageGuard::MarkDirty() {
+  assert(page_ != nullptr);
+  page_->is_dirty_ = true;
+}
+
+void PageGuard::Release() {
+  if (page_ != nullptr) {
+    pool_->Unpin(page_);
+    page_ = nullptr;
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity) {
+  assert(capacity >= 1);
+  frames_.reserve(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    frames_.push_back(std::make_unique<Frame>());
+    free_frames_.push_back(capacity - 1 - i);
+  }
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++hits_;
+    Frame& f = *frames_[it->second];
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.page.pin_count_;
+    return PageGuard(this, &f.page);
+  }
+  ++misses_;
+  TARPIT_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = *frames_[idx];
+  TARPIT_RETURN_IF_ERROR(disk_->ReadPage(id, f.page.data()));
+  f.page.page_id_ = id;
+  f.page.is_dirty_ = false;
+  f.page.pin_count_ = 1;
+  page_table_[id] = idx;
+  return PageGuard(this, &f.page);
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  TARPIT_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+  TARPIT_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = *frames_[idx];
+  f.page.Reset();
+  f.page.page_id_ = id;
+  f.page.pin_count_ = 1;
+  page_table_[id] = idx;
+  return PageGuard(this, &f.page);
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, idx] : page_table_) {
+    Frame& f = *frames_[idx];
+    if (f.page.is_dirty_) {
+      TARPIT_RETURN_IF_ERROR(disk_->WritePage(id, f.page.data()));
+      f.page.is_dirty_ = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return Status::OK();
+  Frame& f = *frames_[it->second];
+  if (f.page.is_dirty_) {
+    TARPIT_RETURN_IF_ERROR(disk_->WritePage(id, f.page.data()));
+    f.page.is_dirty_ = false;
+  }
+  return Status::OK();
+}
+
+void BufferPool::Unpin(Page* page) {
+  assert(page->pin_count_ > 0);
+  --page->pin_count_;
+  if (page->pin_count_ == 0) {
+    auto it = page_table_.find(page->page_id_);
+    assert(it != page_table_.end());
+    Frame& f = *frames_[it->second];
+    lru_.push_back(it->second);
+    f.lru_pos = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool: all frames pinned (capacity " +
+        std::to_string(capacity_) + ")");
+  }
+  size_t idx = lru_.front();
+  lru_.pop_front();
+  Frame& f = *frames_[idx];
+  f.in_lru = false;
+  if (f.page.is_dirty_) {
+    TARPIT_RETURN_IF_ERROR(
+        disk_->WritePage(f.page.page_id_, f.page.data()));
+  }
+  page_table_.erase(f.page.page_id_);
+  f.page.Reset();
+  return idx;
+}
+
+}  // namespace tarpit

@@ -1,0 +1,99 @@
+#ifndef TARPIT_STORAGE_BUFFER_POOL_H_
+#define TARPIT_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace tarpit {
+
+class BufferPool;
+
+/// RAII pin on a buffer-pool page. Unpins on destruction; call
+/// MarkDirty() after mutating the page image.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+  ~PageGuard();
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+
+  bool valid() const { return page_ != nullptr; }
+  PageId page_id() const { return page_->page_id(); }
+  char* data() { return page_->data(); }
+  const char* data() const { return page_->data(); }
+  void MarkDirty();
+
+  /// Explicit early release (idempotent).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+};
+
+/// Fixed-capacity page cache over one DiskManager with LRU eviction of
+/// unpinned frames. Single-threaded by design: the simulation harness
+/// models concurrency at the request level, not the page level.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from disk on miss.
+  Result<PageGuard> FetchPage(PageId id);
+
+  /// Allocates a fresh page on disk and pins it.
+  Result<PageGuard> NewPage();
+
+  /// Writes back every dirty page (leaves them cached).
+  Status FlushAll();
+
+  /// Flushes one page if cached and dirty.
+  Status FlushPage(PageId id);
+
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    Page page;
+    // Position in lru_ when the frame is unpinned; invalid otherwise.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(Page* page);
+  /// Finds a frame to host a new page, evicting if needed.
+  Result<size_t> GetVictimFrame();
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;  // Front = least recently used.
+  std::vector<size_t> free_frames_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_STORAGE_BUFFER_POOL_H_

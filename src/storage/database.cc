@@ -1,0 +1,144 @@
+#include "storage/database.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tarpit {
+
+namespace {
+std::string CatalogPath(const std::string& dir) {
+  return dir + "/catalog.meta";
+}
+}  // namespace
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
+                                                 TableOptions defaults) {
+  auto db = std::unique_ptr<Database>(new Database(dir, defaults));
+  TARPIT_RETURN_IF_ERROR(db->LoadCatalog());
+  return db;
+}
+
+Status Database::LoadCatalog() {
+  std::ifstream in(CatalogPath(dir_));
+  if (!in.is_open()) return Status::OK();  // Fresh database.
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    std::string kw, name, schema_text, index_text;
+    size_t pk;
+    if (!(is >> kw >> name >> pk >> schema_text) || kw != "table") {
+      return Status::Corruption("bad catalog line: " + line);
+    }
+    is >> index_text;  // Optional comma-separated index columns.
+    TARPIT_ASSIGN_OR_RETURN(Schema schema,
+                            Schema::Deserialize(schema_text));
+    TARPIT_ASSIGN_OR_RETURN(
+        std::unique_ptr<Table> table,
+        Table::Open(dir_, name, schema, pk, defaults_));
+    std::vector<std::string> index_columns;
+    size_t start = 0;
+    while (start < index_text.size()) {
+      size_t comma = index_text.find(',', start);
+      std::string col = index_text.substr(
+          start, comma == std::string::npos ? std::string::npos
+                                            : comma - start);
+      if (!col.empty()) {
+        TARPIT_RETURN_IF_ERROR(table->CreateSecondaryIndex(col));
+        index_columns.push_back(col);
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    tables_[name] =
+        TableMeta{schema, pk, std::move(index_columns), std::move(table)};
+  }
+  return Status::OK();
+}
+
+Status Database::SaveCatalog() const {
+  const std::string tmp = CatalogPath(dir_) + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) return Status::IOError("write " + tmp);
+    out << "# tarpit catalog v1\n";
+    for (const auto& [name, meta] : tables_) {
+      out << "table " << name << " " << meta.pk_column << " "
+          << meta.schema.Serialize();
+      if (!meta.index_columns.empty()) {
+        out << " ";
+        for (size_t i = 0; i < meta.index_columns.size(); ++i) {
+          if (i) out << ",";
+          out << meta.index_columns[i];
+        }
+      }
+      out << "\n";
+    }
+  }
+  if (std::rename(tmp.c_str(), CatalogPath(dir_).c_str()) != 0) {
+    return Status::IOError("rename catalog");
+  }
+  return Status::OK();
+}
+
+Result<Table*> Database::CreateTable(const std::string& name,
+                                     const Schema& schema,
+                                     const std::string& pk_column) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table " + name);
+  }
+  TARPIT_ASSIGN_OR_RETURN(size_t pk, schema.ColumnIndex(pk_column));
+  TARPIT_ASSIGN_OR_RETURN(
+      std::unique_ptr<Table> table,
+      Table::Create(dir_, name, schema, pk, defaults_));
+  Table* raw = table.get();
+  tables_[name] = TableMeta{schema, pk, {}, std::move(table)};
+  TARPIT_RETURN_IF_ERROR(SaveCatalog());
+  return raw;
+}
+
+Status Database::CreateIndex(const std::string& table,
+                             const std::string& column) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table " + table);
+  TARPIT_RETURN_IF_ERROR(it->second.table->CreateSecondaryIndex(column));
+  it->second.index_columns.push_back(column);
+  return SaveCatalog();
+}
+
+Result<Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name);
+  }
+  return it->second.table.get();
+}
+
+Status Database::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  it->second.table.reset();  // Flushes and closes.
+  for (const char* ext : {".tbl", ".idx", ".wal"}) {
+    std::string path = dir_ + "/" + name + ext;
+    std::remove(path.c_str());  // WAL may not exist; ignore errors.
+  }
+  tables_.erase(it);
+  return SaveCatalog();
+}
+
+std::vector<std::string> Database::ListTables() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, meta] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Database::CheckpointAll() {
+  for (auto& [name, meta] : tables_) {
+    TARPIT_RETURN_IF_ERROR(meta.table->Checkpoint());
+  }
+  return Status::OK();
+}
+
+}  // namespace tarpit

@@ -1,0 +1,70 @@
+#ifndef TARPIT_STORAGE_DATABASE_H_
+#define TARPIT_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace tarpit {
+
+/// A database is a directory of tables plus a catalog file
+/// (`catalog.meta`) recording each table's schema and primary key.
+class Database {
+ public:
+  /// Opens (or initializes) the database in `dir`. The directory must
+  /// exist. Existing tables are opened (replaying WALs).
+  static Result<std::unique_ptr<Database>> Open(const std::string& dir,
+                                                TableOptions defaults = {});
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a table and persists it in the catalog.
+  Result<Table*> CreateTable(const std::string& name, const Schema& schema,
+                             const std::string& pk_column);
+
+  /// Builds a secondary index on `table`.`column` and records it in the
+  /// catalog so it is rebuilt on every open.
+  Status CreateIndex(const std::string& table, const std::string& column);
+
+  /// Looks up an open table.
+  Result<Table*> GetTable(const std::string& name) const;
+
+  /// Drops a table: closes it, removes files and catalog entry.
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> ListTables() const;
+
+  /// Checkpoints every table.
+  Status CheckpointAll();
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  Database(std::string dir, TableOptions defaults)
+      : dir_(std::move(dir)), defaults_(defaults) {}
+
+  Status LoadCatalog();
+  Status SaveCatalog() const;
+
+  struct TableMeta {
+    Schema schema;
+    size_t pk_column;
+    std::vector<std::string> index_columns;
+    std::unique_ptr<Table> table;
+  };
+
+  std::string dir_;
+  TableOptions defaults_;
+  std::map<std::string, TableMeta> tables_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_STORAGE_DATABASE_H_

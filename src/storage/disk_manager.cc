@@ -1,0 +1,86 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tarpit {
+
+DiskManager::~DiskManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status DiskManager::Open(const std::string& path) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already open");
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  path_ = path;
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::IOError("lseek " + path);
+  }
+  if (size % kPageSize != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::Corruption(path + " size not page-aligned");
+  }
+  page_count_ = static_cast<uint32_t>(size / kPageSize);
+  return Status::OK();
+}
+
+Status DiskManager::Close() {
+  if (fd_ < 0) return Status::OK();
+  if (::close(fd_) != 0) return Status::IOError("close " + path_);
+  fd_ = -1;
+  return Status::OK();
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  if (fd_ < 0) return Status::FailedPrecondition("not open");
+  char zeros[kPageSize] = {};
+  PageId id = page_count_;
+  TARPIT_RETURN_IF_ERROR(WritePage(id, zeros));
+  page_count_ = id + 1;
+  return id;
+}
+
+Status DiskManager::ReadPage(PageId id, char* out) const {
+  if (fd_ < 0) return Status::FailedPrecondition("not open");
+  if (id >= page_count_) {
+    return Status::InvalidArgument("read past end of file: page " +
+                                   std::to_string(id));
+  }
+  ssize_t n = ::pread(fd_, out, kPageSize,
+                      static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pread page " + std::to_string(id));
+  }
+  ++reads_;
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const char* data) {
+  if (fd_ < 0) return Status::FailedPrecondition("not open");
+  ssize_t n = ::pwrite(fd_, data, kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite page " + std::to_string(id));
+  }
+  ++writes_;
+  if (id >= page_count_) page_count_ = id + 1;
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("not open");
+  if (::fsync(fd_) != 0) return Status::IOError("fsync " + path_);
+  return Status::OK();
+}
+
+}  // namespace tarpit

@@ -1,0 +1,60 @@
+#ifndef TARPIT_STORAGE_DISK_MANAGER_H_
+#define TARPIT_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace tarpit {
+
+/// Owns one data file and provides page-granular I/O. Pages are allocated
+/// append-only; freed pages are not recycled (acceptable for this
+/// workload: the paper's experiments never shrink tables).
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Opens (creating if needed) the file at `path`.
+  Status Open(const std::string& path);
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Number of pages currently in the file.
+  uint32_t PageCount() const { return page_count_; }
+
+  /// Appends a zeroed page and returns its id.
+  Result<PageId> AllocatePage();
+
+  /// Reads page `id` into `out` (exactly kPageSize bytes).
+  Status ReadPage(PageId id, char* out) const;
+
+  /// Writes kPageSize bytes from `data` to page `id`.
+  Status WritePage(PageId id, const char* data);
+
+  /// fsync the file.
+  Status Sync();
+
+  /// Cumulative physical I/O counters (used by the overhead experiment
+  /// to attribute costs).
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint32_t page_count_ = 0;
+  mutable uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,142 @@
+#include "storage/heap_file.h"
+
+
+#include <algorithm>
+#include "storage/slotted_page.h"
+
+namespace tarpit {
+
+namespace {
+// Pages with less than this much room are not worth tracking.
+constexpr uint16_t kMinTrackedFreeBytes = 64;
+}  // namespace
+
+Status HeapFile::Open() {
+  if (pool_->disk()->PageCount() == 0) {
+    TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage());
+    SlottedPage sp(guard.data());
+    sp.Init();
+    guard.MarkDirty();
+    last_page_ = guard.page_id();
+    live_records_ = 0;
+    return Status::OK();
+  }
+  last_page_ = pool_->disk()->PageCount() - 1;
+  // Recount live records and rebuild the free-space map by scanning
+  // once (heap files carry no separate header page; cheap at the
+  // scales we run).
+  live_records_ = 0;
+  const uint32_t pages = pool_->disk()->PageCount();
+  for (PageId pid = 0; pid < pages; ++pid) {
+    TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(pid));
+    SlottedPage sp(guard.data());
+    const uint16_t slots = sp.slot_count();
+    for (uint16_t s = 0; s < slots; ++s) {
+      if (sp.IsLive(s)) ++live_records_;
+    }
+    NoteFreeSpace(pid, sp.ReclaimableSpace());
+  }
+  return Status::OK();
+}
+
+void HeapFile::NoteFreeSpace(PageId page, uint16_t free_bytes) {
+  if (free_bytes >= kMinTrackedFreeBytes) {
+    free_space_[page] = free_bytes;
+  } else {
+    free_space_.erase(page);
+  }
+}
+
+PageId HeapFile::FindPageWithSpace(uint16_t needed) const {
+  // Smallest page id with room; a handful of entries in practice.
+  for (const auto& [page, free_bytes] : free_space_) {
+    if (free_bytes >= needed) return page;
+  }
+  return kInvalidPageId;
+}
+
+Result<RecordId> HeapFile::Insert(std::string_view record) {
+  // Try the free-space map first, then the tail page, then grow.
+  const uint16_t needed =
+      static_cast<uint16_t>(std::min<size_t>(record.size() + 8,
+                                             SlottedPage::MaxRecordSize()));
+  PageId candidate = FindPageWithSpace(needed);
+  if (candidate == kInvalidPageId) candidate = last_page_;
+  {
+    TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(candidate));
+    SlottedPage sp(guard.data());
+    Result<uint16_t> slot = sp.Insert(record);
+    if (slot.ok()) {
+      guard.MarkDirty();
+      ++live_records_;
+      NoteFreeSpace(guard.page_id(), sp.ReclaimableSpace());
+      return RecordId{guard.page_id(), *slot};
+    }
+    if (!slot.status().IsResourceExhausted()) return slot.status();
+    NoteFreeSpace(guard.page_id(), sp.ReclaimableSpace());
+  }
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage());
+  SlottedPage sp(guard.data());
+  sp.Init();
+  TARPIT_ASSIGN_OR_RETURN(uint16_t slot, sp.Insert(record));
+  guard.MarkDirty();
+  last_page_ = guard.page_id();
+  ++live_records_;
+  NoteFreeSpace(guard.page_id(), sp.ReclaimableSpace());
+  return RecordId{guard.page_id(), slot};
+}
+
+Result<std::string> HeapFile::Get(RecordId rid) const {
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page_id));
+  SlottedPage sp(guard.data());
+  TARPIT_ASSIGN_OR_RETURN(std::string_view rec, sp.Get(rid.slot));
+  return std::string(rec);
+}
+
+Result<RecordId> HeapFile::Update(RecordId rid, std::string_view record) {
+  {
+    TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page_id));
+    SlottedPage sp(guard.data());
+    Status st = sp.Update(rid.slot, record);
+    if (st.ok()) {
+      guard.MarkDirty();
+      NoteFreeSpace(rid.page_id, sp.ReclaimableSpace());
+      return rid;
+    }
+    if (!st.IsResourceExhausted()) return st;
+    // Relocation: remove here, insert elsewhere.
+    TARPIT_RETURN_IF_ERROR(sp.Delete(rid.slot));
+    guard.MarkDirty();
+    --live_records_;
+    NoteFreeSpace(rid.page_id, sp.ReclaimableSpace());
+  }
+  return Insert(record);
+}
+
+Status HeapFile::Delete(RecordId rid) {
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page_id));
+  SlottedPage sp(guard.data());
+  TARPIT_RETURN_IF_ERROR(sp.Delete(rid.slot));
+  guard.MarkDirty();
+  --live_records_;
+  NoteFreeSpace(rid.page_id, sp.ReclaimableSpace());
+  return Status::OK();
+}
+
+Status HeapFile::Scan(
+    const std::function<Status(RecordId, std::string_view)>& fn) const {
+  const uint32_t pages = pool_->disk()->PageCount();
+  for (PageId pid = 0; pid < pages; ++pid) {
+    TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(pid));
+    SlottedPage sp(guard.data());
+    const uint16_t slots = sp.slot_count();
+    for (uint16_t s = 0; s < slots; ++s) {
+      Result<std::string_view> rec = sp.Get(s);
+      if (!rec.ok()) continue;  // Tombstone.
+      TARPIT_RETURN_IF_ERROR(fn(RecordId{pid, s}, *rec));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tarpit

@@ -1,0 +1,74 @@
+#ifndef TARPIT_STORAGE_HEAP_FILE_H_
+#define TARPIT_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace tarpit {
+
+/// A heap of variable-length records stored in slotted pages behind a
+/// buffer pool. Record ids are stable across in-place updates; an update
+/// that no longer fits in its page relocates the record and returns the
+/// new id (callers owning secondary indexes must re-point them).
+///
+/// Space from deletes is reclaimed: the heap keeps an approximate
+/// in-memory free-space map (rebuilt on Open) and steers inserts into
+/// the fullest page that still fits the record, so churning workloads
+/// do not grow the file unboundedly.
+class HeapFile {
+ public:
+  explicit HeapFile(BufferPool* pool) : pool_(pool) {}
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  /// Prepares the heap over `pool`'s file. For an empty file this formats
+  /// the first data page; for an existing file it resumes.
+  Status Open();
+
+  Result<RecordId> Insert(std::string_view record);
+
+  /// Copies the record out (the page pin is released before returning).
+  Result<std::string> Get(RecordId rid) const;
+
+  /// Updates in place when possible; otherwise relocates. Returns the
+  /// record's (possibly new) id.
+  Result<RecordId> Update(RecordId rid, std::string_view record);
+
+  Status Delete(RecordId rid);
+
+  /// Invokes `fn(rid, record)` for every live record in id order.
+  /// Stops and propagates if `fn` returns non-OK.
+  Status Scan(
+      const std::function<Status(RecordId, std::string_view)>& fn) const;
+
+  /// Number of live records (maintained in memory; recomputed on Open).
+  uint64_t live_records() const { return live_records_; }
+
+  uint32_t PageCount() const { return pool_->disk()->PageCount(); }
+
+ private:
+  /// Records `page` as having `free_bytes` available (drops pages that
+  /// are effectively full).
+  void NoteFreeSpace(PageId page, uint16_t free_bytes);
+  /// Picks a page with >= `needed` free bytes, or kInvalidPageId.
+  PageId FindPageWithSpace(uint16_t needed) const;
+
+  BufferPool* pool_;
+  PageId last_page_ = kInvalidPageId;
+  uint64_t live_records_ = 0;
+  // page -> approximate free bytes; only pages with meaningful space.
+  std::map<PageId, uint16_t> free_space_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,62 @@
+#ifndef TARPIT_STORAGE_PAGE_H_
+#define TARPIT_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace tarpit {
+
+/// All on-disk structures use fixed 4 KiB pages.
+inline constexpr uint32_t kPageSize = 4096;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Identifies a record within a heap file: page plus slot number.
+struct RecordId {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page_id != kInvalidPageId; }
+
+  friend bool operator==(const RecordId& a, const RecordId& b) {
+    return a.page_id == b.page_id && a.slot == b.slot;
+  }
+  friend bool operator<(const RecordId& a, const RecordId& b) {
+    if (a.page_id != b.page_id) return a.page_id < b.page_id;
+    return a.slot < b.slot;
+  }
+};
+
+/// In-memory image of one disk page, held in a buffer-pool frame.
+class Page {
+ public:
+  Page() { Reset(); }
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  PageId page_id() const { return page_id_; }
+  bool is_dirty() const { return is_dirty_; }
+  int pin_count() const { return pin_count_; }
+
+  void Reset() {
+    std::memset(data_, 0, kPageSize);
+    page_id_ = kInvalidPageId;
+    is_dirty_ = false;
+    pin_count_ = 0;
+  }
+
+ private:
+  friend class BufferPool;
+  friend class PageGuard;
+
+  char data_[kPageSize];
+  PageId page_id_ = kInvalidPageId;
+  bool is_dirty_ = false;
+  int pin_count_ = 0;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_STORAGE_PAGE_H_

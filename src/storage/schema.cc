@@ -1,0 +1,192 @@
+#include "storage/schema.h"
+
+#include <cstring>
+
+namespace tarpit {
+
+namespace {
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+}  // namespace
+
+Result<size_t> Schema::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + std::string(name) + "'");
+}
+
+Status Schema::Validate(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (!row[i].TypeMatches(columns_[i].type)) {
+      return Status::InvalidArgument(
+          "value " + row[i].ToString() + " does not match column '" +
+          columns_[i].name + "' of type " +
+          ColumnTypeName(columns_[i].type));
+    }
+  }
+  return Status::OK();
+}
+
+Status Schema::EncodeRow(const Row& row, std::string* out) const {
+  TARPIT_RETURN_IF_ERROR(Validate(row));
+  const size_t bitmap_bytes = (columns_.size() + 7) / 8;
+  const size_t bitmap_at = out->size();
+  out->append(bitmap_bytes, '\0');
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) {
+      (*out)[bitmap_at + i / 8] |= static_cast<char>(1 << (i % 8));
+      continue;
+    }
+    switch (columns_[i].type) {
+      case ColumnType::kInt64: {
+        AppendU64(out, static_cast<uint64_t>(row[i].AsInt()));
+        break;
+      }
+      case ColumnType::kDouble: {
+        double d = row[i].AsDouble();
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        AppendU64(out, bits);
+        break;
+      }
+      case ColumnType::kString: {
+        const std::string& s = row[i].AsString();
+        if (s.size() > 0xFFFF) {
+          return Status::InvalidArgument("string too long");
+        }
+        AppendU16(out, static_cast<uint16_t>(s.size()));
+        out->append(s);
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Row> Schema::DecodeRow(std::string_view bytes) const {
+  const size_t bitmap_bytes = (columns_.size() + 7) / 8;
+  if (bytes.size() < bitmap_bytes) {
+    return Status::Corruption("row shorter than null bitmap");
+  }
+  const char* bitmap = bytes.data();
+  size_t pos = bitmap_bytes;
+  Row row;
+  row.reserve(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const bool null = (bitmap[i / 8] >> (i % 8)) & 1;
+    if (null) {
+      row.push_back(Value::Null());
+      continue;
+    }
+    switch (columns_[i].type) {
+      case ColumnType::kInt64: {
+        if (pos + 8 > bytes.size()) return Status::Corruption("short int");
+        uint64_t v;
+        std::memcpy(&v, bytes.data() + pos, 8);
+        pos += 8;
+        row.push_back(Value(static_cast<int64_t>(v)));
+        break;
+      }
+      case ColumnType::kDouble: {
+        if (pos + 8 > bytes.size()) {
+          return Status::Corruption("short double");
+        }
+        uint64_t bits;
+        std::memcpy(&bits, bytes.data() + pos, 8);
+        pos += 8;
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        row.push_back(Value(d));
+        break;
+      }
+      case ColumnType::kString: {
+        if (pos + 2 > bytes.size()) {
+          return Status::Corruption("short string length");
+        }
+        uint16_t len;
+        std::memcpy(&len, bytes.data() + pos, 2);
+        pos += 2;
+        if (pos + len > bytes.size()) {
+          return Status::Corruption("short string body");
+        }
+        row.push_back(Value(std::string(bytes.substr(pos, len))));
+        pos += len;
+        break;
+      }
+    }
+  }
+  if (pos != bytes.size()) {
+    return Status::Corruption("trailing bytes after row");
+  }
+  return row;
+}
+
+std::string Schema::Serialize() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ",";
+    out += columns_[i].name;
+    out += ":";
+    out += ColumnTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+Result<Schema> Schema::Deserialize(std::string_view text) {
+  std::vector<Column> cols;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t comma = text.find(',', start);
+    std::string_view item = text.substr(
+        start, comma == std::string_view::npos ? std::string_view::npos
+                                               : comma - start);
+    size_t colon = item.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::Corruption("bad schema item: " + std::string(item));
+    }
+    std::string name(item.substr(0, colon));
+    std::string_view tname = item.substr(colon + 1);
+    ColumnType type;
+    if (tname == "INT") {
+      type = ColumnType::kInt64;
+    } else if (tname == "DOUBLE") {
+      type = ColumnType::kDouble;
+    } else if (tname == "TEXT") {
+      type = ColumnType::kString;
+    } else {
+      return Status::Corruption("bad column type: " + std::string(tname));
+    }
+    cols.push_back({std::move(name), type});
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (cols.empty()) return Status::Corruption("empty schema");
+  return Schema(std::move(cols));
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.columns_.size() != b.columns_.size()) return false;
+  for (size_t i = 0; i < a.columns_.size(); ++i) {
+    if (a.columns_[i].name != b.columns_[i].name ||
+        a.columns_[i].type != b.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tarpit

@@ -1,0 +1,60 @@
+#ifndef TARPIT_STORAGE_SCHEMA_H_
+#define TARPIT_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace tarpit {
+
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+/// Table schema plus the row wire codec. The encoded form is
+///   [null bitmap (ceil(ncols/8) bytes)]
+///   per non-null column: int64/double little-endian 8 bytes, or
+///   string as u16 length + bytes.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of a column by name, or NotFound.
+  Result<size_t> ColumnIndex(std::string_view name) const;
+
+  /// Validates a row against this schema (arity, types, implicit
+  /// int->double widening applied in place by EncodeRow).
+  Status Validate(const Row& row) const;
+
+  /// Serializes `row` (must Validate). Appends to `out`.
+  Status EncodeRow(const Row& row, std::string* out) const;
+
+  /// Parses a row previously produced by EncodeRow.
+  Result<Row> DecodeRow(std::string_view bytes) const;
+
+  /// Serialization of the schema itself for the catalog file:
+  /// "name:TYPE,name:TYPE,...".
+  std::string Serialize() const;
+  static Result<Schema> Deserialize(std::string_view text);
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_STORAGE_SCHEMA_H_

@@ -1,0 +1,42 @@
+#include "storage/secondary_index.h"
+
+namespace tarpit {
+
+void SecondaryIndex::Insert(const Value& v, RecordId rid) {
+  if (v.is_null()) return;
+  entries_.emplace(v, rid);
+}
+
+void SecondaryIndex::Erase(const Value& v, RecordId rid) {
+  if (v.is_null()) return;
+  auto [lo, hi] = entries_.equal_range(v);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == rid) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
+Status SecondaryIndex::LookupEqual(
+    const Value& v, const std::function<Status(RecordId)>& fn) const {
+  if (v.is_null()) return Status::OK();
+  auto [lo, hi] = entries_.equal_range(v);
+  for (auto it = lo; it != hi; ++it) {
+    TARPIT_RETURN_IF_ERROR(fn(it->second));
+  }
+  return Status::OK();
+}
+
+Status SecondaryIndex::LookupRange(
+    const Value& lo, const Value& hi,
+    const std::function<Status(RecordId)>& fn) const {
+  auto begin = entries_.lower_bound(lo);
+  auto end = entries_.upper_bound(hi);
+  for (auto it = begin; it != end; ++it) {
+    TARPIT_RETURN_IF_ERROR(fn(it->second));
+  }
+  return Status::OK();
+}
+
+}  // namespace tarpit

@@ -1,0 +1,56 @@
+#ifndef TARPIT_STORAGE_SECONDARY_INDEX_H_
+#define TARPIT_STORAGE_SECONDARY_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/value.h"
+
+namespace tarpit {
+
+/// In-memory secondary index over one (non-PK) column: an ordered
+/// multimap from column value to RecordId. Unlike the primary B+tree it
+/// is not persisted -- it is rebuilt by a heap scan when the table
+/// opens (cheap at the scales this engine targets) and maintained
+/// incrementally afterwards. Supports all column types via Value
+/// ordering, point lookups, and range scans.
+class SecondaryIndex {
+ public:
+  explicit SecondaryIndex(size_t column) : column_(column) {}
+
+  size_t column() const { return column_; }
+
+  /// Registers a row's value. NULLs are not indexed (SQL convention:
+  /// equality never matches NULL anyway).
+  void Insert(const Value& v, RecordId rid);
+
+  /// Removes one (value, rid) entry; no-op if absent.
+  void Erase(const Value& v, RecordId rid);
+
+  /// Invokes fn for every rid whose value equals `v`.
+  Status LookupEqual(const Value& v,
+                     const std::function<Status(RecordId)>& fn) const;
+
+  /// Invokes fn for every rid with value in [lo, hi] (Value ordering).
+  Status LookupRange(const Value& lo, const Value& hi,
+                     const std::function<Status(RecordId)>& fn) const;
+
+  size_t entries() const { return entries_.size(); }
+
+ private:
+  struct ValueLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.Compare(b) < 0;
+    }
+  };
+
+  size_t column_;
+  std::multimap<Value, RecordId, ValueLess> entries_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_STORAGE_SECONDARY_INDEX_H_

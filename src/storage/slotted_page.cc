@@ -1,0 +1,193 @@
+#include "storage/slotted_page.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tarpit {
+
+namespace {
+constexpr uint16_t kHeaderSize = 4;
+constexpr uint16_t kSlotSize = 4;
+
+uint16_t LoadU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void StoreU16(char* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+}  // namespace
+
+void SlottedPage::Init() {
+  set_slot_count(0);
+  set_free_end(static_cast<uint16_t>(kPageSize));
+}
+
+uint16_t SlottedPage::slot_count() const { return LoadU16(data_); }
+
+uint16_t SlottedPage::free_end() const { return LoadU16(data_ + 2); }
+
+void SlottedPage::set_free_end(uint16_t v) { StoreU16(data_ + 2, v); }
+
+void SlottedPage::set_slot_count(uint16_t v) { StoreU16(data_, v); }
+
+SlottedPage::Slot SlottedPage::GetSlot(uint16_t i) const {
+  const char* p = data_ + kHeaderSize + i * kSlotSize;
+  return Slot{LoadU16(p), LoadU16(p + 2)};
+}
+
+void SlottedPage::SetSlot(uint16_t i, Slot s) {
+  char* p = data_ + kHeaderSize + i * kSlotSize;
+  StoreU16(p, s.offset);
+  StoreU16(p + 2, s.size);
+}
+
+uint16_t SlottedPage::FreeSpace() const {
+  const uint16_t slots_end = kHeaderSize + slot_count() * kSlotSize;
+  const uint16_t contiguous = free_end() - slots_end;
+  return contiguous >= kSlotSize ? contiguous - kSlotSize : 0;
+}
+
+uint16_t SlottedPage::ReclaimableSpace() const {
+  uint32_t live = 0;
+  const uint16_t slots = slot_count();
+  for (uint16_t i = 0; i < slots; ++i) {
+    live += GetSlot(i).size;
+  }
+  const uint32_t used = kHeaderSize +
+                        static_cast<uint32_t>(slots + 1) * kSlotSize +
+                        live;
+  return used >= kPageSize ? 0 : static_cast<uint16_t>(kPageSize - used);
+}
+
+uint16_t SlottedPage::MaxRecordSize() {
+  return kPageSize - kHeaderSize - kSlotSize;
+}
+
+bool SlottedPage::IsLive(uint16_t slot) const {
+  if (slot >= slot_count()) return false;
+  return GetSlot(slot).offset != 0;
+}
+
+Result<uint16_t> SlottedPage::Insert(std::string_view record) {
+  if (record.size() > MaxRecordSize()) {
+    return Status::InvalidArgument("record larger than page");
+  }
+  const uint16_t size = static_cast<uint16_t>(record.size());
+
+  // Prefer reusing a tombstoned slot (no new slot entry needed).
+  uint16_t target_slot = slot_count();
+  bool reuse = false;
+  for (uint16_t i = 0; i < slot_count(); ++i) {
+    if (GetSlot(i).offset == 0) {
+      target_slot = i;
+      reuse = true;
+      break;
+    }
+  }
+
+  const uint16_t slots_end =
+      kHeaderSize + (slot_count() + (reuse ? 0 : 1)) * kSlotSize;
+  uint16_t available =
+      free_end() > slots_end ? free_end() - slots_end : 0;
+  if (available < size) {
+    Compact();
+    available = free_end() > slots_end ? free_end() - slots_end : 0;
+    if (available < size) {
+      return Status::ResourceExhausted("page full");
+    }
+  }
+
+  const uint16_t offset = free_end() - size;
+  std::memcpy(data_ + offset, record.data(), size);
+  set_free_end(offset);
+  if (!reuse) set_slot_count(slot_count() + 1);
+  SetSlot(target_slot, Slot{offset, size});
+  return target_slot;
+}
+
+Result<std::string_view> SlottedPage::Get(uint16_t slot) const {
+  if (slot >= slot_count()) {
+    return Status::NotFound("slot out of range");
+  }
+  Slot s = GetSlot(slot);
+  if (s.offset == 0) return Status::NotFound("slot deleted");
+  return std::string_view(data_ + s.offset, s.size);
+}
+
+Status SlottedPage::Update(uint16_t slot, std::string_view record) {
+  if (slot >= slot_count() || GetSlot(slot).offset == 0) {
+    return Status::NotFound("slot not live");
+  }
+  Slot s = GetSlot(slot);
+  const uint16_t size = static_cast<uint16_t>(record.size());
+  if (size <= s.size) {
+    // Shrinking in place leaves a hole reclaimed by later compaction.
+    std::memcpy(data_ + s.offset, record.data(), size);
+    SetSlot(slot, Slot{s.offset, size});
+    return Status::OK();
+  }
+  // Growing: tombstone and re-place within the page. Keep a copy of
+  // the old image -- compaction moves cells, so the original offset is
+  // meaningless afterwards.
+  const std::string old_image(data_ + s.offset, s.size);
+  SetSlot(slot, Slot{0, 0});
+  const uint16_t slots_end = kHeaderSize + slot_count() * kSlotSize;
+  uint16_t available =
+      free_end() > slots_end ? free_end() - slots_end : 0;
+  if (available < size) {
+    Compact();
+    available = free_end() > slots_end ? free_end() - slots_end : 0;
+    if (available < size) {
+      // Re-place the old image at a fresh cell (compaction freed at
+      // least its own size) so the record survives for the caller to
+      // relocate.
+      const uint16_t off =
+          free_end() - static_cast<uint16_t>(old_image.size());
+      std::memcpy(data_ + off, old_image.data(), old_image.size());
+      set_free_end(off);
+      SetSlot(slot,
+              Slot{off, static_cast<uint16_t>(old_image.size())});
+      return Status::ResourceExhausted("page full on grow");
+    }
+  }
+  const uint16_t offset = free_end() - size;
+  std::memcpy(data_ + offset, record.data(), size);
+  set_free_end(offset);
+  SetSlot(slot, Slot{offset, size});
+  return Status::OK();
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (slot >= slot_count() || GetSlot(slot).offset == 0) {
+    return Status::NotFound("slot not live");
+  }
+  SetSlot(slot, Slot{0, 0});
+  return Status::OK();
+}
+
+void SlottedPage::Compact() {
+  // Copy live cells into a scratch buffer, then lay them out tightly
+  // from the page end.
+  struct LiveCell {
+    uint16_t slot;
+    std::string bytes;
+  };
+  std::vector<LiveCell> cells;
+  for (uint16_t i = 0; i < slot_count(); ++i) {
+    Slot s = GetSlot(i);
+    if (s.offset != 0) {
+      cells.push_back({i, std::string(data_ + s.offset, s.size)});
+    }
+  }
+  uint16_t end = static_cast<uint16_t>(kPageSize);
+  for (const LiveCell& c : cells) {
+    end -= static_cast<uint16_t>(c.bytes.size());
+    std::memcpy(data_ + end, c.bytes.data(), c.bytes.size());
+    SetSlot(c.slot, Slot{end, static_cast<uint16_t>(c.bytes.size())});
+  }
+  set_free_end(end);
+}
+
+}  // namespace tarpit

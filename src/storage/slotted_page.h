@@ -1,0 +1,81 @@
+#ifndef TARPIT_STORAGE_SLOTTED_PAGE_H_
+#define TARPIT_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace tarpit {
+
+/// View over a 4 KiB page laid out as a classic slotted page:
+///
+///   [slot_count:u16][free_end:u16][slot 0][slot 1]... ...cells...]
+///
+/// Slots are {offset:u16, size:u16}; cells grow downward from the page
+/// end. Deleted slots become tombstones (offset=0,size=0) so slot numbers
+/// stay stable; tombstoned slots are reused by later inserts. The view
+/// does not own the buffer.
+class SlottedPage {
+ public:
+  explicit SlottedPage(char* data) : data_(data) {}
+
+  /// Formats a fresh (zeroed) page.
+  void Init();
+
+  uint16_t slot_count() const;
+
+  /// Contiguous free bytes available for one more cell, assuming a new
+  /// slot entry is also needed (does not count holes).
+  uint16_t FreeSpace() const;
+
+  /// Total reclaimable bytes: contiguous space plus holes left by
+  /// deletes/shrinks, all of which compaction can recover for one new
+  /// cell (minus a new slot entry).
+  uint16_t ReclaimableSpace() const;
+
+  /// Inserts a record, returning its slot. Fails with ResourceExhausted
+  /// when the record does not fit even after compaction.
+  Result<uint16_t> Insert(std::string_view record);
+
+  /// Reads the record in `slot`. NotFound for tombstones/out-of-range.
+  Result<std::string_view> Get(uint16_t slot) const;
+
+  /// Replaces the record in `slot`. May compact the page. Fails with
+  /// ResourceExhausted when the new image cannot fit in this page (the
+  /// caller then relocates the record).
+  Status Update(uint16_t slot, std::string_view record);
+
+  /// Tombstones `slot`. NotFound if already deleted / out of range.
+  Status Delete(uint16_t slot);
+
+  /// True if `slot` holds a live record.
+  bool IsLive(uint16_t slot) const;
+
+  /// Largest record insertable into an empty page.
+  static uint16_t MaxRecordSize();
+
+ private:
+  struct Slot {
+    uint16_t offset;
+    uint16_t size;
+  };
+
+  uint16_t free_end() const;
+  void set_free_end(uint16_t v);
+  void set_slot_count(uint16_t v);
+  Slot GetSlot(uint16_t i) const;
+  void SetSlot(uint16_t i, Slot s);
+
+  /// Rewrites the cell area to squeeze out holes left by deletes and
+  /// shrinking updates.
+  void Compact();
+
+  char* data_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_STORAGE_SLOTTED_PAGE_H_

@@ -1,0 +1,295 @@
+#include "storage/table.h"
+
+#include <cstring>
+
+namespace tarpit {
+
+Table::Table(std::string name, Schema schema, size_t pk_column,
+             TableOptions options)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      pk_column_(pk_column),
+      options_(options) {}
+
+Table::~Table() {
+  // Best-effort flush; errors on teardown have nowhere to go.
+  if (heap_pool_) (void)heap_pool_->FlushAll();
+  if (index_pool_) (void)index_pool_->FlushAll();
+}
+
+Result<std::unique_ptr<Table>> Table::Create(const std::string& dir,
+                                             const std::string& name,
+                                             const Schema& schema,
+                                             size_t pk_column,
+                                             TableOptions options) {
+  if (pk_column >= schema.num_columns()) {
+    return Status::InvalidArgument("pk column index out of range");
+  }
+  if (schema.column(pk_column).type != ColumnType::kInt64) {
+    return Status::InvalidArgument("primary key must be INT");
+  }
+  auto table = std::unique_ptr<Table>(
+      new Table(name, schema, pk_column, options));
+  TARPIT_RETURN_IF_ERROR(table->OpenStorage(dir, /*create=*/true));
+  return table;
+}
+
+Result<std::unique_ptr<Table>> Table::Open(const std::string& dir,
+                                           const std::string& name,
+                                           const Schema& schema,
+                                           size_t pk_column,
+                                           TableOptions options) {
+  if (pk_column >= schema.num_columns()) {
+    return Status::InvalidArgument("pk column index out of range");
+  }
+  auto table = std::unique_ptr<Table>(
+      new Table(name, schema, pk_column, options));
+  TARPIT_RETURN_IF_ERROR(table->OpenStorage(dir, /*create=*/false));
+  return table;
+}
+
+Status Table::OpenStorage(const std::string& dir, bool create) {
+  const std::string base = dir + "/" + name_;
+  TARPIT_RETURN_IF_ERROR(heap_disk_.Open(base + ".tbl"));
+  TARPIT_RETURN_IF_ERROR(index_disk_.Open(base + ".idx"));
+  if (create && (heap_disk_.PageCount() != 0 ||
+                 index_disk_.PageCount() != 0)) {
+    return Status::AlreadyExists("table files exist: " + base);
+  }
+  heap_pool_ =
+      std::make_unique<BufferPool>(&heap_disk_, options_.heap_pool_pages);
+  index_pool_ = std::make_unique<BufferPool>(&index_disk_,
+                                             options_.index_pool_pages);
+  heap_ = std::make_unique<HeapFile>(heap_pool_.get());
+  index_ = std::make_unique<BTree>(index_pool_.get());
+  TARPIT_RETURN_IF_ERROR(heap_->Open());
+  TARPIT_RETURN_IF_ERROR(index_->Open());
+  if (options_.wal_enabled) {
+    TARPIT_RETURN_IF_ERROR(wal_.Open(base + ".wal"));
+    if (!create) TARPIT_RETURN_IF_ERROR(ReplayWal());
+  }
+  return Status::OK();
+}
+
+Status Table::ReplayWal() {
+  return wal_.Replay([this](WalRecordType type, std::string_view payload)
+                         -> Status {
+    switch (type) {
+      case WalRecordType::kInsert: {
+        TARPIT_ASSIGN_OR_RETURN(Row row, schema_.DecodeRow(payload));
+        return ApplyInsert(row, /*idempotent=*/true);
+      }
+      case WalRecordType::kUpdate: {
+        TARPIT_ASSIGN_OR_RETURN(Row row, schema_.DecodeRow(payload));
+        TARPIT_ASSIGN_OR_RETURN(int64_t key, ExtractKey(row));
+        return ApplyUpdate(key, row, /*idempotent=*/true);
+      }
+      case WalRecordType::kDelete: {
+        if (payload.size() != 8) return Status::Corruption("bad delete");
+        int64_t key;
+        std::memcpy(&key, payload.data(), 8);
+        return ApplyDelete(key, /*idempotent=*/true);
+      }
+    }
+    return Status::Corruption("unknown wal record");
+  });
+}
+
+Result<int64_t> Table::ExtractKey(const Row& row) const {
+  if (pk_column_ >= row.size() || !row[pk_column_].is_int()) {
+    return Status::InvalidArgument("row lacks integer primary key");
+  }
+  return row[pk_column_].AsInt();
+}
+
+Status Table::Insert(const Row& row) {
+  TARPIT_RETURN_IF_ERROR(schema_.Validate(row));
+  if (options_.wal_enabled) {
+    std::string payload;
+    TARPIT_RETURN_IF_ERROR(schema_.EncodeRow(row, &payload));
+    TARPIT_RETURN_IF_ERROR(
+        wal_.Append(WalRecordType::kInsert, payload, options_.wal_sync));
+  }
+  return ApplyInsert(row, /*idempotent=*/false);
+}
+
+Status Table::ApplyInsert(const Row& row, bool idempotent) {
+  TARPIT_ASSIGN_OR_RETURN(int64_t key, ExtractKey(row));
+  Result<RecordId> existing = index_->Search(key);
+  if (existing.ok()) {
+    if (!idempotent) {
+      return Status::AlreadyExists("duplicate key " + std::to_string(key));
+    }
+    return ApplyUpdate(key, row, /*idempotent=*/true);
+  }
+  if (!existing.status().IsNotFound()) return existing.status();
+
+  std::string bytes;
+  TARPIT_RETURN_IF_ERROR(schema_.EncodeRow(row, &bytes));
+  TARPIT_ASSIGN_OR_RETURN(RecordId rid, heap_->Insert(bytes));
+  Status st = index_->Insert(key, rid);
+  if (!st.ok()) {
+    (void)heap_->Delete(rid);  // Undo to stay consistent.
+    return st;
+  }
+  for (auto& [col, sec] : secondary_indexes_) {
+    sec.Insert(row[col], rid);
+  }
+  return Status::OK();
+}
+
+Result<Row> Table::GetByKey(int64_t key) const {
+  TARPIT_ASSIGN_OR_RETURN(RecordId rid, index_->Search(key));
+  TARPIT_ASSIGN_OR_RETURN(std::string bytes, heap_->Get(rid));
+  return schema_.DecodeRow(bytes);
+}
+
+Status Table::UpdateByKey(int64_t key, const Row& row) {
+  TARPIT_RETURN_IF_ERROR(schema_.Validate(row));
+  TARPIT_ASSIGN_OR_RETURN(int64_t row_key, ExtractKey(row));
+  if (row_key != key) {
+    return Status::InvalidArgument(
+        "UpdateByKey cannot change the primary key");
+  }
+  if (options_.wal_enabled) {
+    std::string payload;
+    TARPIT_RETURN_IF_ERROR(schema_.EncodeRow(row, &payload));
+    TARPIT_RETURN_IF_ERROR(
+        wal_.Append(WalRecordType::kUpdate, payload, options_.wal_sync));
+  }
+  return ApplyUpdate(key, row, /*idempotent=*/false);
+}
+
+Status Table::ApplyUpdate(int64_t key, const Row& row, bool idempotent) {
+  Result<RecordId> rid = index_->Search(key);
+  if (!rid.ok()) {
+    if (rid.status().IsNotFound() && idempotent) {
+      return ApplyInsert(row, /*idempotent=*/true);
+    }
+    return rid.status();
+  }
+  // Secondary maintenance needs the old image before it is replaced.
+  Row old_row;
+  if (!secondary_indexes_.empty()) {
+    TARPIT_ASSIGN_OR_RETURN(std::string old_bytes, heap_->Get(*rid));
+    TARPIT_ASSIGN_OR_RETURN(old_row, schema_.DecodeRow(old_bytes));
+  }
+  std::string bytes;
+  TARPIT_RETURN_IF_ERROR(schema_.EncodeRow(row, &bytes));
+  TARPIT_ASSIGN_OR_RETURN(RecordId new_rid, heap_->Update(*rid, bytes));
+  if (!(new_rid == *rid)) {
+    TARPIT_RETURN_IF_ERROR(index_->UpdateRid(key, new_rid));
+  }
+  for (auto& [col, sec] : secondary_indexes_) {
+    sec.Erase(old_row[col], *rid);
+    sec.Insert(row[col], new_rid);
+  }
+  return Status::OK();
+}
+
+Status Table::DeleteByKey(int64_t key) {
+  if (options_.wal_enabled) {
+    char payload[8];
+    std::memcpy(payload, &key, 8);
+    TARPIT_RETURN_IF_ERROR(wal_.Append(WalRecordType::kDelete,
+                                       std::string_view(payload, 8),
+                                       options_.wal_sync));
+  }
+  return ApplyDelete(key, /*idempotent=*/false);
+}
+
+Status Table::ApplyDelete(int64_t key, bool idempotent) {
+  Result<RecordId> rid = index_->Search(key);
+  if (!rid.ok()) {
+    if (rid.status().IsNotFound() && idempotent) return Status::OK();
+    return rid.status();
+  }
+  if (!secondary_indexes_.empty()) {
+    TARPIT_ASSIGN_OR_RETURN(std::string old_bytes, heap_->Get(*rid));
+    TARPIT_ASSIGN_OR_RETURN(Row old_row, schema_.DecodeRow(old_bytes));
+    for (auto& [col, sec] : secondary_indexes_) {
+      sec.Erase(old_row[col], *rid);
+    }
+  }
+  TARPIT_RETURN_IF_ERROR(heap_->Delete(*rid));
+  return index_->Delete(key);
+}
+
+Status Table::CreateSecondaryIndex(const std::string& column) {
+  TARPIT_ASSIGN_OR_RETURN(size_t col, schema_.ColumnIndex(column));
+  if (col == pk_column_) {
+    return Status::InvalidArgument(
+        "primary key already has the primary index");
+  }
+  if (secondary_indexes_.count(col)) {
+    return Status::AlreadyExists("index on '" + column + "'");
+  }
+  SecondaryIndex sec(col);
+  TARPIT_RETURN_IF_ERROR(
+      heap_->Scan([&](RecordId rid, std::string_view bytes) -> Status {
+        TARPIT_ASSIGN_OR_RETURN(Row row, schema_.DecodeRow(bytes));
+        sec.Insert(row[col], rid);
+        return Status::OK();
+      }));
+  secondary_indexes_.emplace(col, std::move(sec));
+  return Status::OK();
+}
+
+std::vector<std::string> Table::SecondaryIndexColumns() const {
+  std::vector<std::string> names;
+  for (const auto& [col, sec] : secondary_indexes_) {
+    names.push_back(schema_.column(col).name);
+  }
+  return names;
+}
+
+Status Table::LookupBySecondary(
+    size_t column, const Value& v,
+    const std::function<Status(const Row&)>& fn) const {
+  auto it = secondary_indexes_.find(column);
+  if (it == secondary_indexes_.end()) {
+    return Status::FailedPrecondition("no secondary index on column " +
+                                      std::to_string(column));
+  }
+  return it->second.LookupEqual(v, [&](RecordId rid) -> Status {
+    TARPIT_ASSIGN_OR_RETURN(std::string bytes, heap_->Get(rid));
+    TARPIT_ASSIGN_OR_RETURN(Row row, schema_.DecodeRow(bytes));
+    return fn(row);
+  });
+}
+
+Status Table::ScanRange(
+    int64_t lo, int64_t hi,
+    const std::function<Status(const Row&)>& fn) const {
+  return index_->RangeScan(lo, hi, [&](int64_t, RecordId rid) -> Status {
+    TARPIT_ASSIGN_OR_RETURN(std::string bytes, heap_->Get(rid));
+    TARPIT_ASSIGN_OR_RETURN(Row row, schema_.DecodeRow(bytes));
+    return fn(row);
+  });
+}
+
+Status Table::ScanAll(
+    const std::function<Status(const Row&)>& fn) const {
+  return ScanRange(INT64_MIN, INT64_MAX, fn);
+}
+
+Status Table::Checkpoint() {
+  TARPIT_RETURN_IF_ERROR(heap_pool_->FlushAll());
+  TARPIT_RETURN_IF_ERROR(index_pool_->FlushAll());
+  TARPIT_RETURN_IF_ERROR(heap_disk_.Sync());
+  TARPIT_RETURN_IF_ERROR(index_disk_.Sync());
+  if (options_.wal_enabled) {
+    TARPIT_RETURN_IF_ERROR(wal_.Truncate());
+  }
+  return Status::OK();
+}
+
+uint64_t Table::DiskReads() const {
+  return heap_disk_.reads() + index_disk_.reads();
+}
+
+uint64_t Table::DiskWrites() const {
+  return heap_disk_.writes() + index_disk_.writes();
+}
+
+}  // namespace tarpit

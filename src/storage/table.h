@@ -1,0 +1,135 @@
+#ifndef TARPIT_STORAGE_TABLE_H_
+#define TARPIT_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/heap_file.h"
+#include "storage/schema.h"
+#include "storage/secondary_index.h"
+#include "storage/wal.h"
+
+namespace tarpit {
+
+/// Tuning knobs for a table's storage stack.
+struct TableOptions {
+  size_t heap_pool_pages = 256;
+  size_t index_pool_pages = 256;
+  bool wal_enabled = true;
+  bool wal_sync = false;
+};
+
+/// A relation with a mandatory int64 primary key: heap file for rows,
+/// B+tree for the key, logical WAL for crash recovery. All mutations go
+/// through the primary key, matching the paper's query model (each query
+/// eventually resolves to single-tuple retrievals).
+class Table {
+ public:
+  /// Creates the on-disk files `<dir>/<name>.{tbl,idx,wal}`.
+  /// `pk_column` must name an INT column.
+  static Result<std::unique_ptr<Table>> Create(const std::string& dir,
+                                               const std::string& name,
+                                               const Schema& schema,
+                                               size_t pk_column,
+                                               TableOptions options = {});
+
+  /// Opens existing files and replays any WAL tail.
+  static Result<std::unique_ptr<Table>> Open(const std::string& dir,
+                                             const std::string& name,
+                                             const Schema& schema,
+                                             size_t pk_column,
+                                             TableOptions options = {});
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  ~Table();
+
+  const Schema& schema() const { return schema_; }
+  const std::string& name() const { return name_; }
+  size_t pk_column() const { return pk_column_; }
+
+  Status Insert(const Row& row);
+  Result<Row> GetByKey(int64_t key) const;
+  /// Replaces the row stored under `key`. The new row's PK value must
+  /// equal `key` (PK updates are modeled as delete+insert by the caller).
+  Status UpdateByKey(int64_t key, const Row& row);
+  Status DeleteByKey(int64_t key);
+
+  /// Builds an in-memory secondary index on `column` (any non-PK
+  /// column). Rebuilt automatically when the table reopens if the
+  /// catalog remembers it (see Database::CreateIndex).
+  Status CreateSecondaryIndex(const std::string& column);
+
+  bool HasSecondaryIndex(size_t column) const {
+    return secondary_indexes_.count(column) > 0;
+  }
+  /// Names of columns with secondary indexes (schema order).
+  std::vector<std::string> SecondaryIndexColumns() const;
+
+  /// Invokes fn for every row whose `column` value equals `v`, using
+  /// the secondary index. FailedPrecondition if no index exists.
+  Status LookupBySecondary(size_t column, const Value& v,
+                           const std::function<Status(const Row&)>& fn)
+      const;
+
+  /// Ascending-key scan over [lo, hi].
+  Status ScanRange(int64_t lo, int64_t hi,
+                   const std::function<Status(const Row&)>& fn) const;
+
+  /// Full scan in key order.
+  Status ScanAll(const std::function<Status(const Row&)>& fn) const;
+
+  uint64_t NumRows() const { return heap_->live_records(); }
+
+  /// Flushes all dirty pages and truncates the WAL.
+  Status Checkpoint();
+
+  /// Physical I/O counters, for the overhead experiment.
+  uint64_t DiskReads() const;
+  uint64_t DiskWrites() const;
+
+  BTree* index() { return index_.get(); }
+  HeapFile* heap() { return heap_.get(); }
+
+ private:
+  Table(std::string name, Schema schema, size_t pk_column,
+        TableOptions options);
+
+  Status OpenStorage(const std::string& dir, bool create);
+  Status ReplayWal();
+
+  /// Mutation bodies shared by the public API and WAL replay (replay
+  /// skips re-logging and is idempotent).
+  Status ApplyInsert(const Row& row, bool idempotent);
+  Status ApplyUpdate(int64_t key, const Row& row, bool idempotent);
+  Status ApplyDelete(int64_t key, bool idempotent);
+
+  Result<int64_t> ExtractKey(const Row& row) const;
+
+  std::string name_;
+  Schema schema_;
+  size_t pk_column_;
+  TableOptions options_;
+
+  DiskManager heap_disk_;
+  DiskManager index_disk_;
+  std::unique_ptr<BufferPool> heap_pool_;
+  std::unique_ptr<BufferPool> index_pool_;
+  std::unique_ptr<HeapFile> heap_;
+  std::unique_ptr<BTree> index_;
+  Wal wal_;
+  std::map<size_t, SecondaryIndex> secondary_indexes_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_STORAGE_TABLE_H_

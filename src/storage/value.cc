@@ -1,0 +1,68 @@
+#include "storage/value.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace tarpit {
+
+std::string ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt64:
+      return "INT";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "TEXT";
+  }
+  return "UNKNOWN";
+}
+
+bool Value::TypeMatches(ColumnType t) const {
+  switch (t) {
+    case ColumnType::kInt64:
+      return is_int();
+    case ColumnType::kDouble:
+      return is_double() || is_int();  // Ints widen implicitly.
+    case ColumnType::kString:
+      return is_string();
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    std::ostringstream os;
+    os << std::get<double>(repr_);
+    return os.str();
+  }
+  return "'" + AsString() + "'";
+}
+
+int Value::Compare(const Value& other) const {
+  // NULL sorts first.
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+
+  const bool a_num = is_int() || is_double();
+  const bool b_num = other.is_int() || other.is_double();
+  if (a_num && b_num) {
+    if (is_int() && other.is_int()) {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsDouble(), b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (is_string() && other.is_string()) {
+    return AsString().compare(other.AsString()) < 0
+               ? -1
+               : (AsString() == other.AsString() ? 0 : 1);
+  }
+  // Mixed string/number: order by type tag (numbers < strings).
+  return a_num ? -1 : 1;
+}
+
+}  // namespace tarpit

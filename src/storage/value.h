@@ -1,0 +1,71 @@
+#ifndef TARPIT_STORAGE_VALUE_H_
+#define TARPIT_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tarpit {
+
+/// Column types supported by the mini relational engine.
+enum class ColumnType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+std::string ColumnTypeName(ColumnType t);
+
+/// A dynamically typed cell value. Monostate represents SQL NULL.
+class Value {
+ public:
+  Value() : repr_(std::monostate{}) {}
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(double v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+  explicit Value(const char* v) : repr_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const {
+    return std::holds_alternative<std::monostate>(repr_);
+  }
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(repr_);
+  }
+
+  int64_t AsInt() const { return std::get<int64_t>(repr_); }
+  double AsDouble() const {
+    if (is_int()) return static_cast<double>(std::get<int64_t>(repr_));
+    return std::get<double>(repr_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+
+  /// Type as stored; null has no type.
+  bool TypeMatches(ColumnType t) const;
+
+  /// SQL-ish text rendering (NULL, integer, decimal, quoted string).
+  std::string ToString() const;
+
+  /// Three-way comparison for ORDER/WHERE. Null compares less than
+  /// everything; numerics compare numerically across int/double; strings
+  /// lexicographically. Comparing a string with a number is a caller bug
+  /// (guarded at plan time) and yields ordering by type tag.
+  int Compare(const Value& other) const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+using Row = std::vector<Value>;
+
+}  // namespace tarpit
+
+#endif  // TARPIT_STORAGE_VALUE_H_

@@ -1,0 +1,112 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace tarpit {
+
+namespace {
+
+uint32_t Fnv1a(uint8_t type, std::string_view payload) {
+  uint32_t h = 2166136261u;
+  h = (h ^ type) * 16777619u;
+  for (unsigned char c : payload) h = (h ^ c) * 16777619u;
+  return h;
+}
+
+}  // namespace
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Wal::Open(const std::string& path) {
+  if (fd_ >= 0) return Status::FailedPrecondition("wal already open");
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("open wal " + path + ": " +
+                           std::strerror(errno));
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Status Wal::Close() {
+  if (fd_ < 0) return Status::OK();
+  if (::close(fd_) != 0) return Status::IOError("close wal " + path_);
+  fd_ = -1;
+  return Status::OK();
+}
+
+Status Wal::Append(WalRecordType type, std::string_view payload,
+                   bool sync) {
+  if (fd_ < 0) return Status::FailedPrecondition("wal not open");
+  std::string frame;
+  frame.reserve(9 + payload.size());
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  frame.append(reinterpret_cast<const char*>(&len), 4);
+  frame.push_back(static_cast<char>(type));
+  frame.append(payload);
+  uint32_t crc = Fnv1a(static_cast<uint8_t>(type), payload);
+  frame.append(reinterpret_cast<const char*>(&crc), 4);
+  ssize_t n = ::write(fd_, frame.data(), frame.size());
+  if (n != static_cast<ssize_t>(frame.size())) {
+    return Status::IOError("wal append");
+  }
+  if (sync && ::fdatasync(fd_) != 0) {
+    return Status::IOError("wal fdatasync");
+  }
+  ++records_appended_;
+  return Status::OK();
+}
+
+Status Wal::Replay(
+    const std::function<Status(WalRecordType, std::string_view)>& fn)
+    const {
+  if (fd_ < 0) return Status::FailedPrecondition("wal not open");
+  off_t pos = 0;
+  std::vector<char> buf;
+  while (true) {
+    char header[5];
+    ssize_t n = ::pread(fd_, header, sizeof(header), pos);
+    if (n == 0) break;              // Clean end.
+    if (n < static_cast<ssize_t>(sizeof(header))) break;  // Torn tail.
+    uint32_t len;
+    std::memcpy(&len, header, 4);
+    uint8_t type = static_cast<uint8_t>(header[4]);
+    buf.resize(len + 4);
+    n = ::pread(fd_, buf.data(), len + 4, pos + 5);
+    if (n < static_cast<ssize_t>(len + 4)) break;  // Torn tail.
+    uint32_t crc_stored;
+    std::memcpy(&crc_stored, buf.data() + len, 4);
+    std::string_view payload(buf.data(), len);
+    if (Fnv1a(type, payload) != crc_stored) break;  // Corrupt tail.
+    if (type < 1 || type > 3) {
+      return Status::Corruption("wal record type " + std::to_string(type));
+    }
+    TARPIT_RETURN_IF_ERROR(fn(static_cast<WalRecordType>(type), payload));
+    pos += 5 + len + 4;
+  }
+  return Status::OK();
+}
+
+Status Wal::Truncate() {
+  if (fd_ < 0) return Status::FailedPrecondition("wal not open");
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError("wal truncate");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Wal::SizeBytes() const {
+  if (fd_ < 0) return Status::FailedPrecondition("wal not open");
+  off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) return Status::IOError("wal lseek");
+  return static_cast<uint64_t>(end);
+}
+
+}  // namespace tarpit

@@ -1,0 +1,67 @@
+#ifndef TARPIT_STORAGE_WAL_H_
+#define TARPIT_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tarpit {
+
+/// Logical operations a table logs before applying. Replay is
+/// idempotent: INSERT of an existing key degrades to UPDATE, UPDATE of a
+/// missing key to INSERT, DELETE of a missing key to a no-op — so a
+/// checkpointed-then-crashed file can be replayed from any prefix state.
+enum class WalRecordType : uint8_t {
+  kInsert = 1,
+  kUpdate = 2,
+  kDelete = 3,
+};
+
+/// Append-only logical log. Framing per record:
+///   [payload_len:u32][type:u8][payload][checksum:u32]
+/// where checksum is FNV-1a over type+payload. A torn tail (partial
+/// record or bad checksum) terminates replay without error, mimicking
+/// standard WAL torn-write handling.
+class Wal {
+ public:
+  Wal() = default;
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  Status Open(const std::string& path);
+  Status Close();
+
+  /// Appends one record. `sync` forces fdatasync (durable but slow);
+  /// the paper's overhead experiment runs with sync off, like the
+  /// write-behind count cache it models.
+  Status Append(WalRecordType type, std::string_view payload,
+                bool sync = false);
+
+  /// Replays every intact record from the start of the log.
+  Status Replay(
+      const std::function<Status(WalRecordType, std::string_view)>& fn)
+      const;
+
+  /// Discards the log contents (after a checkpoint).
+  Status Truncate();
+
+  /// Bytes currently in the log.
+  Result<uint64_t> SizeBytes() const;
+
+  uint64_t records_appended() const { return records_appended_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint64_t records_appended_ = 0;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_STORAGE_WAL_H_

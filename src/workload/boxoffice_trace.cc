@@ -1,0 +1,80 @@
+#include "workload/boxoffice_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tarpit {
+
+BoxOfficeTrace::BoxOfficeTrace(BoxOfficeTraceConfig config)
+    : config_(config) {
+  Rng rng(config_.seed);
+  films_.reserve(config_.films);
+  for (uint64_t i = 0; i < config_.films; ++i) {
+    Film film;
+    film.id = static_cast<int64_t>(i) + 1;
+    film.release_week =
+        static_cast<int>(rng.Uniform(static_cast<uint64_t>(
+            config_.weeks + config_.pre_release_weeks))) -
+        config_.pre_release_weeks;
+    if (rng.NextDouble() < config_.studio_fraction) {
+      film.opening_gross = rng.LogNormal(config_.studio_log_mean,
+                                         config_.studio_log_sigma);
+    } else {
+      film.opening_gross = rng.LogNormal(config_.indie_log_mean,
+                                         config_.indie_log_sigma);
+    }
+    film.opening_gross =
+        std::min(film.opening_gross, config_.max_opening);
+    film.weekly_decay =
+        config_.decay_min +
+        rng.NextDouble() * (config_.decay_max - config_.decay_min);
+    films_.push_back(film);
+  }
+}
+
+double BoxOfficeTrace::WeeklyGross(const Film& film, int week) const {
+  if (week < film.release_week || week >= config_.weeks) return 0.0;
+  return film.opening_gross *
+         std::pow(film.weekly_decay, week - film.release_week);
+}
+
+std::vector<std::vector<int64_t>> BoxOfficeTrace::GenerateWeeklyRequests()
+    const {
+  Rng rng(config_.seed ^ 0xFEEDFACE);
+  std::vector<std::vector<int64_t>> weekly(config_.weeks);
+  for (int w = 0; w < config_.weeks; ++w) {
+    std::vector<int64_t>& reqs = weekly[w];
+    for (const Film& film : films_) {
+      const double gross = WeeklyGross(film, w);
+      const int64_t n =
+          static_cast<int64_t>(gross / config_.dollars_per_request);
+      for (int64_t i = 0; i < n; ++i) reqs.push_back(film.id);
+    }
+    // Interleave films within the week.
+    for (size_t i = reqs.size(); i > 1; --i) {
+      std::swap(reqs[i - 1], reqs[rng.Uniform(i)]);
+    }
+  }
+  return weekly;
+}
+
+std::vector<double> BoxOfficeTrace::AnnualGross() const {
+  std::vector<double> totals(config_.films, 0.0);
+  for (const Film& film : films_) {
+    const int start = std::max(0, film.release_week);
+    for (int w = start; w < config_.weeks; ++w) {
+      totals[film.id - 1] += WeeklyGross(film, w);
+    }
+  }
+  return totals;
+}
+
+std::vector<double> BoxOfficeTrace::WeekGross(int week) const {
+  std::vector<double> totals(config_.films, 0.0);
+  for (const Film& film : films_) {
+    totals[film.id - 1] = WeeklyGross(film, week);
+  }
+  return totals;
+}
+
+}  // namespace tarpit

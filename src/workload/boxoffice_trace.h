@@ -1,0 +1,91 @@
+#ifndef TARPIT_WORKLOAD_BOXOFFICE_TRACE_H_
+#define TARPIT_WORKLOAD_BOXOFFICE_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace tarpit {
+
+/// Parameters of the synthetic stand-in for the 2002 Variety weekly
+/// box-office data of paper section 4.2: 634 films, each with a
+/// sharply peaked opening week followed by geometric decay, so that any
+/// single week is strongly skewed (paper Fig. 3) while the
+/// year-aggregate is much flatter (paper Fig. 2) because different
+/// films dominate different weeks. Requests are generated one per
+/// $100,000 of weekly sales, as in the paper.
+///
+/// Opening grosses are a two-population lognormal mixture: wide
+/// "studio" releases with a flat head (2002: $404M at #1 vs ~$160M at
+/// #10, a ratio under 3) and a large "indie" tail most of which never
+/// clears $100k in a week -- so, at one request per $100k, most films
+/// generate no requests at all, exactly the dead tail the paper's
+/// adversary numbers imply (75% of the maximum delay even with no
+/// decay). Films may release in the weeks before the traced year
+/// starts, supplying week-1 holdovers as December releases did in the
+/// real data.
+struct BoxOfficeTraceConfig {
+  uint64_t films = 634;
+  int weeks = 52;
+  /// Fraction of films that are wide studio releases.
+  double studio_fraction = 0.19;
+  /// Lognormal opening-gross parameters (dollars) per population.
+  double studio_log_mean = 16.3;   // ~ $12M median studio opening.
+  double studio_log_sigma = 0.9;
+  double indie_log_mean = 10.5;    // ~ $36k median indie opening.
+  double indie_log_sigma = 1.5;
+  /// Ceiling on opening gross: screen count bounds how wide any film
+  /// can open (Spider-Man's record 2002 opening was ~$114M).
+  double max_opening = 120e6;
+  /// Weekly geometric decay factor range (film-specific "legs").
+  double decay_min = 0.55;
+  double decay_max = 0.76;
+  /// Releases are uniform over [-pre_release_weeks, weeks): films from
+  /// the run-up to the year provide holdovers in early weeks.
+  int pre_release_weeks = 8;
+  double dollars_per_request = 100'000;
+  uint64_t seed = 0xB0C5;
+};
+
+/// A film's static properties in the lifecycle model.
+struct Film {
+  int64_t id = 0;          // 1-based key.
+  int release_week = 0;    // May be negative (pre-year release).
+  double opening_gross = 0;
+  double weekly_decay = 0;
+};
+
+class BoxOfficeTrace {
+ public:
+  explicit BoxOfficeTrace(BoxOfficeTraceConfig config);
+
+  /// Weekly gross of `film` in `week` (0 before release or outside the
+  /// traced year for aggregate purposes; decay still applies from the
+  /// true release week).
+  double WeeklyGross(const Film& film, int week) const;
+
+  /// films()[i] describes film with id i+1.
+  const std::vector<Film>& films() const { return films_; }
+
+  /// Per-week request keys (film ids), shuffled within the week.
+  /// requests[w] holds week w's request stream (w in [0, weeks)).
+  std::vector<std::vector<int64_t>> GenerateWeeklyRequests() const;
+
+  /// Total within-year gross per film id (index 0 = film 1): Figure 2.
+  std::vector<double> AnnualGross() const;
+
+  /// Gross per film for one week (index 0 = film 1): Figure 3 uses
+  /// week 0.
+  std::vector<double> WeekGross(int week) const;
+
+  const BoxOfficeTraceConfig& config() const { return config_; }
+
+ private:
+  BoxOfficeTraceConfig config_;
+  std::vector<Film> films_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_WORKLOAD_BOXOFFICE_TRACE_H_

@@ -1,0 +1,33 @@
+#include "workload/calgary_trace.h"
+
+#include <cmath>
+
+#include "common/zipf.h"
+
+namespace tarpit {
+
+CalgaryTrace::CalgaryTrace(CalgaryTraceConfig config) : config_(config) {}
+
+std::vector<TraceRequest> CalgaryTrace::Generate() const {
+  ZipfDistribution zipf(config_.objects, config_.alpha);
+  Rng rng(config_.seed);
+  std::vector<TraceRequest> trace;
+  trace.reserve(config_.requests);
+  const double dt =
+      config_.duration_seconds / static_cast<double>(config_.requests);
+  for (uint64_t i = 0; i < config_.requests; ++i) {
+    trace.push_back(TraceRequest{
+        static_cast<double>(i) * dt,
+        static_cast<int64_t>(zipf.Sample(&rng)),
+    });
+  }
+  return trace;
+}
+
+double CalgaryTrace::ExpectedFrequency(uint64_t rank) const {
+  const double h = GeneralizedHarmonic(config_.objects, config_.alpha);
+  return static_cast<double>(config_.requests) *
+         std::pow(static_cast<double>(rank), -config_.alpha) / h;
+}
+
+}  // namespace tarpit

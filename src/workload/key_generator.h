@@ -1,0 +1,52 @@
+#ifndef TARPIT_WORKLOAD_KEY_GENERATOR_H_
+#define TARPIT_WORKLOAD_KEY_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace tarpit {
+
+/// Source of query keys for a synthetic workload. Keys are 1-based
+/// "popularity ranks" in [1, n] unless remapped by the caller.
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+  virtual int64_t Next(Rng* rng) = 0;
+  virtual uint64_t n() const = 0;
+};
+
+/// Zipf(alpha)-distributed keys: rank i drawn proportional to i^-alpha.
+class ZipfKeyGenerator : public KeyGenerator {
+ public:
+  ZipfKeyGenerator(uint64_t n, double alpha) : dist_(n, alpha) {}
+  int64_t Next(Rng* rng) override {
+    return static_cast<int64_t>(dist_.Sample(rng));
+  }
+  uint64_t n() const override { return dist_.n(); }
+  double alpha() const { return dist_.alpha(); }
+
+ private:
+  ZipfDistribution dist_;
+};
+
+/// Uniform keys over [1, n] -- the workload against which the
+/// access-based scheme is powerless and the update-based scheme is
+/// evaluated (paper section 3).
+class UniformKeyGenerator : public KeyGenerator {
+ public:
+  explicit UniformKeyGenerator(uint64_t n) : n_(n) {}
+  int64_t Next(Rng* rng) override {
+    return static_cast<int64_t>(rng->Uniform(n_)) + 1;
+  }
+  uint64_t n() const override { return n_; }
+
+ private:
+  uint64_t n_;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_WORKLOAD_KEY_GENERATOR_H_

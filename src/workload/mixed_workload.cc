@@ -1,0 +1,51 @@
+#include "workload/mixed_workload.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/zipf.h"
+
+namespace tarpit {
+
+std::vector<MixedEvent> GenerateMixedWorkload(
+    const MixedWorkloadConfig& config) {
+  Rng rng(config.seed);
+  std::unique_ptr<ZipfDistribution> query_zipf;
+  std::unique_ptr<ZipfDistribution> update_zipf;
+  if (config.query_alpha > 0) {
+    query_zipf =
+        std::make_unique<ZipfDistribution>(config.n, config.query_alpha);
+  }
+  if (config.update_alpha > 0) {
+    update_zipf = std::make_unique<ZipfDistribution>(
+        config.n, config.update_alpha);
+  }
+  auto draw_key = [&](const std::unique_ptr<ZipfDistribution>& zipf) {
+    if (zipf) return static_cast<int64_t>(zipf->Sample(&rng));
+    return static_cast<int64_t>(rng.Uniform(config.n)) + 1;
+  };
+
+  std::vector<MixedEvent> events;
+  // Poisson arrivals: exponential inter-arrival per side, merged.
+  if (config.queries_per_second > 0) {
+    double t = rng.Exponential(config.queries_per_second);
+    while (t < config.duration_seconds) {
+      events.push_back(MixedEvent{t, draw_key(query_zipf), false});
+      t += rng.Exponential(config.queries_per_second);
+    }
+  }
+  if (config.updates_per_second > 0) {
+    double t = rng.Exponential(config.updates_per_second);
+    while (t < config.duration_seconds) {
+      events.push_back(MixedEvent{t, draw_key(update_zipf), true});
+      t += rng.Exponential(config.updates_per_second);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const MixedEvent& a, const MixedEvent& b) {
+              return a.time_seconds < b.time_seconds;
+            });
+  return events;
+}
+
+}  // namespace tarpit

@@ -1,0 +1,39 @@
+#ifndef TARPIT_WORKLOAD_MIXED_WORKLOAD_H_
+#define TARPIT_WORKLOAD_MIXED_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace tarpit {
+
+/// One event in a mixed read/write stream.
+struct MixedEvent {
+  double time_seconds;
+  int64_t key;
+  bool is_update;  // false = query.
+};
+
+/// Generates an interleaved, timestamped stream of queries and updates
+/// with independent arrival rates and skews -- the workload shape of
+/// the paper's dynamic-data experiments (section 4.3: uniform queries,
+/// Zipf updates), generalized so either side can be skewed.
+struct MixedWorkloadConfig {
+  uint64_t n = 10'000;
+  double queries_per_second = 50.0;
+  double updates_per_second = 50.0;
+  /// 0 = uniform; otherwise Zipf with this alpha.
+  double query_alpha = 0.0;
+  double update_alpha = 1.0;
+  double duration_seconds = 1'000.0;
+  uint64_t seed = 7;
+};
+
+/// Materializes the stream (time-ordered; Poisson arrivals per side).
+std::vector<MixedEvent> GenerateMixedWorkload(
+    const MixedWorkloadConfig& config);
+
+}  // namespace tarpit
+
+#endif  // TARPIT_WORKLOAD_MIXED_WORKLOAD_H_

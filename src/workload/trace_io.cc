@@ -1,0 +1,51 @@
+#include "workload/trace_io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+
+namespace tarpit {
+
+Status WriteTraceCsv(const std::string& path,
+                     const std::vector<TraceRequest>& trace) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("open " + path);
+  out << "time_seconds,key\n";
+  for (const TraceRequest& r : trace) {
+    out << r.time_seconds << "," << r.key << "\n";
+  }
+  if (!out.good()) return Status::IOError("write " + path);
+  return Status::OK();
+}
+
+Result<std::vector<TraceRequest>> ReadTraceCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "time_seconds,key") {
+    return Status::Corruption("missing trace header in " + path);
+  }
+  std::vector<TraceRequest> trace;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      return Status::Corruption("bad trace row: " + line);
+    }
+    errno = 0;
+    char* end = nullptr;
+    TraceRequest r;
+    r.time_seconds = std::strtod(line.c_str(), &end);
+    if (errno != 0 || end != line.c_str() + comma) {
+      return Status::Corruption("bad time in row: " + line);
+    }
+    r.key = std::strtoll(line.c_str() + comma + 1, &end, 10);
+    if (errno != 0 || end != line.c_str() + line.size()) {
+      return Status::Corruption("bad key in row: " + line);
+    }
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace tarpit

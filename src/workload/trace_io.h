@@ -1,0 +1,23 @@
+#ifndef TARPIT_WORKLOAD_TRACE_IO_H_
+#define TARPIT_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "workload/calgary_trace.h"
+
+namespace tarpit {
+
+/// Persists a request trace as CSV ("time_seconds,key" with a header
+/// line) so generated workloads can be shared across runs and tools.
+Status WriteTraceCsv(const std::string& path,
+                     const std::vector<TraceRequest>& trace);
+
+/// Reads a trace written by WriteTraceCsv. Fails on malformed rows.
+Result<std::vector<TraceRequest>> ReadTraceCsv(const std::string& path);
+
+}  // namespace tarpit
+
+#endif  // TARPIT_WORKLOAD_TRACE_IO_H_

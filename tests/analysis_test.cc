@@ -1,0 +1,238 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/model.h"
+#include "analysis/staleness.h"
+#include "analysis/zipf_fit.h"
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace tarpit {
+namespace {
+
+// ---------- Model (Eqs. 1-7) ----------
+
+TEST(ModelTest, DelayForRankMatchesEquationOne) {
+  ZipfModelParams p;
+  p.n = 100;
+  p.alpha = 1.0;
+  p.beta = 2.0;
+  p.fmax = 4.0;
+  EXPECT_NEAR(DelayForRank(p, 1), 1.0 / 400, 1e-12);
+  EXPECT_NEAR(DelayForRank(p, 10), 1000.0 / 400, 1e-12);
+}
+
+TEST(ModelTest, AdversaryDelayUncappedIsEquationTwo) {
+  ZipfModelParams p;
+  p.n = 4;
+  p.alpha = 1.0;
+  p.beta = 1.0;
+  p.fmax = 1.0;
+  // sum i^2 for i=1..4 = 30; / (4*1) = 7.5.
+  EXPECT_NEAR(AdversaryDelayUncapped(p), 7.5, 1e-12);
+}
+
+TEST(ModelTest, CapRankInvertsEquationFive) {
+  ZipfModelParams p;
+  p.n = 10000;
+  p.alpha = 1.0;
+  p.beta = 1.0;
+  p.fmax = 1.0;
+  p.dmax = 1.0;
+  // M = (dmax*N*fmax)^(1/2) = 100.
+  EXPECT_EQ(CapRank(p), 100u);
+  EXPECT_LE(DelayForRank(p, CapRank(p) - 1), p.dmax);
+  EXPECT_GE(DelayForRank(p, CapRank(p)), p.dmax);
+}
+
+TEST(ModelTest, CappedDelayBelowUncappedAndBelowNaiveMax) {
+  ZipfModelParams p;
+  p.n = 12179;
+  p.alpha = 1.5;
+  p.beta = 1.0;
+  p.fmax = 0.01;
+  p.dmax = 10.0;
+  double capped = AdversaryDelayCapped(p);
+  EXPECT_LT(capped, AdversaryDelayUncapped(p));
+  EXPECT_LE(capped, static_cast<double>(p.n) * p.dmax + 1e-9);
+  // Cap engaged: most tuples pay dmax, so capped is near N * dmax.
+  EXPECT_GT(capped, 0.5 * static_cast<double>(p.n) * p.dmax);
+}
+
+TEST(ModelTest, MedianRankMatchesBruteForce) {
+  for (double alpha : {0.5, 1.0, 1.5, 2.0}) {
+    const uint64_t n = 1000;
+    uint64_t m = MedianRankZipf(n, alpha);
+    // CDF(m) >= 0.5 > CDF(m-1).
+    double h = GeneralizedHarmonic(n, alpha);
+    double cdf_m = GeneralizedHarmonic(m, alpha) / h;
+    EXPECT_GE(cdf_m, 0.5) << alpha;
+    if (m > 1) {
+      double cdf_prev = GeneralizedHarmonic(m - 1, alpha) / h;
+      EXPECT_LT(cdf_prev, 0.5) << alpha;
+    }
+  }
+}
+
+TEST(ModelTest, MedianRankRegimes) {
+  // Eq. 3 asymptotics: alpha > 1 gives tiny (log N) median ranks,
+  // alpha < 1 gives ranks linear in N.
+  EXPECT_LT(MedianRankZipf(100000, 1.5), 50u);
+  EXPECT_GT(MedianRankZipf(100000, 0.5), 10000u);
+  uint64_t sqrtish = MedianRankZipf(100000, 1.0);
+  EXPECT_GT(sqrtish, 50u);
+  EXPECT_LT(sqrtish, 5000u);
+
+  EXPECT_EQ(MedianRankRegimeFor(0.5), MedianRankRegime::kLinearInN);
+  EXPECT_EQ(MedianRankRegimeFor(1.0), MedianRankRegime::kSqrtN);
+  EXPECT_EQ(MedianRankRegimeFor(1.5), MedianRankRegime::kLogN);
+}
+
+TEST(ModelTest, RatioGrowsSuperlinearlyForHighSkew) {
+  // Eq. 4: for alpha >= 1, the adversary/median ratio should explode
+  // with N.
+  ZipfModelParams small;
+  small.n = 1000;
+  small.alpha = 1.5;
+  small.beta = 1.0;
+  small.fmax = 1.0;
+  small.dmax = 0;  // Uncapped for the pure asymptotic.
+  ZipfModelParams big = small;
+  big.n = 100000;
+  double r_small = AdversaryToMedianRatio(small);
+  double r_big = AdversaryToMedianRatio(big);
+  EXPECT_GT(r_big / r_small, 100.0 * 0.5);  // Superlinear in N.
+  EXPECT_FALSE(RatioRegimeDescription(1.5, 1.0).empty());
+  EXPECT_FALSE(RatioRegimeDescription(1.0, 1.0).empty());
+  EXPECT_FALSE(RatioRegimeDescription(0.5, 1.0).empty());
+}
+
+TEST(ModelTest, MedianUserDelayRespectsCap) {
+  ZipfModelParams p;
+  p.n = 100;
+  p.alpha = 0.3;  // Median rank deep in the tail.
+  p.beta = 5.0;
+  p.fmax = 1e-9;  // Huge raw delays.
+  p.dmax = 10.0;
+  EXPECT_EQ(MedianUserDelay(p), 10.0);
+}
+
+// ---------- Staleness (Eqs. 8-12) ----------
+
+TEST(StalenessTest, SmaxApproxMatchesFormula) {
+  EXPECT_NEAR(SmaxApprox(2.0, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(SmaxApprox(1.0, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(SmaxApprox(0.5, 1.0), 0.25, 1e-12);
+  // alpha = 2: S = (c/3)^(1/2).
+  EXPECT_NEAR(SmaxApprox(0.75, 2.0), 0.5, 1e-12);
+  // Clamped to [0, 1].
+  EXPECT_EQ(SmaxApprox(100.0, 1.0), 1.0);
+}
+
+TEST(StalenessTest, SmaxExactConvergesToApprox) {
+  // For large N the finite-sum solution approaches the continuous
+  // approximation (Eq. 11 -> Eq. 12).
+  for (double alpha : {0.5, 1.0, 2.0}) {
+    double exact = SmaxExact(1'000'000, alpha, 0.5);
+    double approx = SmaxApprox(0.5, alpha);
+    EXPECT_NEAR(exact, approx, approx * 0.05) << alpha;
+  }
+}
+
+TEST(StalenessTest, DeterministicCriterion) {
+  // Rates: 1/s, 0.1/s, 0.01/s. d_total = 15s -> items with 1/r <= 15
+  // (rates >= 1/15) are stale: the first two.
+  std::vector<double> rates = {1.0, 0.1, 0.01};
+  EXPECT_NEAR(DeterministicStaleFraction(rates, 15.0), 2.0 / 3, 1e-12);
+  EXPECT_NEAR(DeterministicStaleFraction(rates, 0.5), 0.0, 1e-12);
+  EXPECT_NEAR(DeterministicStaleFraction(rates, 1000.0), 1.0, 1e-12);
+  EXPECT_EQ(DeterministicStaleFraction({}, 10.0), 0.0);
+}
+
+TEST(StalenessTest, PoissonExpectationBounds) {
+  std::vector<double> rates = {10.0, 0.0};
+  std::vector<double> times = {0.0, 5.0};
+  double s = ExpectedStaleFractionPoisson(rates, times, 10.0);
+  // Item 1: 1-exp(-100) ~ 1. Item 2: rate 0 -> never stale.
+  EXPECT_NEAR(s, 0.5, 1e-6);
+  // Retrieval at the very end leaves no exposure window.
+  EXPECT_NEAR(
+      ExpectedStaleFractionPoisson({100.0}, {10.0}, 10.0), 0.0, 1e-12);
+}
+
+TEST(StalenessTest, StaleFractionMonotoneInSkewRegimeCheck) {
+  // With fixed c, higher alpha concentrates updates on fewer tuples,
+  // so the deterministic stale fraction (under Zipf rates and the
+  // resulting d_total) should fall -- the Figure 6 trend at high skew.
+  auto stale_at = [](double alpha) {
+    const uint64_t n = 10000;
+    const double total_rate = 100.0;
+    std::vector<double> rates(n);
+    ZipfDistribution z(n, alpha);
+    for (uint64_t i = 1; i <= n; ++i) {
+      rates[i - 1] = total_rate * z.Pmf(i);
+    }
+    // Delay per Eq. 8 with c = 0.5 and a 10s cap.
+    double c = 0.5, dmax = 10.0, dtotal = 0.0;
+    for (double r : rates) {
+      double d = r > 0 ? c / (static_cast<double>(n) * r) : dmax;
+      dtotal += std::min(d, dmax);
+    }
+    return DeterministicStaleFraction(rates, dtotal);
+  };
+  EXPECT_GT(stale_at(0.5), stale_at(2.5));
+}
+
+// ---------- Zipf fitting ----------
+
+TEST(ZipfFitTest, RecoversExactPowerLaw) {
+  std::vector<double> counts;
+  for (int i = 1; i <= 500; ++i) {
+    counts.push_back(1e6 * std::pow(i, -1.3));
+  }
+  ZipfFit fit = FitZipf(counts);
+  EXPECT_NEAR(fit.alpha, 1.3, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+  EXPECT_EQ(fit.points, 500u);
+}
+
+TEST(ZipfFitTest, ZeroCountsTerminateFit) {
+  std::vector<double> counts = {100, 50, 0, 25};
+  ZipfFit fit = FitZipf(counts);
+  EXPECT_EQ(fit.points, 2u);
+  EXPECT_NEAR(fit.alpha, 1.0, 1e-9);  // 100 -> 50 over ranks 1 -> 2.
+}
+
+TEST(ZipfFitTest, DegenerateInputs) {
+  EXPECT_EQ(FitZipf({}).points, 0u);
+  EXPECT_EQ(FitZipf({5.0}).points, 1u);
+  EXPECT_EQ(FitZipf({5.0}).alpha, 0.0);
+}
+
+class ZipfFitSampleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfFitSampleTest, RecoversAlphaFromSampledCounts) {
+  const double alpha = GetParam();
+  const uint64_t n = 2000;
+  CountTracker tracker(n, 1.0);
+  ZipfDistribution zipf(n, alpha);
+  Rng rng(5);
+  for (int i = 0; i < 500'000; ++i) {
+    tracker.Record(static_cast<int64_t>(zipf.Sample(&rng)));
+  }
+  std::vector<int64_t> keys;
+  for (uint64_t k = 1; k <= n; ++k) {
+    keys.push_back(static_cast<int64_t>(k));
+  }
+  ZipfFit fit = FitZipfFromTracker(tracker, keys, /*top_k=*/100);
+  EXPECT_NEAR(fit.alpha, alpha, 0.1) << alpha;
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfFitSampleTest,
+                         ::testing::Values(0.8, 1.2, 1.6));
+
+}  // namespace
+}  // namespace tarpit

@@ -1,0 +1,289 @@
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/zipf.h"
+
+namespace tarpit {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("tuple 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: tuple 42");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::IOError("disk"); };
+  auto outer = [&]() -> Status {
+    TARPIT_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.value_or(0), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto produce = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("boom");
+    return 3;
+  };
+  auto consume = [&](bool fail) -> Result<int> {
+    TARPIT_ASSIGN_OR_RETURN(int v, produce(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(*consume(false), 6);
+  EXPECT_FALSE(consume(true).ok());
+}
+
+TEST(VirtualClockTest, SleepAdvances) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.SleepForMicros(50);
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.SleepForMicros(-5);  // Negative sleeps are ignored.
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.AdvanceToMicros(120);  // Never moves backwards.
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.AdvanceToMicros(200);
+  EXPECT_EQ(clock.NowMicros(), 200);
+}
+
+TEST(RealClockTest, MonotonicAndSleeps) {
+  RealClock clock;
+  int64_t a = clock.NowMicros();
+  clock.SleepForMicros(2000);
+  int64_t b = clock.NowMicros();
+  EXPECT_GE(b - a, 2000);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.Uniform(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(2);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 8000; ++i) ++seen[rng.Uniform(8)];
+  for (int v : seen) EXPECT_GT(v, 0);
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, ExponentialMeanApproximatesInverseRate) {
+  Rng rng(6);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) stat.Add(rng.Exponential(2.0));
+  EXPECT_NEAR(stat.mean(), 0.5, 0.02);
+}
+
+TEST(ZipfMathTest, HarmonicMatchesDirectSum) {
+  // H_{10,1} = 2.9289682...
+  EXPECT_NEAR(GeneralizedHarmonic(10, 1.0), 2.9289682539682538, 1e-12);
+  // H_{5,2} = 1 + 1/4 + 1/9 + 1/16 + 1/25.
+  EXPECT_NEAR(GeneralizedHarmonic(5, 2.0),
+              1.0 + 0.25 + 1.0 / 9 + 1.0 / 16 + 0.04, 1e-12);
+}
+
+TEST(ZipfMathTest, PowerSumSmall) {
+  // 1^2 + 2^2 + 3^2 + 4^2 = 30.
+  EXPECT_NEAR(PowerSum(4, 2.0), 30.0, 1e-9);
+  // Sum of first 100 integers = 5050.
+  EXPECT_NEAR(PowerSum(100, 1.0), 5050.0, 1e-6);
+}
+
+TEST(ZipfMathTest, LargeNApproximationIsClose) {
+  // For n beyond the direct-sum limit the Euler-Maclaurin branch must
+  // agree with the closed form for s=2 tail: H_{inf,2} = pi^2/6.
+  double h = GeneralizedHarmonic(50'000'000, 2.0);
+  EXPECT_NEAR(h, M_PI * M_PI / 6.0, 1e-7);
+}
+
+TEST(ZipfDistributionTest, PmfNormalized) {
+  ZipfDistribution z(1000, 1.2);
+  double total = 0.0;
+  for (uint64_t i = 1; i <= 1000; ++i) total += z.Pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfDistributionTest, SamplesInRange) {
+  ZipfDistribution z(50, 0.8);
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t s = z.Sample(&rng);
+    EXPECT_GE(s, 1u);
+    EXPECT_LE(s, 50u);
+  }
+}
+
+class ZipfFrequencyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfFrequencyTest, EmpiricalFrequencyMatchesPmf) {
+  const double alpha = GetParam();
+  const uint64_t n = 100;
+  const int draws = 200000;
+  ZipfDistribution z(n, alpha);
+  Rng rng(11);
+  std::vector<int> counts(n + 1, 0);
+  for (int i = 0; i < draws; ++i) ++counts[z.Sample(&rng)];
+  // Check the head ranks where mass is concentrated.
+  for (uint64_t i = 1; i <= 5; ++i) {
+    double expected = z.Pmf(i) * draws;
+    EXPECT_NEAR(counts[i], expected, 5 * std::sqrt(expected) + 30)
+        << "rank " << i << " alpha " << alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfFrequencyTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.5, 2.0, 2.5));
+
+TEST(ZipfDistributionTest, SingleElement) {
+  ZipfDistribution z(1, 1.5);
+  Rng rng(8);
+  EXPECT_EQ(z.Sample(&rng), 1u);
+  EXPECT_NEAR(z.Pmf(1), 1.0, 1e-12);
+}
+
+TEST(ExpectedZipfCountsTest, SumsToRequests) {
+  auto counts = ExpectedZipfCounts(100, 1.5, 1e6);
+  double total = 0.0;
+  for (double c : counts) total += c;
+  EXPECT_NEAR(total, 1e6, 1e-3);
+  // Monotone decreasing by rank.
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_LE(counts[i], counts[i - 1]);
+  }
+}
+
+TEST(RunningStatTest, MeanVarianceMinMax) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(QuantileSketchTest, MedianOddEven) {
+  QuantileSketch q;
+  for (double x : {5.0, 1.0, 3.0}) q.Add(x);
+  EXPECT_NEAR(q.Median(), 3.0, 1e-12);
+  q.Add(7.0);
+  EXPECT_NEAR(q.Median(), 4.0, 1e-12);  // Interpolated between 3 and 5.
+}
+
+TEST(QuantileSketchTest, ExtremesAndInterpolation) {
+  QuantileSketch q;
+  for (int i = 1; i <= 100; ++i) q.Add(i);
+  EXPECT_EQ(q.Quantile(0.0), 1.0);
+  EXPECT_EQ(q.Quantile(1.0), 100.0);
+  EXPECT_NEAR(q.Quantile(0.25), 25.75, 1e-9);
+  EXPECT_NEAR(q.Mean(), 50.5, 1e-9);
+}
+
+TEST(QuantileSketchTest, EmptyReturnsZero) {
+  QuantileSketch q;
+  EXPECT_EQ(q.Median(), 0.0);
+  EXPECT_EQ(q.Sum(), 0.0);
+}
+
+TEST(QuantileSketchTest, AddAfterQueryStaysSorted) {
+  QuantileSketch q;
+  q.Add(10.0);
+  EXPECT_EQ(q.Median(), 10.0);
+  q.Add(0.0);
+  q.Add(20.0);
+  EXPECT_EQ(q.Median(), 10.0);
+}
+
+TEST(LogHistogramTest, BucketsAndOverflow) {
+  LogHistogram h(1.0, 10.0, 3);  // [0,1) [1,10) [10,100) overflow.
+  h.Add(0.5);
+  h.Add(2.0);
+  h.Add(50.0);
+  h.Add(1e9);
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_EQ(h.BucketCount(0), 1);
+  EXPECT_EQ(h.BucketCount(1), 1);
+  EXPECT_EQ(h.BucketCount(2), 1);
+  EXPECT_EQ(h.BucketCount(3), 1);
+  EXPECT_EQ(h.BucketLowerBound(0), 0.0);
+  EXPECT_NEAR(h.BucketLowerBound(2), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tarpit

@@ -1,0 +1,216 @@
+// Secondary index tests: the in-memory non-unique index, its
+// maintenance across mutations, catalog persistence, and the
+// SQL/planner integration (CREATE INDEX + SecondaryLookup plans).
+
+#include <filesystem>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sql/executor.h"
+#include "storage/database.h"
+#include "storage/secondary_index.h"
+
+namespace tarpit {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------- SecondaryIndex unit ----------
+
+TEST(SecondaryIndexTest, InsertLookupErase) {
+  SecondaryIndex idx(1);
+  idx.Insert(Value("red"), RecordId{1, 0});
+  idx.Insert(Value("red"), RecordId{2, 0});
+  idx.Insert(Value("blue"), RecordId{3, 0});
+  EXPECT_EQ(idx.entries(), 3u);
+
+  std::set<PageId> pages;
+  ASSERT_TRUE(idx.LookupEqual(Value("red"), [&](RecordId rid) {
+                    pages.insert(rid.page_id);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(pages, (std::set<PageId>{1, 2}));
+
+  idx.Erase(Value("red"), RecordId{1, 0});
+  EXPECT_EQ(idx.entries(), 2u);
+  pages.clear();
+  ASSERT_TRUE(idx.LookupEqual(Value("red"), [&](RecordId rid) {
+                    pages.insert(rid.page_id);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(pages, (std::set<PageId>{2}));
+  // Erasing a non-existent pair is a no-op.
+  idx.Erase(Value("green"), RecordId{9, 9});
+  EXPECT_EQ(idx.entries(), 2u);
+}
+
+TEST(SecondaryIndexTest, NullsNotIndexed) {
+  SecondaryIndex idx(0);
+  idx.Insert(Value::Null(), RecordId{1, 0});
+  EXPECT_EQ(idx.entries(), 0u);
+  int hits = 0;
+  ASSERT_TRUE(idx.LookupEqual(Value::Null(), [&](RecordId) {
+                    ++hits;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(SecondaryIndexTest, RangeLookupOrdered) {
+  SecondaryIndex idx(0);
+  for (int64_t v = 0; v < 20; ++v) {
+    idx.Insert(Value(v), RecordId{static_cast<PageId>(v), 0});
+  }
+  std::vector<PageId> seen;
+  ASSERT_TRUE(idx.LookupRange(Value(int64_t{5}), Value(int64_t{8}),
+                              [&](RecordId rid) {
+                                seen.push_back(rid.page_id);
+                                return Status::OK();
+                              })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<PageId>{5, 6, 7, 8}));
+}
+
+// ---------- Through the SQL layer ----------
+
+class SqlIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("tarpit_idx_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()) +
+            "_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    Open();
+    Must("CREATE TABLE users (id INT PRIMARY KEY, city TEXT, "
+         "age INT)");
+    Must("INSERT INTO users VALUES (1, 'ann_arbor', 30), "
+         "(2, 'detroit', 25), (3, 'ann_arbor', 40), "
+         "(4, 'lansing', 25), (5, 'detroit', 30)");
+  }
+  void TearDown() override {
+    exec_.reset();
+    db_.reset();
+    fs::remove_all(dir_);
+  }
+
+  void Open() {
+    auto db = Database::Open(dir_.string());
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    exec_ = std::make_unique<Executor>(db_.get());
+  }
+  void Reopen() {
+    exec_.reset();
+    db_.reset();
+    Open();
+  }
+  QueryResult Must(const std::string& sql) {
+    auto r = exec_->ExecuteSql(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(*r) : QueryResult{};
+  }
+
+  fs::path dir_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Executor> exec_;
+};
+
+TEST_F(SqlIndexTest, CreateIndexSwitchesPlanToSecondaryLookup) {
+  QueryResult before = Must("SELECT id FROM users WHERE city = 'detroit'");
+  EXPECT_EQ(before.plan.kind, AccessPathKind::kFullScan);
+
+  Must("CREATE INDEX city_idx ON users (city)");
+  QueryResult after = Must("SELECT id FROM users WHERE city = 'detroit'");
+  EXPECT_EQ(after.plan.kind, AccessPathKind::kSecondaryLookup);
+  ASSERT_EQ(after.rows.size(), 2u);
+  std::set<int64_t> ids;
+  for (const Row& row : after.rows) ids.insert(row[0].AsInt());
+  EXPECT_EQ(ids, (std::set<int64_t>{2, 5}));
+}
+
+TEST_F(SqlIndexTest, PkPathStillWinsOverSecondary) {
+  Must("CREATE INDEX ON users (age)");
+  QueryResult r = Must("SELECT * FROM users WHERE id = 3 AND age = 40");
+  EXPECT_EQ(r.plan.kind, AccessPathKind::kPointLookup);
+}
+
+TEST_F(SqlIndexTest, ResidualPredicateStillApplies) {
+  Must("CREATE INDEX ON users (age)");
+  QueryResult r =
+      Must("SELECT id FROM users WHERE age = 25 AND city = 'detroit'");
+  EXPECT_EQ(r.plan.kind, AccessPathKind::kSecondaryLookup);
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(SqlIndexTest, IndexMaintainedAcrossMutations) {
+  Must("CREATE INDEX ON users (city)");
+  Must("INSERT INTO users VALUES (6, 'detroit', 50)");
+  Must("UPDATE users SET city = 'detroit' WHERE id = 4");
+  Must("DELETE FROM users WHERE id = 2");
+  QueryResult r = Must("SELECT id FROM users WHERE city = 'detroit'");
+  EXPECT_EQ(r.plan.kind, AccessPathKind::kSecondaryLookup);
+  std::set<int64_t> ids;
+  for (const Row& row : r.rows) ids.insert(row[0].AsInt());
+  EXPECT_EQ(ids, (std::set<int64_t>{4, 5, 6}));
+}
+
+TEST_F(SqlIndexTest, IndexRebuiltFromCatalogOnReopen) {
+  Must("CREATE INDEX ON users (city)");
+  ASSERT_TRUE(db_->CheckpointAll().ok());
+  Reopen();
+  QueryResult r = Must("SELECT id FROM users WHERE city = 'ann_arbor'");
+  EXPECT_EQ(r.plan.kind, AccessPathKind::kSecondaryLookup);
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(SqlIndexTest, AggregateUsesSecondaryPath) {
+  Must("CREATE INDEX ON users (age)");
+  QueryResult r = Must("SELECT COUNT(*) FROM users WHERE age = 25");
+  EXPECT_EQ(r.plan.kind, AccessPathKind::kSecondaryLookup);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(SqlIndexTest, UpdateAndDeleteUseSecondaryPath) {
+  Must("CREATE INDEX ON users (city)");
+  QueryResult up =
+      Must("UPDATE users SET age = 99 WHERE city = 'lansing'");
+  EXPECT_EQ(up.plan.kind, AccessPathKind::kSecondaryLookup);
+  EXPECT_EQ(up.affected, 1u);
+  QueryResult del = Must("DELETE FROM users WHERE city = 'lansing'");
+  EXPECT_EQ(del.plan.kind, AccessPathKind::kSecondaryLookup);
+  EXPECT_EQ(del.affected, 1u);
+}
+
+TEST_F(SqlIndexTest, Errors) {
+  EXPECT_FALSE(exec_->ExecuteSql("CREATE INDEX ON ghost (x)").ok());
+  EXPECT_FALSE(exec_->ExecuteSql("CREATE INDEX ON users (nope)").ok());
+  // PK already has the primary index.
+  EXPECT_FALSE(exec_->ExecuteSql("CREATE INDEX ON users (id)").ok());
+  Must("CREATE INDEX ON users (city)");
+  EXPECT_EQ(
+      exec_->ExecuteSql("CREATE INDEX ON users (city)").status().code(),
+      StatusCode::kAlreadyExists);
+  EXPECT_FALSE(exec_->ExecuteSql("CREATE INDEX users (city)").ok());
+}
+
+TEST_F(SqlIndexTest, DoubleColumnIndexWorks) {
+  Must("CREATE TABLE m (id INT PRIMARY KEY, score DOUBLE)");
+  Must("INSERT INTO m VALUES (1, 1.5), (2, 2.5), (3, 1.5)");
+  Must("CREATE INDEX ON m (score)");
+  QueryResult r = Must("SELECT id FROM m WHERE score = 1.5");
+  EXPECT_EQ(r.plan.kind, AccessPathKind::kSecondaryLookup);
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tarpit

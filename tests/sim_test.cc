@@ -1,0 +1,245 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/zipf.h"
+#include "core/analytic_zipf_delay.h"
+#include "sim/access_simulation.h"
+#include "sim/adversary.h"
+#include "sim/dynamic_simulation.h"
+#include "sim/user_model.h"
+#include "core/popularity_delay.h"
+#include "stats/count_tracker.h"
+#include "workload/key_generator.h"
+
+namespace tarpit {
+namespace {
+
+TEST(AccessSimulationTest, LearnsAndSeparatesUserFromAdversary) {
+  PopularityDelayParams params;
+  params.scale = 0.01;
+  params.bounds = {0.0, 10.0};
+  AccessDelaySimulation sim(1000, 1.0, params);
+
+  ZipfKeyGenerator gen(1000, 1.5);
+  Rng rng(7);
+  std::vector<int64_t> keys;
+  for (int i = 0; i < 100000; ++i) keys.push_back(gen.Next(&rng));
+
+  QuantileSketch user_delays;
+  sim.ServeTrace(keys, &user_delays);
+
+  const double median = user_delays.Median();
+  const double adversary = sim.ExtractionDelayFrozen();
+  EXPECT_GT(adversary, 1000.0 * median);
+  // Virtual clock advanced by the total served delay.
+  EXPECT_NEAR(sim.clock()->NowSeconds(),
+              sim.engine()->total_delay_seconds(), 1.0);
+}
+
+TEST(AccessSimulationTest, FrozenDelaysCoverUniverse) {
+  PopularityDelayParams params;
+  params.bounds = {0.0, 10.0};
+  AccessDelaySimulation sim(50, 1.0, params);
+  sim.ServeRequest(1);
+  auto delays = sim.FrozenDelays();
+  ASSERT_EQ(delays.size(), 50u);
+  // Key 1 was accessed, everything else pays the cap.
+  EXPECT_LT(delays[0], 10.0);
+  for (size_t i = 1; i < delays.size(); ++i) {
+    EXPECT_EQ(delays[i], 10.0);
+  }
+  EXPECT_NEAR(sim.ExtractionDelayFrozen(),
+              delays[0] + 49 * 10.0, 1e-9);
+}
+
+TEST(AccessSimulationTest, LiveExtractionDiffersFromFrozen) {
+  PopularityDelayParams params;
+  params.scale = 1.0;
+  params.bounds = {0.0, 10.0};
+  AccessDelaySimulation sim(100, 1.0, params);
+  for (int i = 0; i < 100; ++i) sim.ServeRequest(1);
+  const double frozen = sim.ExtractionDelayFrozen();
+  const double live = sim.ExtractionDelayLive();
+  // Live extraction's own accesses give each key count >= 1, so the
+  // later keys cost scale/1 instead of the cap.
+  EXPECT_LT(live, frozen);
+}
+
+TEST(AdversaryTest, SequentialExtractionAccumulates) {
+  AnalyticZipfParams p;
+  p.n = 100;
+  p.alpha = 1.0;
+  p.beta = 0.0;
+  p.fmax = 1.0;
+  p.bounds = {0.0, 1e9};
+  AnalyticZipfDelayPolicy policy(p);
+  ExtractionReport report = RunSequentialExtraction(policy, 100);
+  ASSERT_EQ(report.completion_times.size(), 100u);
+  // Total = sum i/100 = 5050/100 = 50.5.
+  EXPECT_NEAR(report.total_delay_seconds, 50.5, 1e-9);
+  // Completion times strictly increase.
+  for (size_t i = 1; i < report.completion_times.size(); ++i) {
+    EXPECT_GT(report.completion_times[i], report.completion_times[i - 1]);
+  }
+  EXPECT_NEAR(report.completion_times.back(),
+              report.total_delay_seconds, 1e-9);
+}
+
+TEST(AdversaryTest, ParallelismDividesDelayButRegistrationRestoresIt) {
+  AnalyticZipfParams p;
+  p.n = 10000;
+  p.alpha = 1.0;
+  p.beta = 1.0;
+  p.fmax = 1.0;
+  p.bounds = {0.0, 10.0};
+  AnalyticZipfDelayPolicy policy(p);
+
+  ExtractionReport seq = RunSequentialExtraction(policy, p.n);
+  // Free identities: 100-way parallelism cuts the attack ~100x.
+  ParallelExtractionReport free_ids =
+      RunParallelExtraction(policy, p.n, 100, 0.0);
+  EXPECT_LT(free_ids.total_attack_seconds,
+            seq.total_delay_seconds / 50.0);
+  EXPECT_GT(free_ids.max_partition_delay_seconds,
+            seq.total_delay_seconds / 150.0);
+
+  // Rate-limited registration: choose t so amassing 100 identities
+  // costs as much as the sequential attack (the paper's prescription).
+  const double t_reg = seq.total_delay_seconds / 100.0;
+  ParallelExtractionReport limited =
+      RunParallelExtraction(policy, p.n, 100, t_reg);
+  EXPECT_GT(limited.total_attack_seconds,
+            seq.total_delay_seconds * 0.9);
+}
+
+TEST(AdversaryTest, SingleIdentityParallelEqualsSequential) {
+  AnalyticZipfParams p;
+  p.n = 500;
+  p.alpha = 1.5;
+  p.beta = 0.5;
+  p.fmax = 1.0;
+  p.bounds = {0.0, 10.0};
+  AnalyticZipfDelayPolicy policy(p);
+  ExtractionReport seq = RunSequentialExtraction(policy, p.n);
+  ParallelExtractionReport par =
+      RunParallelExtraction(policy, p.n, 1, 3600.0);
+  EXPECT_NEAR(par.total_attack_seconds, seq.total_delay_seconds, 1e-9);
+  EXPECT_EQ(par.registration_seconds, 0.0);
+}
+
+TEST(AdversaryTest, StorefrontBound) {
+  StorefrontReport r = AnalyzeStorefront(10000, 100, 60.0);
+  EXPECT_EQ(r.identities_needed, 100u);
+  EXPECT_NEAR(r.registration_seconds, 99 * 60.0, 1e-9);
+  StorefrontReport unlimited = AnalyzeStorefront(10000, 0, 60.0);
+  EXPECT_EQ(unlimited.identities_needed, 1u);
+}
+
+TEST(DynamicSimulationTest, HigherSkewLowersStaleFraction) {
+  // The Figure 6 shape: at modest skew nearly everything is stale;
+  // at strong skew updates concentrate and the stale fraction falls.
+  DynamicSimConfig config;
+  config.n = 10'000;
+  config.warmup_updates = 200'000;
+  config.measured_queries = 2'000;
+  config.updates_per_second = 100.0;
+  // c = 2.0 makes S_max = (c/(1+alpha))^(1/alpha) exceed 1 at low skew
+  // (everything stale), mirroring the paper's parameterization.
+  config.delay.c = 2.0;
+  config.delay.bounds = {0.0, 10.0};
+
+  config.update_alpha = 0.5;
+  DynamicSimResult low_skew = RunDynamicSimulation(config);
+  config.update_alpha = 2.5;
+  DynamicSimResult high_skew = RunDynamicSimulation(config);
+
+  EXPECT_GT(low_skew.stale_fraction, 0.9);
+  EXPECT_LT(high_skew.stale_fraction, low_skew.stale_fraction);
+  // At high skew most tuples are rarely updated => they pay the cap =>
+  // adversary delay approaches N * cap.
+  EXPECT_GT(high_skew.adversary_delay_seconds,
+            0.5 * 10.0 * static_cast<double>(config.n));
+}
+
+TEST(DynamicSimulationTest, MedianDelayRisesWithSkew) {
+  // Figure 4: with uniform queries, higher update skew means the
+  // typical (uniformly chosen) tuple is rarely updated and thus
+  // expensive.
+  DynamicSimConfig config;
+  config.n = 10'000;
+  config.warmup_updates = 200'000;
+  config.measured_queries = 2'000;
+  config.updates_per_second = 100.0;
+  config.delay.c = 0.5;
+  config.delay.bounds = {0.0, 10.0};
+
+  config.update_alpha = 0.25;
+  double low = RunDynamicSimulation(config).median_user_delay_seconds;
+  config.update_alpha = 2.0;
+  double high = RunDynamicSimulation(config).median_user_delay_seconds;
+  EXPECT_GT(high, low);
+}
+
+TEST(DynamicSimulationTest, PoissonStalenessBoundedByDeterministic) {
+  DynamicSimConfig config;
+  config.n = 5'000;
+  config.warmup_updates = 100'000;
+  config.measured_queries = 500;
+  config.updates_per_second = 50.0;
+  config.update_alpha = 1.0;
+  config.delay.c = 0.5;
+  config.delay.bounds = {0.0, 10.0};
+  DynamicSimResult r = RunDynamicSimulation(config);
+  EXPECT_GE(r.stale_fraction, 0.0);
+  EXPECT_LE(r.stale_fraction, 1.0);
+  EXPECT_GE(r.expected_stale_fraction, 0.0);
+  EXPECT_LE(r.expected_stale_fraction, 1.0);
+}
+
+TEST(UserModelTest, PopulationLearnsAndPacesItself) {
+  CountTracker tracker(1000, 1.0);
+  PopularityDelayParams params;
+  params.scale = 0.01;
+  params.bounds = {0.0, 10.0};
+  PopularityDelayPolicy policy(&tracker, params);
+  UserPopulationConfig config;
+  config.num_users = 50;
+  config.think_time_mean_seconds = 10.0;
+  config.total_requests = 50'000;
+  config.tolerance_seconds = 1.0;
+  UserPopulationReport report =
+      RunUserPopulation(&tracker, policy, config);
+  EXPECT_EQ(report.requests, 50'000u);
+  // Steady state: the median request is popular and cheap.
+  EXPECT_LT(report.median_delay_seconds, 0.05);
+  EXPECT_LT(report.intolerable_fraction, 0.2);
+  // Closed loop: 50 users with ~10 s think time produce ~5 req/s, so
+  // 50k requests span roughly 10,000 virtual seconds.
+  EXPECT_GT(report.duration_seconds, 3'000.0);
+  EXPECT_LT(report.duration_seconds, 40'000.0);
+  // The tracker saw every request.
+  EXPECT_EQ(tracker.total_requests(), 50'000u);
+}
+
+TEST(UserModelTest, ToleranceThresholdCountsTail) {
+  CountTracker tracker(100, 1.0);
+  PopularityDelayParams params;
+  params.scale = 1e9;  // Everything is capped at 10 s.
+  params.bounds = {0.0, 10.0};
+  PopularityDelayPolicy policy(&tracker, params);
+  UserPopulationConfig config;
+  config.num_users = 5;
+  config.total_requests = 100;
+  config.tolerance_seconds = 1.0;
+  UserPopulationReport report =
+      RunUserPopulation(&tracker, policy, config);
+  EXPECT_NEAR(report.intolerable_fraction, 1.0, 1e-9);
+  EXPECT_EQ(report.p99_delay_seconds, 10.0);
+}
+
+}  // namespace
+}  // namespace tarpit
