@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_adaptive_decay"
+  "../bench/bench_ablation_adaptive_decay.pdb"
+  "CMakeFiles/bench_ablation_adaptive_decay.dir/bench_ablation_adaptive_decay.cc.o"
+  "CMakeFiles/bench_ablation_adaptive_decay.dir/bench_ablation_adaptive_decay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adaptive_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

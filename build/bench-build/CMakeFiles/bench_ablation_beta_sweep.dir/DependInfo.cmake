@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_beta_sweep.cc" "bench-build/CMakeFiles/bench_ablation_beta_sweep.dir/bench_ablation_beta_sweep.cc.o" "gcc" "bench-build/CMakeFiles/bench_ablation_beta_sweep.dir/bench_ablation_beta_sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tarpit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_decay_impl"
+  "../bench/bench_ablation_decay_impl.pdb"
+  "CMakeFiles/bench_ablation_decay_impl.dir/bench_ablation_decay_impl.cc.o"
+  "CMakeFiles/bench_ablation_decay_impl.dir/bench_ablation_decay_impl.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decay_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

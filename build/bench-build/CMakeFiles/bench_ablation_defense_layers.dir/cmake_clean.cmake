@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_defense_layers"
+  "../bench/bench_ablation_defense_layers.pdb"
+  "CMakeFiles/bench_ablation_defense_layers.dir/bench_ablation_defense_layers.cc.o"
+  "CMakeFiles/bench_ablation_defense_layers.dir/bench_ablation_defense_layers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_defense_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

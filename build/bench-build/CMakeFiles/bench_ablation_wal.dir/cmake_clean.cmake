@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_wal"
+  "../bench/bench_ablation_wal.pdb"
+  "CMakeFiles/bench_ablation_wal.dir/bench_ablation_wal.cc.o"
+  "CMakeFiles/bench_ablation_wal.dir/bench_ablation_wal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_analysis_asymptotics"
+  "../bench/bench_analysis_asymptotics.pdb"
+  "CMakeFiles/bench_analysis_asymptotics.dir/bench_analysis_asymptotics.cc.o"
+  "CMakeFiles/bench_analysis_asymptotics.dir/bench_analysis_asymptotics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_asymptotics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

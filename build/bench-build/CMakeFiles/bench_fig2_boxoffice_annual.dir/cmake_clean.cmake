@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_boxoffice_annual"
+  "../bench/bench_fig2_boxoffice_annual.pdb"
+  "CMakeFiles/bench_fig2_boxoffice_annual.dir/bench_fig2_boxoffice_annual.cc.o"
+  "CMakeFiles/bench_fig2_boxoffice_annual.dir/bench_fig2_boxoffice_annual.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_boxoffice_annual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_boxoffice_week1"
+  "../bench/bench_fig3_boxoffice_week1.pdb"
+  "CMakeFiles/bench_fig3_boxoffice_week1.dir/bench_fig3_boxoffice_week1.cc.o"
+  "CMakeFiles/bench_fig3_boxoffice_week1.dir/bench_fig3_boxoffice_week1.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_boxoffice_week1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

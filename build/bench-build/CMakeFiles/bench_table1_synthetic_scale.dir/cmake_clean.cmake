@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_synthetic_scale"
+  "../bench/bench_table1_synthetic_scale.pdb"
+  "CMakeFiles/bench_table1_synthetic_scale.dir/bench_table1_synthetic_scale.cc.o"
+  "CMakeFiles/bench_table1_synthetic_scale.dir/bench_table1_synthetic_scale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_synthetic_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_calgary_decay"
+  "../bench/bench_table3_calgary_decay.pdb"
+  "CMakeFiles/bench_table3_calgary_decay.dir/bench_table3_calgary_decay.cc.o"
+  "CMakeFiles/bench_table3_calgary_decay.dir/bench_table3_calgary_decay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_calgary_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_boxoffice_decay"
+  "../bench/bench_table4_boxoffice_decay.pdb"
+  "CMakeFiles/bench_table4_boxoffice_decay.dir/bench_table4_boxoffice_decay.cc.o"
+  "CMakeFiles/bench_table4_boxoffice_decay.dir/bench_table4_boxoffice_decay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_boxoffice_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

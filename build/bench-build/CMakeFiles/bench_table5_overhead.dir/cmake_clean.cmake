@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_overhead"
+  "../bench/bench_table5_overhead.pdb"
+  "CMakeFiles/bench_table5_overhead.dir/bench_table5_overhead.cc.o"
+  "CMakeFiles/bench_table5_overhead.dir/bench_table5_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

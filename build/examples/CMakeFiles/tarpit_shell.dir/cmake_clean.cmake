@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarpit_shell.dir/tarpit_shell.cpp.o"
+  "CMakeFiles/tarpit_shell.dir/tarpit_shell.cpp.o.d"
+  "tarpit_shell"
+  "tarpit_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarpit_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

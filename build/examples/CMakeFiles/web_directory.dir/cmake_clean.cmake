@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_directory.dir/web_directory.cpp.o"
+  "CMakeFiles/web_directory.dir/web_directory.cpp.o.d"
+  "web_directory"
+  "web_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/model.cc" "src/CMakeFiles/tarpit_analysis.dir/analysis/model.cc.o" "gcc" "src/CMakeFiles/tarpit_analysis.dir/analysis/model.cc.o.d"
+  "/root/repo/src/analysis/staleness.cc" "src/CMakeFiles/tarpit_analysis.dir/analysis/staleness.cc.o" "gcc" "src/CMakeFiles/tarpit_analysis.dir/analysis/staleness.cc.o.d"
+  "/root/repo/src/analysis/zipf_fit.cc" "src/CMakeFiles/tarpit_analysis.dir/analysis/zipf_fit.cc.o" "gcc" "src/CMakeFiles/tarpit_analysis.dir/analysis/zipf_fit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tarpit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

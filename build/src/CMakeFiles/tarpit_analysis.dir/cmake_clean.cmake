@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarpit_analysis.dir/analysis/model.cc.o"
+  "CMakeFiles/tarpit_analysis.dir/analysis/model.cc.o.d"
+  "CMakeFiles/tarpit_analysis.dir/analysis/staleness.cc.o"
+  "CMakeFiles/tarpit_analysis.dir/analysis/staleness.cc.o.d"
+  "CMakeFiles/tarpit_analysis.dir/analysis/zipf_fit.cc.o"
+  "CMakeFiles/tarpit_analysis.dir/analysis/zipf_fit.cc.o.d"
+  "libtarpit_analysis.a"
+  "libtarpit_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarpit_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/tarpit_common.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/tarpit_common.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/hyperloglog.cc" "src/CMakeFiles/tarpit_common.dir/common/hyperloglog.cc.o" "gcc" "src/CMakeFiles/tarpit_common.dir/common/hyperloglog.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/tarpit_common.dir/common/random.cc.o" "gcc" "src/CMakeFiles/tarpit_common.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/tarpit_common.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/tarpit_common.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/tarpit_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/tarpit_common.dir/common/status.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/CMakeFiles/tarpit_common.dir/common/zipf.cc.o" "gcc" "src/CMakeFiles/tarpit_common.dir/common/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

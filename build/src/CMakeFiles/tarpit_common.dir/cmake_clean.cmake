@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarpit_common.dir/common/clock.cc.o"
+  "CMakeFiles/tarpit_common.dir/common/clock.cc.o.d"
+  "CMakeFiles/tarpit_common.dir/common/hyperloglog.cc.o"
+  "CMakeFiles/tarpit_common.dir/common/hyperloglog.cc.o.d"
+  "CMakeFiles/tarpit_common.dir/common/random.cc.o"
+  "CMakeFiles/tarpit_common.dir/common/random.cc.o.d"
+  "CMakeFiles/tarpit_common.dir/common/stats.cc.o"
+  "CMakeFiles/tarpit_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/tarpit_common.dir/common/status.cc.o"
+  "CMakeFiles/tarpit_common.dir/common/status.cc.o.d"
+  "CMakeFiles/tarpit_common.dir/common/zipf.cc.o"
+  "CMakeFiles/tarpit_common.dir/common/zipf.cc.o.d"
+  "libtarpit_common.a"
+  "libtarpit_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarpit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_decay.cc" "src/CMakeFiles/tarpit_core.dir/core/adaptive_decay.cc.o" "gcc" "src/CMakeFiles/tarpit_core.dir/core/adaptive_decay.cc.o.d"
+  "/root/repo/src/core/analytic_zipf_delay.cc" "src/CMakeFiles/tarpit_core.dir/core/analytic_zipf_delay.cc.o" "gcc" "src/CMakeFiles/tarpit_core.dir/core/analytic_zipf_delay.cc.o.d"
+  "/root/repo/src/core/combined_delay.cc" "src/CMakeFiles/tarpit_core.dir/core/combined_delay.cc.o" "gcc" "src/CMakeFiles/tarpit_core.dir/core/combined_delay.cc.o.d"
+  "/root/repo/src/core/concurrent_db.cc" "src/CMakeFiles/tarpit_core.dir/core/concurrent_db.cc.o" "gcc" "src/CMakeFiles/tarpit_core.dir/core/concurrent_db.cc.o.d"
+  "/root/repo/src/core/delay_engine.cc" "src/CMakeFiles/tarpit_core.dir/core/delay_engine.cc.o" "gcc" "src/CMakeFiles/tarpit_core.dir/core/delay_engine.cc.o.d"
+  "/root/repo/src/core/popularity_delay.cc" "src/CMakeFiles/tarpit_core.dir/core/popularity_delay.cc.o" "gcc" "src/CMakeFiles/tarpit_core.dir/core/popularity_delay.cc.o.d"
+  "/root/repo/src/core/protected_db.cc" "src/CMakeFiles/tarpit_core.dir/core/protected_db.cc.o" "gcc" "src/CMakeFiles/tarpit_core.dir/core/protected_db.cc.o.d"
+  "/root/repo/src/core/update_delay.cc" "src/CMakeFiles/tarpit_core.dir/core/update_delay.cc.o" "gcc" "src/CMakeFiles/tarpit_core.dir/core/update_delay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tarpit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

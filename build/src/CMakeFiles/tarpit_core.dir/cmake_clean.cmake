@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarpit_core.dir/core/adaptive_decay.cc.o"
+  "CMakeFiles/tarpit_core.dir/core/adaptive_decay.cc.o.d"
+  "CMakeFiles/tarpit_core.dir/core/analytic_zipf_delay.cc.o"
+  "CMakeFiles/tarpit_core.dir/core/analytic_zipf_delay.cc.o.d"
+  "CMakeFiles/tarpit_core.dir/core/combined_delay.cc.o"
+  "CMakeFiles/tarpit_core.dir/core/combined_delay.cc.o.d"
+  "CMakeFiles/tarpit_core.dir/core/concurrent_db.cc.o"
+  "CMakeFiles/tarpit_core.dir/core/concurrent_db.cc.o.d"
+  "CMakeFiles/tarpit_core.dir/core/delay_engine.cc.o"
+  "CMakeFiles/tarpit_core.dir/core/delay_engine.cc.o.d"
+  "CMakeFiles/tarpit_core.dir/core/popularity_delay.cc.o"
+  "CMakeFiles/tarpit_core.dir/core/popularity_delay.cc.o.d"
+  "CMakeFiles/tarpit_core.dir/core/protected_db.cc.o"
+  "CMakeFiles/tarpit_core.dir/core/protected_db.cc.o.d"
+  "CMakeFiles/tarpit_core.dir/core/update_delay.cc.o"
+  "CMakeFiles/tarpit_core.dir/core/update_delay.cc.o.d"
+  "libtarpit_core.a"
+  "libtarpit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarpit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

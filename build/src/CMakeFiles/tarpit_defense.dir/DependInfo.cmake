@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defense/audit_log.cc" "src/CMakeFiles/tarpit_defense.dir/defense/audit_log.cc.o" "gcc" "src/CMakeFiles/tarpit_defense.dir/defense/audit_log.cc.o.d"
+  "/root/repo/src/defense/coverage_monitor.cc" "src/CMakeFiles/tarpit_defense.dir/defense/coverage_monitor.cc.o" "gcc" "src/CMakeFiles/tarpit_defense.dir/defense/coverage_monitor.cc.o.d"
+  "/root/repo/src/defense/identity.cc" "src/CMakeFiles/tarpit_defense.dir/defense/identity.cc.o" "gcc" "src/CMakeFiles/tarpit_defense.dir/defense/identity.cc.o.d"
+  "/root/repo/src/defense/query_gate.cc" "src/CMakeFiles/tarpit_defense.dir/defense/query_gate.cc.o" "gcc" "src/CMakeFiles/tarpit_defense.dir/defense/query_gate.cc.o.d"
+  "/root/repo/src/defense/registration_fee.cc" "src/CMakeFiles/tarpit_defense.dir/defense/registration_fee.cc.o" "gcc" "src/CMakeFiles/tarpit_defense.dir/defense/registration_fee.cc.o.d"
+  "/root/repo/src/defense/registration_limiter.cc" "src/CMakeFiles/tarpit_defense.dir/defense/registration_limiter.cc.o" "gcc" "src/CMakeFiles/tarpit_defense.dir/defense/registration_limiter.cc.o.d"
+  "/root/repo/src/defense/session_manager.cc" "src/CMakeFiles/tarpit_defense.dir/defense/session_manager.cc.o" "gcc" "src/CMakeFiles/tarpit_defense.dir/defense/session_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tarpit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

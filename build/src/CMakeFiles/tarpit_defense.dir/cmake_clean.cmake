@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarpit_defense.dir/defense/audit_log.cc.o"
+  "CMakeFiles/tarpit_defense.dir/defense/audit_log.cc.o.d"
+  "CMakeFiles/tarpit_defense.dir/defense/coverage_monitor.cc.o"
+  "CMakeFiles/tarpit_defense.dir/defense/coverage_monitor.cc.o.d"
+  "CMakeFiles/tarpit_defense.dir/defense/identity.cc.o"
+  "CMakeFiles/tarpit_defense.dir/defense/identity.cc.o.d"
+  "CMakeFiles/tarpit_defense.dir/defense/query_gate.cc.o"
+  "CMakeFiles/tarpit_defense.dir/defense/query_gate.cc.o.d"
+  "CMakeFiles/tarpit_defense.dir/defense/registration_fee.cc.o"
+  "CMakeFiles/tarpit_defense.dir/defense/registration_fee.cc.o.d"
+  "CMakeFiles/tarpit_defense.dir/defense/registration_limiter.cc.o"
+  "CMakeFiles/tarpit_defense.dir/defense/registration_limiter.cc.o.d"
+  "CMakeFiles/tarpit_defense.dir/defense/session_manager.cc.o"
+  "CMakeFiles/tarpit_defense.dir/defense/session_manager.cc.o.d"
+  "libtarpit_defense.a"
+  "libtarpit_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarpit_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/access_simulation.cc" "src/CMakeFiles/tarpit_sim.dir/sim/access_simulation.cc.o" "gcc" "src/CMakeFiles/tarpit_sim.dir/sim/access_simulation.cc.o.d"
+  "/root/repo/src/sim/adversary.cc" "src/CMakeFiles/tarpit_sim.dir/sim/adversary.cc.o" "gcc" "src/CMakeFiles/tarpit_sim.dir/sim/adversary.cc.o.d"
+  "/root/repo/src/sim/dynamic_simulation.cc" "src/CMakeFiles/tarpit_sim.dir/sim/dynamic_simulation.cc.o" "gcc" "src/CMakeFiles/tarpit_sim.dir/sim/dynamic_simulation.cc.o.d"
+  "/root/repo/src/sim/gate_attack.cc" "src/CMakeFiles/tarpit_sim.dir/sim/gate_attack.cc.o" "gcc" "src/CMakeFiles/tarpit_sim.dir/sim/gate_attack.cc.o.d"
+  "/root/repo/src/sim/trace_replay.cc" "src/CMakeFiles/tarpit_sim.dir/sim/trace_replay.cc.o" "gcc" "src/CMakeFiles/tarpit_sim.dir/sim/trace_replay.cc.o.d"
+  "/root/repo/src/sim/user_model.cc" "src/CMakeFiles/tarpit_sim.dir/sim/user_model.cc.o" "gcc" "src/CMakeFiles/tarpit_sim.dir/sim/user_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tarpit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarpit_sim.dir/sim/access_simulation.cc.o"
+  "CMakeFiles/tarpit_sim.dir/sim/access_simulation.cc.o.d"
+  "CMakeFiles/tarpit_sim.dir/sim/adversary.cc.o"
+  "CMakeFiles/tarpit_sim.dir/sim/adversary.cc.o.d"
+  "CMakeFiles/tarpit_sim.dir/sim/dynamic_simulation.cc.o"
+  "CMakeFiles/tarpit_sim.dir/sim/dynamic_simulation.cc.o.d"
+  "CMakeFiles/tarpit_sim.dir/sim/gate_attack.cc.o"
+  "CMakeFiles/tarpit_sim.dir/sim/gate_attack.cc.o.d"
+  "CMakeFiles/tarpit_sim.dir/sim/trace_replay.cc.o"
+  "CMakeFiles/tarpit_sim.dir/sim/trace_replay.cc.o.d"
+  "CMakeFiles/tarpit_sim.dir/sim/user_model.cc.o"
+  "CMakeFiles/tarpit_sim.dir/sim/user_model.cc.o.d"
+  "libtarpit_sim.a"
+  "libtarpit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarpit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtarpit_sim.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarpit_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/tarpit_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/tarpit_sql.dir/sql/executor.cc.o"
+  "CMakeFiles/tarpit_sql.dir/sql/executor.cc.o.d"
+  "CMakeFiles/tarpit_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/tarpit_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/tarpit_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/tarpit_sql.dir/sql/parser.cc.o.d"
+  "CMakeFiles/tarpit_sql.dir/sql/planner.cc.o"
+  "CMakeFiles/tarpit_sql.dir/sql/planner.cc.o.d"
+  "CMakeFiles/tarpit_sql.dir/sql/statement_template.cc.o"
+  "CMakeFiles/tarpit_sql.dir/sql/statement_template.cc.o.d"
+  "libtarpit_sql.a"
+  "libtarpit_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarpit_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

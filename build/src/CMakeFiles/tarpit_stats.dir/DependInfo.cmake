@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/count_cache.cc" "src/CMakeFiles/tarpit_stats.dir/stats/count_cache.cc.o" "gcc" "src/CMakeFiles/tarpit_stats.dir/stats/count_cache.cc.o.d"
+  "/root/repo/src/stats/count_tracker.cc" "src/CMakeFiles/tarpit_stats.dir/stats/count_tracker.cc.o" "gcc" "src/CMakeFiles/tarpit_stats.dir/stats/count_tracker.cc.o.d"
+  "/root/repo/src/stats/rank_index.cc" "src/CMakeFiles/tarpit_stats.dir/stats/rank_index.cc.o" "gcc" "src/CMakeFiles/tarpit_stats.dir/stats/rank_index.cc.o.d"
+  "/root/repo/src/stats/synopsis.cc" "src/CMakeFiles/tarpit_stats.dir/stats/synopsis.cc.o" "gcc" "src/CMakeFiles/tarpit_stats.dir/stats/synopsis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tarpit_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarpit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

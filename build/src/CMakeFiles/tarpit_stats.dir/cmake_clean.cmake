@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarpit_stats.dir/stats/count_cache.cc.o"
+  "CMakeFiles/tarpit_stats.dir/stats/count_cache.cc.o.d"
+  "CMakeFiles/tarpit_stats.dir/stats/count_tracker.cc.o"
+  "CMakeFiles/tarpit_stats.dir/stats/count_tracker.cc.o.d"
+  "CMakeFiles/tarpit_stats.dir/stats/rank_index.cc.o"
+  "CMakeFiles/tarpit_stats.dir/stats/rank_index.cc.o.d"
+  "CMakeFiles/tarpit_stats.dir/stats/synopsis.cc.o"
+  "CMakeFiles/tarpit_stats.dir/stats/synopsis.cc.o.d"
+  "libtarpit_stats.a"
+  "libtarpit_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarpit_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

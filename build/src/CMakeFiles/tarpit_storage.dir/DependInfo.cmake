@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/tarpit_storage.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/tarpit_storage.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/tarpit_storage.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/tarpit_storage.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/tarpit_storage.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/tarpit_storage.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/tarpit_storage.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/tarpit_storage.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/tarpit_storage.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/tarpit_storage.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/tarpit_storage.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/tarpit_storage.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/secondary_index.cc" "src/CMakeFiles/tarpit_storage.dir/storage/secondary_index.cc.o" "gcc" "src/CMakeFiles/tarpit_storage.dir/storage/secondary_index.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/CMakeFiles/tarpit_storage.dir/storage/slotted_page.cc.o" "gcc" "src/CMakeFiles/tarpit_storage.dir/storage/slotted_page.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/tarpit_storage.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/tarpit_storage.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/tarpit_storage.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/tarpit_storage.dir/storage/value.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/tarpit_storage.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/tarpit_storage.dir/storage/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tarpit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

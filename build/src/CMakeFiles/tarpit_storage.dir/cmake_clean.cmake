@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarpit_storage.dir/storage/btree.cc.o"
+  "CMakeFiles/tarpit_storage.dir/storage/btree.cc.o.d"
+  "CMakeFiles/tarpit_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/tarpit_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/tarpit_storage.dir/storage/database.cc.o"
+  "CMakeFiles/tarpit_storage.dir/storage/database.cc.o.d"
+  "CMakeFiles/tarpit_storage.dir/storage/disk_manager.cc.o"
+  "CMakeFiles/tarpit_storage.dir/storage/disk_manager.cc.o.d"
+  "CMakeFiles/tarpit_storage.dir/storage/heap_file.cc.o"
+  "CMakeFiles/tarpit_storage.dir/storage/heap_file.cc.o.d"
+  "CMakeFiles/tarpit_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/tarpit_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/tarpit_storage.dir/storage/secondary_index.cc.o"
+  "CMakeFiles/tarpit_storage.dir/storage/secondary_index.cc.o.d"
+  "CMakeFiles/tarpit_storage.dir/storage/slotted_page.cc.o"
+  "CMakeFiles/tarpit_storage.dir/storage/slotted_page.cc.o.d"
+  "CMakeFiles/tarpit_storage.dir/storage/table.cc.o"
+  "CMakeFiles/tarpit_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/tarpit_storage.dir/storage/value.cc.o"
+  "CMakeFiles/tarpit_storage.dir/storage/value.cc.o.d"
+  "CMakeFiles/tarpit_storage.dir/storage/wal.cc.o"
+  "CMakeFiles/tarpit_storage.dir/storage/wal.cc.o.d"
+  "libtarpit_storage.a"
+  "libtarpit_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarpit_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/boxoffice_trace.cc" "src/CMakeFiles/tarpit_workload.dir/workload/boxoffice_trace.cc.o" "gcc" "src/CMakeFiles/tarpit_workload.dir/workload/boxoffice_trace.cc.o.d"
+  "/root/repo/src/workload/calgary_trace.cc" "src/CMakeFiles/tarpit_workload.dir/workload/calgary_trace.cc.o" "gcc" "src/CMakeFiles/tarpit_workload.dir/workload/calgary_trace.cc.o.d"
+  "/root/repo/src/workload/mixed_workload.cc" "src/CMakeFiles/tarpit_workload.dir/workload/mixed_workload.cc.o" "gcc" "src/CMakeFiles/tarpit_workload.dir/workload/mixed_workload.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/CMakeFiles/tarpit_workload.dir/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/tarpit_workload.dir/workload/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tarpit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarpit_workload.dir/workload/boxoffice_trace.cc.o"
+  "CMakeFiles/tarpit_workload.dir/workload/boxoffice_trace.cc.o.d"
+  "CMakeFiles/tarpit_workload.dir/workload/calgary_trace.cc.o"
+  "CMakeFiles/tarpit_workload.dir/workload/calgary_trace.cc.o.d"
+  "CMakeFiles/tarpit_workload.dir/workload/mixed_workload.cc.o"
+  "CMakeFiles/tarpit_workload.dir/workload/mixed_workload.cc.o.d"
+  "CMakeFiles/tarpit_workload.dir/workload/trace_io.cc.o"
+  "CMakeFiles/tarpit_workload.dir/workload/trace_io.cc.o.d"
+  "libtarpit_workload.a"
+  "libtarpit_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarpit_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_test.dir/defense_test.cc.o"
+  "CMakeFiles/defense_test.dir/defense_test.cc.o.d"
+  "defense_test"
+  "defense_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
