@@ -41,6 +41,14 @@ class QuantileSketch {
   }
   void Reserve(size_t n) { samples_.reserve(n); }
 
+  /// Folds another sketch's samples into this one (exact: both keep
+  /// raw samples). Used to merge per-stripe delay accounting.
+  void Merge(const QuantileSketch& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
   size_t count() const { return samples_.size(); }
 
   /// q in [0,1]; linear interpolation between order statistics.

@@ -1,56 +1,348 @@
 #include "core/concurrent_db.h"
 
+#include <cassert>
+#include <utility>
+
+#include "sql/parser.h"
+
 namespace tarpit {
+
+namespace {
+
+/// splitmix64 finalizer (keys are often sequential).
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// RAII in-flight-queries marker backing the unsafe_inner() debug
+/// guard: covers the computation phase (not the stall).
+class InFlightMark {
+ public:
+  explicit InFlightMark(std::atomic<int>* counter) : counter_(counter) {
+    counter_->fetch_add(1, std::memory_order_relaxed);
+  }
+  ~InFlightMark() { counter_->fetch_sub(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int>* counter_;
+};
+
+bool IsMutatingStatement(const Statement& stmt) {
+  return stmt.kind != Statement::Kind::kSelect;
+}
+
+}  // namespace
+
+ConcurrentProtectedDatabase::ConcurrentProtectedDatabase(
+    std::unique_ptr<ProtectedDatabase> inner,
+    ConcurrentDatabaseOptions concurrent_options)
+    : inner_(std::move(inner)), concurrent_options_(concurrent_options) {
+  if (concurrent_options_.num_shards == 0) {
+    concurrent_options_.num_shards = 1;
+  }
+  if (concurrent_options_.mode == ConcurrencyMode::kSharded) {
+    ConcurrentCountTrackerOptions topts;
+    topts.num_shards = concurrent_options_.stats_shards;
+    topts.epoch_batch = concurrent_options_.epoch_batch;
+    stats_tracker_ = std::make_unique<ConcurrentCountTracker>(
+        inner_->access_tracker(), topts);
+    if (inner_->count_cache() != nullptr) {
+      // Epoch merges double as the persistence batch: the same deltas
+      // that enter the rank index go to the write-behind count cache.
+      // Called under the exclusive stats spine; takes storage_mu_
+      // (spine -> storage is the global lock order).
+      stats_tracker_->set_flush_hook(
+          [this](const std::vector<std::pair<int64_t, uint64_t>>& batch) {
+            std::lock_guard<std::mutex> lock(storage_mu_);
+            for (const auto& [key, n] : batch) {
+              Status s = inner_->count_cache()->Add(
+                  key, static_cast<double>(n));
+              if (!s.ok() && deferred_count_cache_status_.ok()) {
+                deferred_count_cache_status_ = s;
+              }
+            }
+          });
+    }
+    row_stripes_.reserve(concurrent_options_.num_shards);
+    acct_stripes_.reserve(concurrent_options_.num_shards);
+    for (size_t i = 0; i < concurrent_options_.num_shards; ++i) {
+      row_stripes_.push_back(std::make_unique<RowStripe>());
+      acct_stripes_.push_back(std::make_unique<AcctStripe>());
+    }
+  }
+}
+
+ConcurrentProtectedDatabase::~ConcurrentProtectedDatabase() = default;
 
 Result<std::unique_ptr<ConcurrentProtectedDatabase>>
 ConcurrentProtectedDatabase::Open(const std::string& dir,
                                   const std::string& table_name,
                                   Clock* clock,
-                                  ProtectedDatabaseOptions options) {
+                                  ProtectedDatabaseOptions options,
+                                  ConcurrentDatabaseOptions
+                                      concurrent_options) {
   options.defer_delay_sleep = true;
   TARPIT_ASSIGN_OR_RETURN(
       std::unique_ptr<ProtectedDatabase> inner,
       ProtectedDatabase::Open(dir, table_name, clock, options));
   return std::unique_ptr<ConcurrentProtectedDatabase>(
-      new ConcurrentProtectedDatabase(std::move(inner)));
+      new ConcurrentProtectedDatabase(std::move(inner),
+                                      concurrent_options));
 }
 
-Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSql(
+size_t ConcurrentProtectedDatabase::RowStripeFor(int64_t key) const {
+  return Mix(static_cast<uint64_t>(key)) % row_stripes_.size();
+}
+
+void ConcurrentProtectedDatabase::ServeStall(double delay_seconds) {
+  if (concurrent_options_.serve_delays && delay_seconds > 0) {
+    inner_->clock()->SleepForMicros(
+        static_cast<int64_t>(delay_seconds * 1e6));
+  }
+}
+
+void ConcurrentProtectedDatabase::InvalidateRowCaches() {
+  for (auto& stripe : row_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->rows.clear();
+  }
+}
+
+void ConcurrentProtectedDatabase::QuiesceStats() {
+  if (stats_tracker_ != nullptr) stats_tracker_->FlushAll();
+}
+
+ProtectedDatabase* ConcurrentProtectedDatabase::unsafe_inner() {
+  assert(in_flight_.load(std::memory_order_relaxed) == 0 &&
+         "unsafe_inner() while queries are in flight -- the inner "
+         "database is single-threaded");
+  QuiesceStats();
+  return inner_.get();
+}
+
+// --- Global-lock mode (the seed baseline). -------------------------------
+
+Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSqlGlobal(
     const std::string& sql) {
   Result<ProtectedResult> result = Status::Internal("unset");
   {
+    InFlightMark mark(&in_flight_);
     std::lock_guard<std::mutex> lock(mutex_);
     result = inner_->ExecuteSql(sql);
   }
-  if (result.ok() && result->delay_seconds > 0) {
-    inner_->clock()->SleepForMicros(
-        static_cast<int64_t>(result->delay_seconds * 1e6));
-  }
+  if (result.ok()) ServeStall(result->delay_seconds);
   return result;
+}
+
+Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKeyGlobal(
+    int64_t key) {
+  Result<ProtectedResult> result = Status::Internal("unset");
+  {
+    InFlightMark mark(&in_flight_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    result = inner_->GetByKey(key);
+  }
+  if (result.ok()) ServeStall(result->delay_seconds);
+  return result;
+}
+
+// --- Sharded mode. -------------------------------------------------------
+
+Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKeySharded(
+    int64_t key) {
+  ProtectedResult out;
+  {
+    InFlightMark mark(&in_flight_);
+    std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
+    Table* table = inner_->table();
+    if (table == nullptr) {
+      return Status::FailedPrecondition("protected table not created yet");
+    }
+
+    // 1. Resolve the row through the lock-striped read-through cache.
+    const size_t stripe_idx = RowStripeFor(key);
+    RowStripe& stripe = *row_stripes_[stripe_idx];
+    Row row;
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      auto it = stripe.rows.find(key);
+      if (it != stripe.rows.end()) {
+        row = it->second;
+        hit = true;
+      }
+    }
+    if (hit) {
+      row_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      Result<Row> fetched = Status::Internal("unset");
+      {
+        // The storage engine (buffer pool, B+tree) is single-threaded:
+        // misses serialize here, hits never do.
+        std::lock_guard<std::mutex> lock(storage_mu_);
+        fetched = table->GetByKey(key);
+      }
+      if (!fetched.ok()) return fetched.status();
+      row = std::move(*fetched);
+      row_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+      const size_t cap = concurrent_options_.row_cache_capacity_per_shard;
+      if (cap > 0) {
+        std::lock_guard<std::mutex> lock(stripe.mu);
+        if (stripe.rows.size() >= cap) stripe.rows.clear();
+        stripe.rows.emplace(key, row);
+      }
+    }
+
+    // 2. Learn, then charge (same order as the serial path): the
+    //    access lands in the concurrent stats spine; the delay is
+    //    computed from a read-mostly snapshot, never by mutating
+    //    shared policy state. RecordAndStats fuses both into a single
+    //    spine/stripe acquisition.
+    const PopularityStats stats = stats_tracker_->RecordAndStats(key);
+    out.delay_seconds = inner_->DelayForAccessStats(stats, key);
+
+    // 3. Striped delay accounting (merged on Metrics()).
+    AcctStripe& acct = *acct_stripes_[stripe_idx];
+    {
+      std::lock_guard<std::mutex> lock(acct.mu);
+      acct.total_delay += out.delay_seconds;
+      ++acct.charges;
+      acct.sketch.Add(out.delay_seconds);
+    }
+
+    out.result.rows.push_back(std::move(row));
+    out.result.touched_keys.push_back(key);
+    const Schema& schema = table->schema();
+    out.result.columns.reserve(schema.num_columns());
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      out.result.columns.push_back(schema.column(i).name);
+    }
+  }
+  // 4. Stall outside every lock: parallel sessions stall in parallel.
+  ServeStall(out.delay_seconds);
+  return out;
+}
+
+Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSqlSharded(
+    const std::string& sql) {
+  TARPIT_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
+  Result<ProtectedResult> result = Status::Internal("unset");
+  if (IsMutatingStatement(stmt)) {
+    InFlightMark mark(&in_flight_);
+    // Writer/DDL path: exclusive against all readers. The inner
+    // database (executor, trackers, universe sizes) can be touched
+    // freely; row caches are invalidated because UPDATE/DELETE/DDL
+    // change what GetByKey must observe.
+    std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+    result = inner_->ExecuteSql(sql);
+    InvalidateRowCaches();
+  } else {
+    InFlightMark mark(&in_flight_);
+    std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
+    // The SQL read path serializes: the executor and the inner access
+    // tracker are single-threaded. Exclusive spine keeps tracker
+    // mutation invisible to concurrent snapshot readers; storage after
+    // spine is the global lock order.
+    stats_tracker_->WithExclusive([&](CountTracker*) {
+      std::lock_guard<std::mutex> lock(storage_mu_);
+      result = inner_->ExecuteSql(sql);
+    });
+  }
+  if (result.ok()) ServeStall(result->delay_seconds);
+  return result;
+}
+
+// --- Public dispatch. ----------------------------------------------------
+
+Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSql(
+    const std::string& sql) {
+  return concurrent_options_.mode == ConcurrencyMode::kGlobalLock
+             ? ExecuteSqlGlobal(sql)
+             : ExecuteSqlSharded(sql);
 }
 
 Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKey(
     int64_t key) {
-  Result<ProtectedResult> result = Status::Internal("unset");
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    result = inner_->GetByKey(key);
-  }
-  if (result.ok() && result->delay_seconds > 0) {
-    inner_->clock()->SleepForMicros(
-        static_cast<int64_t>(result->delay_seconds * 1e6));
-  }
-  return result;
+  return concurrent_options_.mode == ConcurrencyMode::kGlobalLock
+             ? GetByKeyGlobal(key)
+             : GetByKeySharded(key);
 }
 
 Status ConcurrentProtectedDatabase::BulkLoadRow(const Row& row) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return inner_->BulkLoadRow(row);
+  if (concurrent_options_.mode == ConcurrencyMode::kGlobalLock) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->BulkLoadRow(row);
+  }
+  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+  Status s = inner_->BulkLoadRow(row);
+  if (s.ok() && !row_stripes_.empty() && inner_->table() != nullptr) {
+    // Defensive: drop any cached row under the same key (e.g. a reload
+    // after out-of-band changes through unsafe_inner()).
+    const size_t pk = inner_->table()->pk_column();
+    if (pk < row.size() && row[pk].is_int()) {
+      const int64_t key = row[pk].AsInt();
+      RowStripe& stripe = *row_stripes_[RowStripeFor(key)];
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      stripe.rows.erase(key);
+    }
+  }
+  return s;
 }
 
 Status ConcurrentProtectedDatabase::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  if (concurrent_options_.mode == ConcurrencyMode::kGlobalLock) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->Checkpoint();
+  }
+  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+  // Merge outstanding epoch deltas (also pushes them into the count
+  // cache via the flush hook) before flushing storage.
+  QuiesceStats();
+  {
+    std::lock_guard<std::mutex> lock(storage_mu_);
+    if (!deferred_count_cache_status_.ok()) {
+      return deferred_count_cache_status_;
+    }
+  }
   return inner_->Checkpoint();
+}
+
+ProtectedDatabaseMetrics ConcurrentProtectedDatabase::Metrics() {
+  if (concurrent_options_.mode == ConcurrencyMode::kGlobalLock) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->Metrics();
+  }
+  std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
+  ProtectedDatabaseMetrics m;
+  stats_tracker_->WithExclusive([&](CountTracker*) {
+    std::lock_guard<std::mutex> lock(storage_mu_);
+    m = inner_->Metrics();
+  });
+  // Requests parked in stats stripes are real, just not merged yet.
+  m.total_requests += stats_tracker_->pending_records();
+  // Fold in the sharded path's delay accounting (it bypasses the inner
+  // DelayEngine by design).
+  QuantileSketch merged;
+  double sharded_delay = 0.0;
+  uint64_t sharded_charges = 0;
+  for (auto& acct : acct_stripes_) {
+    std::lock_guard<std::mutex> lock(acct->mu);
+    sharded_delay += acct->total_delay;
+    sharded_charges += acct->charges;
+    merged.Merge(acct->sketch);
+  }
+  m.total_delay_seconds += sharded_delay;
+  m.delays_charged += sharded_charges;
+  if (merged.count() > 0) {
+    // Quantiles from the dominant path's sketch (the sharded path once
+    // it has any traffic; point retrievals are the hot path).
+    m.median_delay_seconds = merged.Median();
+    m.p99_delay_seconds = merged.Quantile(0.99);
+  }
+  return m;
 }
 
 }  // namespace tarpit

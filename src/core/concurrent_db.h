@@ -1,59 +1,185 @@
 #ifndef TARPIT_CORE_CONCURRENT_DB_H_
 #define TARPIT_CORE_CONCURRENT_DB_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
+#include "common/stats.h"
 #include "core/protected_db.h"
+#include "stats/concurrent_count_tracker.h"
+#include "storage/value.h"
 
 namespace tarpit {
 
-/// Thread-safe front door over a ProtectedDatabase. The underlying
-/// engine (storage, trackers, executor) is single-threaded, so this
-/// wrapper serializes the *computation* of each query under one mutex
-/// -- but serves the resulting delay OUTSIDE the lock, so concurrent
-/// sessions stall in parallel. That makes the paper's parallel-attack
-/// model (section 2.4) directly executable: k threads extracting
-/// disjoint partitions each pay only their own partition's delay in
-/// wall-clock time, which is exactly why registration rate limiting is
-/// needed on top of per-tuple delays.
+/// How the concurrent front door schedules query computation.
+enum class ConcurrencyMode {
+  /// The seed behavior: every query computes under ONE global mutex
+  /// (stalls are still served outside it). Kept as the baseline the
+  /// scaling bench compares against.
+  kGlobalLock,
+  /// Lock-striped point-retrieval path: GetByKey runs under a shared
+  /// "DDL" lock plus per-stripe locks, with stats through the
+  /// concurrency-safe ConcurrentCountTracker and delays computed from
+  /// read-mostly snapshots. Mutating SQL takes the DDL lock
+  /// exclusively.
+  kSharded,
+};
+
+/// Tuning knobs for the sharded path.
+struct ConcurrentDatabaseOptions {
+  ConcurrencyMode mode = ConcurrencyMode::kSharded;
+  /// Lock stripes for the GetByKey row cache (keyed by tuple key).
+  size_t num_shards = 16;
+  /// Stripes for the concurrent stats spine.
+  size_t stats_shards = 16;
+  /// Requests a stats stripe batches before merging into the rank
+  /// index (the epoch; bounds rank/f_max staleness).
+  size_t epoch_batch = 64;
+  /// Per-stripe row-cache bound; a stripe is dropped wholesale when it
+  /// fills (crude but O(1) and correct -- invalidation also clears).
+  /// 0 disables row caching (every read goes to storage).
+  size_t row_cache_capacity_per_shard = 1 << 14;
+  /// When false, delays are computed and accounted but not slept --
+  /// for benches/simulations that measure rather than stall.
+  bool serve_delays = true;
+};
+
+/// Thread-safe front door over a ProtectedDatabase.
+///
+/// Locking model (lock order: ddl -> stats spine -> storage; stripe
+/// locks are leaves):
+///  * GetByKey (the extraction-critical path) holds `ddl_mu_` SHARED,
+///    resolves the row through a lock-striped read-through row cache
+///    (misses serialize briefly on `storage_mu_`, the single-threaded
+///    storage engine's gate), records the access in a
+///    ConcurrentCountTracker, computes its delay from a read-mostly
+///    PopularityStats snapshot, and serves the stall OUTSIDE every
+///    lock -- concurrent sessions stall in parallel, the paper's
+///    section 2.4 parallel-attack semantics.
+///  * SELECT statements hold `ddl_mu_` shared but serialize on the
+///    stats spine + storage (the SQL executor and the inner tracker
+///    are single-threaded).
+///  * Mutating/DDL statements, bulk loads and checkpoints hold
+///    `ddl_mu_` EXCLUSIVE and invalidate the row caches.
 ///
 /// Use a RealClock: VirtualClock is not synchronized and only makes
 /// sense on a single timeline anyway.
 class ConcurrentProtectedDatabase {
  public:
   /// Opens the wrapped database; forces defer_delay_sleep so stalls
-  /// happen outside the lock.
+  /// happen outside the locks.
   static Result<std::unique_ptr<ConcurrentProtectedDatabase>> Open(
       const std::string& dir, const std::string& table_name, Clock* clock,
-      ProtectedDatabaseOptions options = {});
+      ProtectedDatabaseOptions options = {},
+      ConcurrentDatabaseOptions concurrent_options = {});
+
+  ~ConcurrentProtectedDatabase();
 
   ConcurrentProtectedDatabase(const ConcurrentProtectedDatabase&) = delete;
   ConcurrentProtectedDatabase& operator=(
       const ConcurrentProtectedDatabase&) = delete;
 
-  /// Executes one statement: query under the lock, stall outside it.
+  /// Executes one statement. SELECTs run concurrently with GetByKey
+  /// traffic; mutating statements are exclusive. The stall is served
+  /// outside all locks.
   Result<ProtectedResult> ExecuteSql(const std::string& sql);
 
-  /// Single-tuple retrieval with the same locking discipline.
+  /// Single-tuple retrieval on the striped path (kSharded) or under
+  /// the global mutex (kGlobalLock).
   Result<ProtectedResult> GetByKey(int64_t key);
 
   Status BulkLoadRow(const Row& row);
   Status Checkpoint();
 
+  /// Merges all pending stats-stripe deltas into the rank index so the
+  /// inner tracker reflects every completed request. Call before
+  /// inspecting the inner database from a quiesced state.
+  void QuiesceStats();
+
+  /// Point-in-time metrics across both execution paths. Sharded
+  /// GetByKey accounting (which bypasses the inner DelayEngine) is
+  /// folded in; quantiles come from the dominant path's sketch.
+  ProtectedDatabaseMetrics Metrics();
+
   /// Access to the wrapped instance for setup/inspection. NOT
-  /// thread-safe; use only while no queries are in flight.
-  ProtectedDatabase* unsafe_inner() { return inner_.get(); }
+  /// thread-safe; use only while no queries are in flight -- enforced
+  /// in debug builds by an in-flight-queries assert. Also quiesces
+  /// pending stats so the inner trackers are coherent.
+  ProtectedDatabase* unsafe_inner();
+
+  /// Queries currently computing (excludes stall serving). Exposed so
+  /// tests can assert the debug guard's invariant.
+  int in_flight_queries() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  /// Observability for the scaling bench.
+  uint64_t row_cache_hits() const {
+    return row_cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t row_cache_misses() const {
+    return row_cache_misses_.load(std::memory_order_relaxed);
+  }
+  uint64_t stats_epoch_flushes() const {
+    return stats_tracker_ ? stats_tracker_->epoch_flushes() : 0;
+  }
+  const ConcurrentDatabaseOptions& concurrent_options() const {
+    return concurrent_options_;
+  }
+  ConcurrentCountTracker* concurrent_access_tracker() {
+    return stats_tracker_.get();
+  }
 
  private:
-  explicit ConcurrentProtectedDatabase(
-      std::unique_ptr<ProtectedDatabase> inner)
-      : inner_(std::move(inner)) {}
+  struct RowStripe {
+    std::mutex mu;
+    std::unordered_map<int64_t, Row> rows;
+  };
+  /// Per-stripe delay accounting so the hot path shares no accounting
+  /// cache line; merged on Metrics().
+  struct AcctStripe {
+    std::mutex mu;
+    double total_delay = 0.0;
+    uint64_t charges = 0;
+    QuantileSketch sketch;
+  };
+
+  ConcurrentProtectedDatabase(std::unique_ptr<ProtectedDatabase> inner,
+                              ConcurrentDatabaseOptions concurrent_options);
+
+  size_t RowStripeFor(int64_t key) const;
+  Result<ProtectedResult> GetByKeyGlobal(int64_t key);
+  Result<ProtectedResult> GetByKeySharded(int64_t key);
+  Result<ProtectedResult> ExecuteSqlGlobal(const std::string& sql);
+  Result<ProtectedResult> ExecuteSqlSharded(const std::string& sql);
+  void InvalidateRowCaches();
+  void ServeStall(double delay_seconds);
 
   std::unique_ptr<ProtectedDatabase> inner_;
+  ConcurrentDatabaseOptions concurrent_options_;
+
+  // kGlobalLock state.
   std::mutex mutex_;
+
+  // kSharded state.
+  std::shared_mutex ddl_mu_;
+  std::mutex storage_mu_;
+  std::unique_ptr<ConcurrentCountTracker> stats_tracker_;
+  std::vector<std::unique_ptr<RowStripe>> row_stripes_;
+  std::vector<std::unique_ptr<AcctStripe>> acct_stripes_;
+  std::atomic<uint64_t> row_cache_hits_{0};
+  std::atomic<uint64_t> row_cache_misses_{0};
+  std::atomic<int> in_flight_{0};
+  // First error from the flush hook pushing merged deltas into the
+  // persistent count cache; surfaced at Checkpoint. Guarded by
+  // storage_mu_ (the hook holds it).
+  Status deferred_count_cache_status_ = Status::OK();
 };
 
 }  // namespace tarpit

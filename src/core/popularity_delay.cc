@@ -9,16 +9,20 @@ PopularityDelayPolicy::PopularityDelayPolicy(const CountTracker* tracker,
     : tracker_(tracker), params_(params) {}
 
 double PopularityDelayPolicy::DelayFor(int64_t key) const {
-  const PopularityStats stats = tracker_->Stats(key);
+  return DelayFromStats(tracker_->Stats(key), params_);
+}
+
+double PopularityDelayPolicy::DelayFromStats(
+    const PopularityStats& stats, const PopularityDelayParams& params) {
   if (stats.count <= 0.0) {
     // Start-up transient / never-requested tuple: worst-case delay.
-    return params_.bounds.max_seconds;
+    return params.bounds.max_seconds;
   }
   const double rank_term =
-      params_.beta == 0.0
+      params.beta == 0.0
           ? 1.0
-          : std::pow(static_cast<double>(stats.rank), params_.beta);
-  return params_.bounds.Apply(params_.scale * rank_term / stats.count);
+          : std::pow(static_cast<double>(stats.rank), params.beta);
+  return params.bounds.Apply(params.scale * rank_term / stats.count);
 }
 
 }  // namespace tarpit

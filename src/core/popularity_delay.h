@@ -40,6 +40,13 @@ class PopularityDelayPolicy : public DelayPolicy {
   double DelayFor(int64_t key) const override;
   std::string name() const override { return "learned-popularity"; }
 
+  /// Pure delay math on an explicit stats snapshot: what DelayFor
+  /// charges once the tracker lookup is done. Lets concurrent callers
+  /// compute delays from a read-mostly PopularityStats snapshot without
+  /// touching shared tracker state.
+  static double DelayFromStats(const PopularityStats& stats,
+                               const PopularityDelayParams& params);
+
   const PopularityDelayParams& params() const { return params_; }
 
  private:

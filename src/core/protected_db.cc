@@ -200,6 +200,35 @@ Result<ProtectedResult> ProtectedDatabase::ExecuteSql(
   return out;
 }
 
+double ProtectedDatabase::DelayForAccessStats(const PopularityStats& stats,
+                                              int64_t key) const {
+  switch (options_.mode) {
+    case DelayMode::kNone:
+      return 0.0;
+    case DelayMode::kAccessPopularity:
+      return PopularityDelayPolicy::DelayFromStats(stats,
+                                                   options_.popularity);
+    case DelayMode::kUpdateRate: {
+      const double window =
+          std::max(1e-6, (clock_->NowMicros() - open_time_micros_) / 1e6);
+      return update_policy_->DelayForWindow(key, window);
+    }
+    case DelayMode::kCombinedMax: {
+      const double window =
+          std::max(1e-6, (clock_->NowMicros() - open_time_micros_) / 1e6);
+      const double access = PopularityDelayPolicy::DelayFromStats(
+          stats, options_.popularity);
+      const double update = update_policy_->DelayForWindow(key, window);
+      // Mirror Init's combined bounds: cap = max of the two caps.
+      DelayBounds bounds = options_.popularity.bounds;
+      bounds.max_seconds = std::max(bounds.max_seconds,
+                                    options_.update.bounds.max_seconds);
+      return bounds.Apply(std::max(access, update));
+    }
+  }
+  return 0.0;
+}
+
 Result<ProtectedResult> ProtectedDatabase::GetByKey(int64_t key) {
   if (table_ == nullptr) {
     return Status::FailedPrecondition("protected table not created yet");

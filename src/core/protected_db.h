@@ -101,6 +101,17 @@ class ProtectedDatabase {
   /// Delay that retrieving `key` would cost right now.
   double PeekDelay(int64_t key) const { return engine_->Peek(key); }
 
+  /// Snapshot hook for concurrent front doors: the delay the active
+  /// policy charges for `key` given an externally supplied snapshot of
+  /// its *access* popularity. Does not touch the access tracker, so
+  /// concurrent sessions can compute (and then serve) their stalls in
+  /// parallel from read-mostly snapshots. For update-rate-based modes
+  /// the update tracker is read directly, which is safe whenever
+  /// writers are excluded (the concurrent wrapper's DDL/writer path is
+  /// exclusive). Mutates nothing.
+  double DelayForAccessStats(const PopularityStats& stats,
+                             int64_t key) const;
+
   /// Point-in-time operational metrics.
   ProtectedDatabaseMetrics Metrics() const;
 

@@ -14,9 +14,15 @@ double UpdateDelayPolicy::DelayForRate(double updates_per_second) const {
 }
 
 double UpdateDelayPolicy::DelayFor(int64_t key) const {
+  return DelayForWindow(key, params_.rate_window_seconds);
+}
+
+double UpdateDelayPolicy::DelayForWindow(int64_t key,
+                                         double rate_window_seconds) const {
   const double count = tracker_->Count(key);
   if (count <= 0.0) return params_.bounds.max_seconds;
-  return DelayForRate(count / params_.rate_window_seconds);
+  if (rate_window_seconds <= 0.0) rate_window_seconds = 1.0;
+  return DelayForRate(count / rate_window_seconds);
 }
 
 }  // namespace tarpit

@@ -41,6 +41,11 @@ class UpdateDelayPolicy : public DelayPolicy {
   /// the tracker; used by the analytical benches).
   double DelayForRate(double updates_per_second) const;
 
+  /// Same as DelayFor but with an explicit rate window, so concurrent
+  /// readers can supply the elapsed time without mutating shared policy
+  /// state via set_rate_window_seconds.
+  double DelayForWindow(int64_t key, double rate_window_seconds) const;
+
   const UpdateDelayParams& params() const { return params_; }
   void set_rate_window_seconds(double w) {
     params_.rate_window_seconds = w;

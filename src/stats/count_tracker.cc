@@ -31,6 +31,33 @@ void CountTracker::Record(int64_t key) {
   RenormalizeIfNeeded();
 }
 
+void CountTracker::RecordMany(int64_t key, uint64_t n) {
+  if (n == 0) return;
+  auto [it, inserted] = counts_.try_emplace(key, 0.0);
+  bool was_tracked = !inserted;
+  double old_raw = it->second;
+  for (uint64_t i = 0; i < n; ++i) {
+    ++total_requests_;
+    weight_ *= decay_per_request_;
+    it->second += weight_;
+    raw_total_ += weight_;
+    // Mirror Record()'s per-request renormalization trigger exactly so
+    // a batch replay is bit-identical to n sequential Record() calls.
+    if (weight_ >= kRenormalizeThreshold ||
+        raw_total_ >= kRenormalizeThreshold) {
+      // The index must learn this key's current count before the
+      // global rescale (Rescale multiplies what the index holds).
+      index_->UpdateCount(key, old_raw, was_tracked, it->second);
+      was_tracked = true;
+      RenormalizeIfNeeded();
+      old_raw = it->second;
+    }
+  }
+  if (it->second != old_raw || !was_tracked) {
+    index_->UpdateCount(key, old_raw, was_tracked, it->second);
+  }
+}
+
 void CountTracker::Seed(int64_t key, double count) {
   if (count <= 0) return;
   auto [it, inserted] = counts_.try_emplace(key, 0.0);

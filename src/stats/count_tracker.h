@@ -50,6 +50,14 @@ class CountTracker {
   /// Records one request for `key`.
   void Record(int64_t key);
 
+  /// Records `n` back-to-back requests for `key`, with arithmetic
+  /// identical to calling Record(key) n times (same inflation
+  /// trajectory, same renormalization trigger points) but only O(1)
+  /// rank-index updates. This is the replay primitive used by
+  /// ConcurrentCountTracker's epoch-batched merge: a shard's pending
+  /// multiset collapses to one RecordMany per distinct key.
+  void RecordMany(int64_t key, uint64_t n);
+
   /// Seeds a key's count directly -- used to warm-start the tracker
   /// from counts persisted by a previous run. Seeded mass behaves as if
   /// accrued at seed time (it decays from now on, like any old count).

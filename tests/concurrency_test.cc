@@ -1,0 +1,412 @@
+// Deterministic multi-thread tests for the sharded concurrent query
+// path (ConcurrentProtectedDatabase + ConcurrentCountTracker).
+//
+// These tests are the primary ThreadSanitizer targets: run them with
+// -DTARPIT_SANITIZE=thread. Long-running cases honor the
+// TARPIT_STRESS_ITERS environment variable so sanitizer CI can shrink
+// them (see tests/CMakeLists.txt and .github/workflows/ci.yml).
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "core/concurrent_db.h"
+#include "core/popularity_delay.h"
+#include "stats/concurrent_count_tracker.h"
+#include "stats/count_tracker.h"
+
+namespace tarpit {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Iteration budget for stress-ish loops: TARPIT_STRESS_ITERS caps the
+/// default so sanitizer runs stay fast.
+int StressIters(int default_iters) {
+  const char* env = std::getenv("TARPIT_STRESS_ITERS");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return std::min(v, default_iters);
+  }
+  return default_iters;
+}
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("tarpit_concurrency_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()) +
+            "_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    cdb_.reset();
+    fs::remove_all(dir_);
+  }
+
+  void OpenDb(int rows, ProtectedDatabaseOptions opts,
+              ConcurrentDatabaseOptions copts) {
+    auto cdb =
+        ConcurrentProtectedDatabase::Open(dir_.string(), "items", &clock_,
+                                          opts, copts);
+    ASSERT_TRUE(cdb.ok()) << cdb.status().ToString();
+    cdb_ = std::move(*cdb);
+    ASSERT_TRUE(cdb_->ExecuteSql("CREATE TABLE items (id INT PRIMARY "
+                                 "KEY, v DOUBLE)")
+                    .ok());
+    for (int i = 1; i <= rows; ++i) {
+      ASSERT_TRUE(cdb_->BulkLoadRow({Value(static_cast<int64_t>(i)),
+                                     Value(1.0)})
+                      .ok());
+    }
+  }
+
+  fs::path dir_;
+  RealClock clock_;
+  std::unique_ptr<ConcurrentProtectedDatabase> cdb_;
+};
+
+// k threads extracting disjoint partitions: each thread's accumulated
+// delay must match a serial oracle replay of its own key sequence.
+// With beta = 0 (delay depends only on the tuple's own count) and decay
+// delta = 1.0 (order-independent counts), the sharded path is exact:
+// a thread's own completed records are always visible to its own
+// snapshot reads.
+TEST_F(ConcurrencyTest, DisjointPartitionsMatchSerialOracle) {
+  constexpr int kThreads = 4;
+  constexpr int kKeysPerThread = 50;
+  const int passes = StressIters(30);
+  ProtectedDatabaseOptions opts;
+  opts.popularity.beta = 0.0;
+  opts.popularity.scale = 0.25;
+  opts.popularity.bounds = {0.0, 10.0};
+  opts.decay_per_request = 1.0;
+  ConcurrentDatabaseOptions copts;
+  copts.mode = ConcurrencyMode::kSharded;
+  copts.num_shards = 8;
+  copts.stats_shards = 8;
+  copts.epoch_batch = 16;
+  copts.serve_delays = false;  // Measure, don't stall.
+  OpenDb(kThreads * kKeysPerThread, opts, copts);
+
+  std::vector<double> per_thread_delay(kThreads, 0.0);
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      double sum = 0.0;
+      for (int p = 0; p < passes; ++p) {
+        for (int i = 0; i < kKeysPerThread; ++i) {
+          const int64_t key = 1 + t * kKeysPerThread + i;
+          auto r = cdb_->GetByKey(key);
+          if (!r.ok()) {
+            ++errors;
+            continue;
+          }
+          sum += r->delay_seconds;
+        }
+      }
+      per_thread_delay[t] = sum;
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(errors.load(), 0);
+
+  // Serial oracle: this thread's partition replayed alone. Disjoint
+  // partitions + beta = 0 means other threads cannot perturb it.
+  for (int t = 0; t < kThreads; ++t) {
+    CountTracker oracle(kThreads * kKeysPerThread, 1.0);
+    double expected = 0.0;
+    for (int p = 0; p < passes; ++p) {
+      for (int i = 0; i < kKeysPerThread; ++i) {
+        const int64_t key = 1 + t * kKeysPerThread + i;
+        oracle.Record(key);
+        expected += PopularityDelayPolicy::DelayFromStats(
+            oracle.Stats(key), opts.popularity);
+      }
+    }
+    EXPECT_NEAR(per_thread_delay[t], expected, 1e-9 * expected + 1e-12)
+        << "thread " << t;
+  }
+
+  // Accounting is exact across the fleet.
+  const uint64_t total =
+      static_cast<uint64_t>(kThreads) * kKeysPerThread * passes;
+  EXPECT_EQ(cdb_->Metrics().total_requests, total);
+}
+
+// k threads hammering the same 16 hot keys: no counter update may be
+// lost. total_requests is exact; per-key decayed counts stay within the
+// epoch-staleness bound of a serial round-robin replay; the total
+// decayed mass is permutation-invariant and therefore (near-)exact.
+TEST_F(ConcurrencyTest, OverlappingHotKeysLoseNoUpdates) {
+  constexpr int kThreads = 4;
+  constexpr int kHotKeys = 16;
+  const int iters = StressIters(2000);
+  const double kDelta = 1.0001;
+
+  CountTracker inner(1000, kDelta);
+  ConcurrentCountTrackerOptions topts;
+  topts.num_shards = 8;
+  topts.epoch_batch = 32;
+  ConcurrentCountTracker tracker(&inner, topts);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < iters; ++i) {
+        tracker.Record(1 + (i * kThreads + t) % kHotKeys);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  tracker.FlushAll();
+
+  const uint64_t total = static_cast<uint64_t>(kThreads) * iters;
+  EXPECT_EQ(tracker.total_requests(), total);
+  EXPECT_EQ(tracker.pending_records(), 0u);
+  EXPECT_EQ(tracker.distinct_seen(),
+            static_cast<uint64_t>(std::min<int>(kHotKeys, kThreads * iters)));
+
+  // Serial round-robin oracle over the same multiset.
+  CountTracker oracle(1000, kDelta);
+  for (int i = 0; i < iters; ++i) {
+    for (int t = 0; t < kThreads; ++t) {
+      oracle.Record(1 + (i * kThreads + t) % kHotKeys);
+    }
+  }
+  ASSERT_EQ(oracle.total_requests(), total);
+
+  // Total decayed mass depends only on the number of requests, not
+  // their order: exact up to floating-point noise.
+  const double mass = tracker.Stats(1).total_count;
+  const double oracle_mass = oracle.Stats(1).total_count;
+  EXPECT_NEAR(mass, oracle_mass, 1e-6 * oracle_mass);
+
+  // Per-key counts: the multiset per key is exact (the mass check above
+  // already fails if even one increment is lost -- a dropped update
+  // shifts total mass by >= delta^-R, far above the 1e-6 tolerance).
+  // The *decayed* per-key count depends on where the key's increments
+  // landed in the global order; for any interleaving each increment
+  // shifts by at most R positions, so got/want lies in
+  // [delta^-R, delta^R]. Assert that rigorous envelope.
+  const double span =
+      std::pow(kDelta, static_cast<double>(total));  // delta^R
+  for (int k = 1; k <= kHotKeys; ++k) {
+    const double got = tracker.Count(k);
+    const double want = oracle.Count(k);
+    EXPECT_GT(got, 0.0) << "key " << k;
+    EXPECT_GE(got, want / span * (1.0 - 1e-9)) << "key " << k;
+    EXPECT_LE(got, want * span * (1.0 + 1e-9)) << "key " << k;
+  }
+}
+
+// Destroying the database while sessions were just stalling must not
+// deadlock: stalls are served outside every lock, so shutdown only has
+// to wait for in-flight computation, never for sleeps it cannot cancel.
+TEST_F(ConcurrencyTest, ShutdownWhileStallingDoesNotDeadlock) {
+  constexpr int kThreads = 4;
+  ProtectedDatabaseOptions opts;
+  opts.popularity.scale = 1e9;            // Everything hits the cap.
+  opts.popularity.bounds = {0.0, 0.02};   // 20 ms stall per retrieval.
+  ConcurrentDatabaseOptions copts;
+  copts.mode = ConcurrencyMode::kSharded;
+  copts.serve_delays = true;
+  OpenDb(64, opts, copts);
+
+  RealClock wall;
+  const int64_t start = wall.NowMicros();
+  std::atomic<bool> stop{false};
+  std::atomic<int> completed{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(17 * (t + 1));
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = cdb_->GetByKey(1 + static_cast<int64_t>(rng.Uniform(64)));
+        if (!r.ok()) ++errors;
+        ++completed;
+      }
+    });
+  }
+  // Let every thread get into (at least) one stall, then shut down.
+  wall.SleepForMicros(100'000);
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  cdb_.reset();  // Destructor quiesces the stats spine.
+  const double elapsed = (wall.NowMicros() - start) / 1e6;
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_GE(completed.load(), kThreads);
+  EXPECT_LT(elapsed, 10.0) << "shutdown stalled";
+}
+
+// unsafe_inner() misuse guard: the in-flight counter returns to zero
+// once queries complete, and unsafe_inner() quiesces the stats spine so
+// the inner tracker reflects every completed request. (Calling
+// unsafe_inner() *during* a query trips a debug assert -- that path is
+// exercised manually, not here, since death tests and threads mix
+// poorly.)
+TEST_F(ConcurrencyTest, UnsafeInnerGuardAndQuiesce) {
+  constexpr int kThreads = 4;
+  const int iters = StressIters(500);
+  ProtectedDatabaseOptions opts;
+  opts.popularity.bounds = {0.0, 0.0};
+  ConcurrentDatabaseOptions copts;
+  copts.mode = ConcurrencyMode::kSharded;
+  copts.epoch_batch = 64;
+  copts.serve_delays = false;
+  OpenDb(128, opts, copts);
+
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < iters; ++i) {
+        auto r =
+            cdb_->GetByKey(1 + (t * iters + i) % 128);
+        if (!r.ok()) ++errors;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(errors.load(), 0);
+  EXPECT_EQ(cdb_->in_flight_queries(), 0);
+  // unsafe_inner() flushes pending epoch deltas: the single-threaded
+  // tracker now holds the exact request count.
+  EXPECT_EQ(cdb_->unsafe_inner()->access_tracker()->total_requests(),
+            static_cast<uint64_t>(kThreads) * iters);
+}
+
+// Readers race a SQL writer: the row cache must never serve a value
+// that storage no longer holds once the write is visible.
+TEST_F(ConcurrencyTest, WritesInvalidateRowCache) {
+  constexpr int kRows = 50;
+  ProtectedDatabaseOptions opts;
+  opts.popularity.bounds = {0.0, 0.0};
+  ConcurrentDatabaseOptions copts;
+  copts.mode = ConcurrencyMode::kSharded;
+  copts.serve_delays = false;
+  OpenDb(kRows, opts, copts);
+
+  // Warm the cache.
+  for (int k = 1; k <= kRows; ++k) {
+    auto r = cdb_->GetByKey(k);
+    ASSERT_TRUE(r.ok());
+    ASSERT_DOUBLE_EQ(r->result.rows[0][1].AsDouble(), 1.0);
+  }
+  ASSERT_GT(cdb_->row_cache_hits() + cdb_->row_cache_misses(), 0u);
+
+  std::atomic<int> errors{0};
+  std::vector<std::thread> readers;
+  std::atomic<bool> stop{false};
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(101 * (t + 1));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int64_t key = 1 + static_cast<int64_t>(rng.Uniform(kRows));
+        auto r = cdb_->GetByKey(key);
+        if (!r.ok()) {
+          ++errors;
+          continue;
+        }
+        const double v = r->result.rows[0][1].AsDouble();
+        if (v != 1.0 && v != 42.0) ++errors;  // Torn/stale value.
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int k = 1; k <= kRows; ++k) {
+      auto r = cdb_->ExecuteSql("UPDATE items SET v = 42.0 WHERE id = " +
+                                std::to_string(k));
+      if (!r.ok()) ++errors;
+    }
+    stop.store(true);
+  });
+  writer.join();
+  for (auto& th : readers) th.join();
+  ASSERT_EQ(errors.load(), 0);
+
+  // Post-quiesce: every read must observe the written value.
+  for (int k = 1; k <= kRows; ++k) {
+    auto r = cdb_->GetByKey(k);
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r->result.rows[0][1].AsDouble(), 42.0) << "key " << k;
+  }
+}
+
+// SQL SELECTs and striped point reads share one stats spine: the
+// merged metrics count every access exactly once.
+TEST_F(ConcurrencyTest, SqlAndPointReadsShareOneSpine) {
+  constexpr int kThreads = 4;
+  const int iters = StressIters(300);
+  ProtectedDatabaseOptions opts;
+  opts.popularity.bounds = {0.0, 0.0};
+  ConcurrentDatabaseOptions copts;
+  copts.mode = ConcurrencyMode::kSharded;
+  copts.epoch_batch = 8;
+  copts.serve_delays = false;
+  OpenDb(100, opts, copts);
+
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < iters; ++i) {
+        const int64_t key = 1 + (t * iters + i) % 100;
+        if (t % 2 == 0) {
+          auto r = cdb_->GetByKey(key);
+          if (!r.ok() || r->result.rows.size() != 1) ++errors;
+        } else {
+          auto r = cdb_->ExecuteSql("SELECT * FROM items WHERE id = " +
+                                    std::to_string(key));
+          if (!r.ok() || r->result.rows.size() != 1) ++errors;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(errors.load(), 0);
+  EXPECT_EQ(cdb_->Metrics().total_requests,
+            static_cast<uint64_t>(kThreads) * iters);
+}
+
+// The kGlobalLock baseline (the seed behavior) must keep working -- it
+// is the comparison arm of bench_concurrent_scaling.
+TEST_F(ConcurrencyTest, GlobalLockModeStillServes) {
+  ProtectedDatabaseOptions opts;
+  opts.popularity.bounds = {0.0, 0.0};
+  ConcurrentDatabaseOptions copts;
+  copts.mode = ConcurrencyMode::kGlobalLock;
+  OpenDb(32, opts, copts);
+
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 100; ++i) {
+        auto r = cdb_->GetByKey(1 + (t * 100 + i) % 32);
+        if (!r.ok()) ++errors;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(cdb_->Metrics().total_requests, 400u);
+  EXPECT_EQ(cdb_->in_flight_queries(), 0);
+}
+
+}  // namespace
+}  // namespace tarpit
