@@ -24,6 +24,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -44,8 +45,16 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr int kRows = 4096;
-constexpr int kOpsPerThread = 20'000;
 constexpr double kZipfAlpha = 1.1;
+
+/// TARPIT_BENCH_TINY=1 shrinks per-thread work for CI smoke runs (the
+/// acceptance thresholds are only meaningful at the full size).
+int OpsPerThread() {
+  const char* env = std::getenv("TARPIT_BENCH_TINY");
+  const bool tiny = env != nullptr && env[0] != '\0' && env[0] != '0';
+  return tiny ? 500 : 20'000;
+}
+const int kOpsPerThread = OpsPerThread();
 
 struct RunResult {
   double qps = 0;

@@ -1,9 +1,20 @@
 #include "common/clock.h"
 
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <thread>
 
 namespace tarpit {
+
+int64_t Clock::DelayToMicros(double seconds) {
+  if (!(seconds > 0.0)) return 0;  // Also catches NaN.
+  const double micros = std::ceil(seconds * 1e6);
+  if (micros >= static_cast<double>(std::numeric_limits<int64_t>::max())) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return static_cast<int64_t>(micros);
+}
 
 int64_t RealClock::NowMicros() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(

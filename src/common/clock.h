@@ -19,7 +19,27 @@ class Clock {
   /// Blocks (or, for virtual clocks, advances time) for `micros`.
   virtual void SleepForMicros(int64_t micros) = 0;
 
+  /// True when time is simulated (VirtualClock): sleeps are
+  /// instantaneous bookkeeping. The DelayScheduler uses this to fire
+  /// its timer wheel instantly instead of running a driver thread.
+  virtual bool IsVirtual() const { return false; }
+
   double NowSeconds() const { return NowMicros() / 1e6; }
+
+  /// Converts a charged delay in seconds to sleepable microseconds,
+  /// rounding UP. A truncating cast here let sub-microsecond delays
+  /// round to zero and never reach wall time, silently under-charging
+  /// workloads whose per-tuple delays sit below 1 µs (common with
+  /// small `scale` and large counts). Negative/zero delays map to 0;
+  /// values beyond int64 range clamp to the maximum.
+  static int64_t DelayToMicros(double seconds);
+
+  /// Convenience: sleeps for `seconds`, rounded up to whole
+  /// microseconds so every positive charge costs at least one tick of
+  /// wall time.
+  void SleepForSeconds(double seconds) {
+    SleepForMicros(DelayToMicros(seconds));
+  }
 };
 
 /// Wall-clock time via std::chrono::steady_clock; SleepForMicros really
@@ -35,6 +55,8 @@ class RealClock : public Clock {
 class VirtualClock : public Clock {
  public:
   explicit VirtualClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  bool IsVirtual() const override { return true; }
 
   int64_t NowMicros() const override { return now_; }
   void SleepForMicros(int64_t micros) override {

@@ -22,6 +22,7 @@ enum class StatusCode {
   kRateLimited,
   kUnimplemented,
   kInternal,
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for a status code, e.g. "NotFound".
@@ -73,6 +74,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// A parked request was cancelled before its stall expired (session
+  /// eviction, scheduler shutdown). The computation may have happened;
+  /// the result is withheld because the delay was never served.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -83,6 +90,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -1,6 +1,7 @@
 #include "core/concurrent_db.h"
 
 #include <cassert>
+#include <condition_variable>
 #include <utility>
 
 #include "sql/parser.h"
@@ -73,9 +74,21 @@ ConcurrentProtectedDatabase::ConcurrentProtectedDatabase(
       acct_stripes_.push_back(std::make_unique<AcctStripe>());
     }
   }
+  if (concurrent_options_.async_stalls) {
+    scheduler_ = std::make_unique<DelayScheduler>(
+        inner_->clock(), concurrent_options_.scheduler);
+  }
 }
 
-ConcurrentProtectedDatabase::~ConcurrentProtectedDatabase() = default;
+ConcurrentProtectedDatabase::~ConcurrentProtectedDatabase() {
+  // Drain the wheel first: parked stalls complete with
+  // Status::Cancelled (their callbacks only capture result copies, so
+  // this is safe regardless of inner_'s state) and the dispatcher
+  // threads join before anything else is torn down.
+  if (scheduler_ != nullptr) {
+    scheduler_->Shutdown(DelayScheduler::ShutdownMode::kCancelPending);
+  }
+}
 
 Result<std::unique_ptr<ConcurrentProtectedDatabase>>
 ConcurrentProtectedDatabase::Open(const std::string& dir,
@@ -97,11 +110,75 @@ size_t ConcurrentProtectedDatabase::RowStripeFor(int64_t key) const {
   return Mix(static_cast<uint64_t>(key)) % row_stripes_.size();
 }
 
-void ConcurrentProtectedDatabase::ServeStall(double delay_seconds) {
-  if (concurrent_options_.serve_delays && delay_seconds > 0) {
-    inner_->clock()->SleepForMicros(
-        static_cast<int64_t>(delay_seconds * 1e6));
+Result<ProtectedResult> ConcurrentProtectedDatabase::FinishBlocking(
+    Result<ProtectedResult> r) {
+  if (!r.ok()) return r;
+  const double delay =
+      concurrent_options_.serve_delays ? r->delay_seconds : 0.0;
+  if (scheduler_ == nullptr) {
+    // Seed behavior: the calling thread sleeps through its own stall
+    // (rounded up, so sub-microsecond charges still cost wall time).
+    if (delay > 0) inner_->clock()->SleepForSeconds(delay);
+    return r;
   }
+  // Blocking shim over the wheel: park and wait. Still one thread per
+  // in-flight stall for THIS caller (that is what blocking means), but
+  // the stall shares the same scheduling, accounting, cancellation and
+  // shutdown semantics as the async path.
+  struct Waiter {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    bool cancelled = false;
+  };
+  auto w = std::make_shared<Waiter>();
+  scheduler_->Submit(delay, [w](bool cancelled) {
+    std::lock_guard<std::mutex> lock(w->m);
+    w->done = true;
+    w->cancelled = cancelled;
+    w->cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(w->m);
+  w->cv.wait(lock, [&] { return w->done; });
+  if (w->cancelled) {
+    return Status::Cancelled("stall cancelled before expiry");
+  }
+  return r;
+}
+
+void ConcurrentProtectedDatabase::FinishAsync(Result<ProtectedResult> r,
+                                              AsyncCompletion done,
+                                              StallGroup session) {
+  if (!r.ok()) {
+    // Nothing was charged; complete inline on the submitting thread.
+    done(std::move(r));
+    return;
+  }
+  const double delay =
+      concurrent_options_.serve_delays ? r->delay_seconds : 0.0;
+  if (scheduler_ == nullptr) {
+    // Degenerate (async_stalls off): serve inline, then complete.
+    if (delay > 0) inner_->clock()->SleepForSeconds(delay);
+    done(std::move(r));
+    return;
+  }
+  auto shared = std::make_shared<Result<ProtectedResult>>(std::move(r));
+  scheduler_->Submit(
+      delay,
+      [shared, done = std::move(done)](bool cancelled) {
+        if (cancelled) {
+          done(Status::Cancelled(
+              "session evicted or scheduler shut down before stall "
+              "expiry"));
+        } else {
+          done(std::move(*shared));
+        }
+      },
+      session);
+}
+
+size_t ConcurrentProtectedDatabase::CancelSession(StallGroup session) {
+  return scheduler_ != nullptr ? scheduler_->CancelGroup(session) : 0;
 }
 
 void ConcurrentProtectedDatabase::InvalidateRowCaches() {
@@ -127,26 +204,16 @@ ProtectedDatabase* ConcurrentProtectedDatabase::unsafe_inner() {
 
 Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSqlGlobal(
     const std::string& sql) {
-  Result<ProtectedResult> result = Status::Internal("unset");
-  {
-    InFlightMark mark(&in_flight_);
-    std::lock_guard<std::mutex> lock(mutex_);
-    result = inner_->ExecuteSql(sql);
-  }
-  if (result.ok()) ServeStall(result->delay_seconds);
-  return result;
+  InFlightMark mark(&in_flight_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inner_->ExecuteSql(sql);
 }
 
 Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKeyGlobal(
     int64_t key) {
-  Result<ProtectedResult> result = Status::Internal("unset");
-  {
-    InFlightMark mark(&in_flight_);
-    std::lock_guard<std::mutex> lock(mutex_);
-    result = inner_->GetByKey(key);
-  }
-  if (result.ok()) ServeStall(result->delay_seconds);
-  return result;
+  InFlightMark mark(&in_flight_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inner_->GetByKey(key);
 }
 
 // --- Sharded mode. -------------------------------------------------------
@@ -221,8 +288,9 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKeySharded(
       out.result.columns.push_back(schema.column(i).name);
     }
   }
-  // 4. Stall outside every lock: parallel sessions stall in parallel.
-  ServeStall(out.delay_seconds);
+  // The stall is NOT served here: the caller (FinishBlocking /
+  // FinishAsync) serves or parks it outside every lock, so parallel
+  // sessions stall in parallel and parked sessions hold no thread.
   return out;
 }
 
@@ -251,24 +319,45 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSqlSharded(
       result = inner_->ExecuteSql(sql);
     });
   }
-  if (result.ok()) ServeStall(result->delay_seconds);
   return result;
 }
 
-// --- Public dispatch. ----------------------------------------------------
+// --- Public dispatch: admit/compute, then serve or park the stall. -------
 
-Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSql(
+Result<ProtectedResult> ConcurrentProtectedDatabase::ComputeExecuteSql(
     const std::string& sql) {
   return concurrent_options_.mode == ConcurrencyMode::kGlobalLock
              ? ExecuteSqlGlobal(sql)
              : ExecuteSqlSharded(sql);
 }
 
-Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKey(
+Result<ProtectedResult> ConcurrentProtectedDatabase::ComputeGetByKey(
     int64_t key) {
   return concurrent_options_.mode == ConcurrencyMode::kGlobalLock
              ? GetByKeyGlobal(key)
              : GetByKeySharded(key);
+}
+
+Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSql(
+    const std::string& sql) {
+  return FinishBlocking(ComputeExecuteSql(sql));
+}
+
+Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKey(
+    int64_t key) {
+  return FinishBlocking(ComputeGetByKey(key));
+}
+
+void ConcurrentProtectedDatabase::GetByKeyAsync(int64_t key,
+                                                AsyncCompletion done,
+                                                StallGroup session) {
+  FinishAsync(ComputeGetByKey(key), std::move(done), session);
+}
+
+void ConcurrentProtectedDatabase::ExecuteSqlAsync(const std::string& sql,
+                                                  AsyncCompletion done,
+                                                  StallGroup session) {
+  FinishAsync(ComputeExecuteSql(sql), std::move(done), session);
 }
 
 Status ConcurrentProtectedDatabase::BulkLoadRow(const Row& row) {

@@ -2,6 +2,7 @@
 #define TARPIT_CORE_CONCURRENT_DB_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -11,6 +12,7 @@
 
 #include "common/result.h"
 #include "common/stats.h"
+#include "core/delay_scheduler.h"
 #include "core/protected_db.h"
 #include "stats/concurrent_count_tracker.h"
 #include "storage/value.h"
@@ -48,6 +50,17 @@ struct ConcurrentDatabaseOptions {
   /// When false, delays are computed and accounted but not slept --
   /// for benches/simulations that measure rather than stall.
   bool serve_delays = true;
+  /// Async stall scheduling: stalls park on a DelayScheduler (timer
+  /// wheel + dispatcher pool) instead of blocking the calling thread,
+  /// so a fixed thread budget carries tens of thousands of
+  /// concurrently-stalled sessions. The *Async entry points complete
+  /// via callback on stall expiry; blocking GetByKey/ExecuteSql become
+  /// shims that park and wait. Off by default (seed behavior: the
+  /// calling thread sleeps through its own stall).
+  bool async_stalls = false;
+  /// Wheel geometry and dispatcher pool used when async_stalls is on.
+  /// With a VirtualClock the wheel fires instantly (simulation mode).
+  DelaySchedulerOptions scheduler;
 };
 
 /// Thread-safe front door over a ProtectedDatabase.
@@ -87,12 +100,40 @@ class ConcurrentProtectedDatabase {
 
   /// Executes one statement. SELECTs run concurrently with GetByKey
   /// traffic; mutating statements are exclusive. The stall is served
-  /// outside all locks.
+  /// outside all locks (slept inline, or parked on the wheel when
+  /// async_stalls is on).
   Result<ProtectedResult> ExecuteSql(const std::string& sql);
 
   /// Single-tuple retrieval on the striped path (kSharded) or under
   /// the global mutex (kGlobalLock).
   Result<ProtectedResult> GetByKey(int64_t key);
+
+  /// Completion callback for the async entry points. Runs on a
+  /// scheduler dispatcher thread when the stall expires; perimeter /
+  /// storage errors (nothing to stall for) complete inline on the
+  /// submitting thread. A parked request cancelled by CancelSession or
+  /// shutdown completes with Status::Cancelled -- the tuple is
+  /// withheld because its delay was never served.
+  using AsyncCompletion = std::function<void(Result<ProtectedResult>)>;
+
+  /// Admit -> compute delay under the stripe locks -> park on the
+  /// wheel -> complete on expiry. The calling thread returns as soon
+  /// as the computation is done; no thread is held for the stall.
+  /// `session` groups the parked stall for CancelSession (0 = none).
+  /// Requires async_stalls (falls back to serving the stall inline on
+  /// the calling thread otherwise, then completing).
+  void GetByKeyAsync(int64_t key, AsyncCompletion done,
+                     StallGroup session = 0);
+  void ExecuteSqlAsync(const std::string& sql, AsyncCompletion done,
+                       StallGroup session = 0);
+
+  /// Cancels every stall parked under `session` (SessionManager
+  /// eviction hooks call this); each completes with Status::Cancelled.
+  /// Returns the number cancelled. No-op when async_stalls is off.
+  size_t CancelSession(StallGroup session);
+
+  /// The wheel, for observability (null unless async_stalls).
+  DelayScheduler* delay_scheduler() { return scheduler_.get(); }
 
   Status BulkLoadRow(const Row& row);
   Status Checkpoint();
@@ -154,12 +195,21 @@ class ConcurrentProtectedDatabase {
                               ConcurrentDatabaseOptions concurrent_options);
 
   size_t RowStripeFor(int64_t key) const;
+  // Compute phase only (admit + delay accounting, no stall served).
+  Result<ProtectedResult> ComputeGetByKey(int64_t key);
+  Result<ProtectedResult> ComputeExecuteSql(const std::string& sql);
   Result<ProtectedResult> GetByKeyGlobal(int64_t key);
   Result<ProtectedResult> GetByKeySharded(int64_t key);
   Result<ProtectedResult> ExecuteSqlGlobal(const std::string& sql);
   Result<ProtectedResult> ExecuteSqlSharded(const std::string& sql);
   void InvalidateRowCaches();
-  void ServeStall(double delay_seconds);
+  /// Blocking stall service: sleeps inline, or (async_stalls) parks on
+  /// the wheel and waits -- the shim that keeps existing callers
+  /// working. Cancellation surfaces as Status::Cancelled.
+  Result<ProtectedResult> FinishBlocking(Result<ProtectedResult> r);
+  /// Async stall service: parks the stall and fires `done` on expiry.
+  void FinishAsync(Result<ProtectedResult> r, AsyncCompletion done,
+                   StallGroup session);
 
   std::unique_ptr<ProtectedDatabase> inner_;
   ConcurrentDatabaseOptions concurrent_options_;
@@ -180,6 +230,11 @@ class ConcurrentProtectedDatabase {
   // persistent count cache; surfaced at Checkpoint. Guarded by
   // storage_mu_ (the hook holds it).
   Status deferred_count_cache_status_ = Status::OK();
+
+  // Async stall scheduling (only when async_stalls). Declared last so
+  // it is destroyed first; the destructor additionally shuts it down
+  // (cancelling parked stalls) before anything else is torn down.
+  std::unique_ptr<DelayScheduler> scheduler_;
 };
 
 }  // namespace tarpit

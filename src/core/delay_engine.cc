@@ -4,7 +4,9 @@ namespace tarpit {
 
 double DelayEngine::Charge(int64_t key) {
   const double d = ChargeDeferred(key);
-  clock_->SleepForMicros(static_cast<int64_t>(d * 1e6));
+  // Round up: a truncating cast here dropped sub-microsecond delays
+  // entirely (charged on the books, never on the wall clock).
+  clock_->SleepForSeconds(d);
   return d;
 }
 

@@ -111,7 +111,9 @@ Result<ProtectedResult> QueryGate::ExecuteSql(const Identity& identity,
     if (escalation > 1.0 && result->delay_seconds > 0) {
       const double extra = (escalation - 1.0) * result->delay_seconds;
       if (!db_->options().defer_delay_sleep) {
-        db_->clock()->SleepForMicros(static_cast<int64_t>(extra * 1e6));
+        // Round up (see Clock::DelayToMicros): escalation surcharges
+        // below 1 µs must still cost wall time.
+        db_->clock()->SleepForSeconds(extra);
       }
       result->delay_seconds += extra;
       record.event = AuditEvent::kCoverageEscalated;
@@ -123,6 +125,42 @@ Result<ProtectedResult> QueryGate::ExecuteSql(const Identity& identity,
   record.magnitude = result->delay_seconds;
   audit_log_.Record(record);
   return result;
+}
+
+void QueryGate::ExecuteSqlAsync(const Identity& identity,
+                                const std::string& sql,
+                                DelayScheduler* scheduler,
+                                AsyncCompletion done,
+                                StallGroup session) {
+  // Perimeter checks + compute + accounting run inline (the gate is
+  // not thread-safe; this is the same admit path as ExecuteSql). Only
+  // the stall moves off-thread: it parks on the wheel and `done` fires
+  // on a dispatcher at expiry -- instantly under a VirtualClock, which
+  // is how simulations drive the async perimeter on one timeline.
+  Result<ProtectedResult> result = ExecuteSql(identity, sql);
+  if (!result.ok()) {
+    done(std::move(result));
+    return;
+  }
+  // When the database is configured to defer stall serving
+  // (defer_delay_sleep), the whole charged delay is still owed; park
+  // it. Otherwise the inner engine already slept and we owe nothing.
+  const double park =
+      db_->options().defer_delay_sleep ? result->delay_seconds : 0.0;
+  auto shared = std::make_shared<Result<ProtectedResult>>(
+      std::move(result));
+  scheduler->Submit(
+      park,
+      [shared, done = std::move(done)](bool cancelled) {
+        if (cancelled) {
+          done(Status::Cancelled(
+              "stall cancelled before expiry (session evicted or "
+              "scheduler shut down)"));
+        } else {
+          done(std::move(*shared));
+        }
+      },
+      session);
 }
 
 double QueryGate::RetryAfter(const Identity& identity) {

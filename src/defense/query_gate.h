@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "core/delay_scheduler.h"
 #include "core/protected_db.h"
 #include "defense/audit_log.h"
 #include "defense/coverage_monitor.h"
@@ -56,6 +57,21 @@ class QueryGate {
   /// perimeter limit trips -- the statement is not executed.
   Result<ProtectedResult> ExecuteSql(const Identity& identity,
                                      const std::string& sql);
+
+  using AsyncCompletion = std::function<void(Result<ProtectedResult>)>;
+
+  /// Async perimeter execution: admit + compute + delay accounting run
+  /// inline on the caller (the gate itself is single-threaded, like
+  /// the serial ProtectedDatabase it fronts); the charged stall parks
+  /// on `scheduler` and `done` fires on a dispatcher thread at expiry.
+  /// Perimeter denials complete inline. Requires the database to be
+  /// opened with defer_delay_sleep -- otherwise the inner engine has
+  /// already served the stall and nothing is parked. `session` groups
+  /// the parked stall for DelayScheduler::CancelGroup (session
+  /// eviction).
+  void ExecuteSqlAsync(const Identity& identity, const std::string& sql,
+                       DelayScheduler* scheduler, AsyncCompletion done,
+                       StallGroup session = 0);
 
   /// Seconds until `identity` may issue another query (0 = now).
   double RetryAfter(const Identity& identity);

@@ -36,6 +36,7 @@ Result<IdentityId> SessionManager::Validate(SessionToken token,
     const IdentityId id = it->second.identity;
     sessions_.erase(it);
     if (--per_identity_[id] == 0) per_identity_.erase(id);
+    if (eviction_hook_) eviction_hook_(token, id);
     return Status::PermissionDenied("session expired");
   }
   it->second.last_active_seconds = now_seconds;
@@ -51,6 +52,7 @@ void SessionManager::Logout(SessionToken token) {
   if (pit != per_identity_.end() && --pit->second == 0) {
     per_identity_.erase(pit);
   }
+  if (eviction_hook_) eviction_hook_(token, id);
 }
 
 size_t SessionManager::ExpireStale(double now_seconds) {

@@ -2,6 +2,7 @@
 #define TARPIT_DEFENSE_SESSION_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "common/random.h"
@@ -47,6 +48,17 @@ class SessionManager {
   /// Drops every session idle past its TTL; returns how many died.
   size_t ExpireStale(double now_seconds);
 
+  /// Invoked whenever a session ends -- explicit Logout, TTL expiry in
+  /// Validate, or an ExpireStale sweep. This is how eviction reaches
+  /// the stall scheduler: wire it to
+  /// ConcurrentProtectedDatabase::CancelSession(token) so an evicted
+  /// session's parked stalls complete (Cancelled) instead of holding
+  /// wheel entries until multi-hour expiries fire.
+  using EvictionHook = std::function<void(SessionToken, IdentityId)>;
+  void set_eviction_hook(EvictionHook hook) {
+    eviction_hook_ = std::move(hook);
+  }
+
   size_t active_sessions() const { return sessions_.size(); }
   uint32_t SessionsOf(IdentityId id) const;
   const SessionOptions& options() const { return options_; }
@@ -59,6 +71,7 @@ class SessionManager {
 
   SessionOptions options_;
   Rng rng_;
+  EvictionHook eviction_hook_;
   std::unordered_map<SessionToken, Session> sessions_;
   std::unordered_map<IdentityId, uint32_t> per_identity_;
 };

@@ -66,6 +66,8 @@ Status Table::OpenStorage(const std::string& dir, bool create) {
   TARPIT_RETURN_IF_ERROR(index_->Open());
   if (options_.wal_enabled) {
     TARPIT_RETURN_IF_ERROR(wal_.Open(base + ".wal"));
+    wal_.set_group_commit_window_micros(
+        options_.wal_group_commit_window_micros);
     if (!create) TARPIT_RETURN_IF_ERROR(ReplayWal());
   }
   return Status::OK();
@@ -279,6 +281,8 @@ Status Table::Checkpoint() {
   TARPIT_RETURN_IF_ERROR(heap_disk_.Sync());
   TARPIT_RETURN_IF_ERROR(index_disk_.Sync());
   if (options_.wal_enabled) {
+    // The log is about to be discarded, so any deferred group-commit
+    // sync is moot -- the data just hit the table files above.
     TARPIT_RETURN_IF_ERROR(wal_.Truncate());
   }
   return Status::OK();

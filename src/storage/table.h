@@ -26,6 +26,12 @@ struct TableOptions {
   size_t index_pool_pages = 256;
   bool wal_enabled = true;
   bool wal_sync = false;
+  /// Group-commit window for sync-requested WAL appends (0 =
+  /// fsync-per-record when wal_sync is on). With a window, fdatasyncs
+  /// are batched: at most one sync per window, so a burst of writes
+  /// shares one disk flush at the cost of a bounded (one-window)
+  /// durability gap. See Wal::set_group_commit_window_micros.
+  int64_t wal_group_commit_window_micros = 0;
 };
 
 /// A relation with a mandatory int64 primary key: heap file for rows,

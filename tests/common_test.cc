@@ -1,5 +1,6 @@
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -83,6 +84,47 @@ TEST(RealClockTest, MonotonicAndSleeps) {
   clock.SleepForMicros(2000);
   int64_t b = clock.NowMicros();
   EXPECT_GE(b - a, 2000);
+}
+
+TEST(ClockTest, IsVirtualDistinguishesClockKinds) {
+  RealClock real;
+  VirtualClock virt;
+  EXPECT_FALSE(real.IsVirtual());
+  EXPECT_TRUE(virt.IsVirtual());
+}
+
+TEST(ClockTest, DelayToMicrosRoundsUpNotDown) {
+  // The old truncating cast mapped any sub-microsecond delay to zero,
+  // so small charges never reached wall time. Rounding is UP: a
+  // positive charge always costs at least 1 us.
+  EXPECT_EQ(Clock::DelayToMicros(4e-7), 1);
+  EXPECT_EQ(Clock::DelayToMicros(1e-9), 1);
+  EXPECT_EQ(Clock::DelayToMicros(1e-6), 1);    // Exact: no inflation.
+  EXPECT_EQ(Clock::DelayToMicros(1.5e-6), 2);
+  EXPECT_EQ(Clock::DelayToMicros(0.25), 250'000);
+}
+
+TEST(ClockTest, DelayToMicrosDegenerateInputs) {
+  EXPECT_EQ(Clock::DelayToMicros(0.0), 0);
+  EXPECT_EQ(Clock::DelayToMicros(-3.0), 0);
+  EXPECT_EQ(Clock::DelayToMicros(std::nan("")), 0);
+  // Beyond-int64 delays clamp instead of overflowing.
+  EXPECT_EQ(Clock::DelayToMicros(1e300),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(ClockTest, VirtualSleepForSecondsAdvancesRoundedUp) {
+  VirtualClock clock;
+  clock.SleepForSeconds(4e-7);  // Sub-microsecond: still costs a tick.
+  EXPECT_EQ(clock.NowMicros(), 1);
+}
+
+TEST(StatusTest, CancelledCode) {
+  Status s = Status::Cancelled("stall cancelled before expiry");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCancelled());
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_EQ(s.ToString(), "Cancelled: stall cancelled before expiry");
 }
 
 TEST(RngTest, DeterministicForSeed) {

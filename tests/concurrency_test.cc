@@ -408,5 +408,139 @@ TEST_F(ConcurrencyTest, GlobalLockModeStillServes) {
   EXPECT_EQ(cdb_->in_flight_queries(), 0);
 }
 
+// --- Async stall scheduling (the ISSUE 2 timer-wheel path). -------------
+
+// A single caller submits far more stalling requests than the process
+// has threads: they all park on the wheel simultaneously instead of
+// each holding a thread for its stall.
+TEST_F(ConcurrencyTest, AsyncStallsParkInsteadOfBlocking) {
+  ProtectedDatabaseOptions opts;
+  opts.mode = DelayMode::kAccessPopularity;
+  opts.popularity.scale = 1.0;
+  opts.popularity.bounds = {0.05, 0.5};  // Every request stalls >=50ms.
+  ConcurrentDatabaseOptions copts;
+  copts.async_stalls = true;
+  copts.scheduler.num_dispatchers = 2;
+  OpenDb(64, opts, copts);
+
+  const int n = StressIters(200);
+  std::atomic<int> completed{0};
+  std::atomic<int> errors{0};
+  for (int i = 0; i < n; ++i) {
+    cdb_->GetByKeyAsync(1 + i % 64, [&](Result<ProtectedResult> r) {
+      if (!r.ok()) ++errors;
+      ++completed;
+    });
+  }
+  // Submission returned without serving any 50ms+ stall: far more
+  // requests were in flight at once than the 2 dispatcher threads.
+  ASSERT_NE(cdb_->delay_scheduler(), nullptr);
+  EXPECT_GT(cdb_->delay_scheduler()->peak_parked(),
+            copts.scheduler.num_dispatchers);
+  cdb_->delay_scheduler()->Drain();
+  EXPECT_EQ(completed.load(), n);
+  EXPECT_EQ(errors.load(), 0);
+}
+
+// The blocking API still works when async_stalls is on: it becomes a
+// park-and-wait shim over the same wheel.
+TEST_F(ConcurrencyTest, BlockingShimServesFullStallThroughWheel) {
+  ProtectedDatabaseOptions opts;
+  opts.mode = DelayMode::kAccessPopularity;
+  opts.popularity.scale = 1e9;           // Everything hits the cap.
+  opts.popularity.bounds = {0.0, 0.02};  // 20ms stall.
+  ConcurrentDatabaseOptions copts;
+  copts.async_stalls = true;
+  OpenDb(8, opts, copts);
+
+  const int64_t start = clock_.NowMicros();
+  auto r = cdb_->GetByKey(3);
+  const int64_t elapsed = clock_.NowMicros() - start;
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->delay_seconds, 0.02);
+  EXPECT_GE(elapsed, 20'000);  // The stall was really served.
+}
+
+// CancelSession completes every stall parked under the session token
+// with Cancelled -- the tuple is withheld, not delivered early.
+TEST_F(ConcurrencyTest, CancelSessionCancelsParkedStalls) {
+  ProtectedDatabaseOptions opts;
+  opts.mode = DelayMode::kAccessPopularity;
+  opts.popularity.scale = 1e12;
+  opts.popularity.bounds = {3600.0, 3600.0};  // Hour-long stalls.
+  ConcurrentDatabaseOptions copts;
+  copts.async_stalls = true;
+  OpenDb(16, opts, copts);
+
+  constexpr StallGroup kSession = 42;
+  const int n = 10;
+  std::atomic<int> cancelled{0};
+  std::atomic<int> delivered{0};
+  for (int i = 0; i < n; ++i) {
+    cdb_->GetByKeyAsync(
+        1 + i,
+        [&](Result<ProtectedResult> r) {
+          if (!r.ok() && r.status().IsCancelled()) {
+            ++cancelled;
+          } else {
+            ++delivered;
+          }
+        },
+        kSession);
+  }
+  EXPECT_EQ(cdb_->CancelSession(kSession), static_cast<size_t>(n));
+  cdb_->delay_scheduler()->Drain();
+  EXPECT_EQ(cancelled.load(), n);
+  EXPECT_EQ(delivered.load(), 0);
+  // The delays were still CHARGED at admit time -- cancellation never
+  // refunds accounting (an evicted attacker keeps its history).
+  EXPECT_EQ(cdb_->Metrics().total_requests, static_cast<uint64_t>(n));
+}
+
+// Destroying the database with hour-long stalls parked must not hang:
+// the destructor shuts the scheduler down with kCancelPending and every
+// outstanding completion fires (cancelled) before teardown proceeds.
+TEST_F(ConcurrencyTest, ShutdownWithParkedStallsDrainsCleanly) {
+  ProtectedDatabaseOptions opts;
+  opts.mode = DelayMode::kAccessPopularity;
+  opts.popularity.scale = 1e12;
+  opts.popularity.bounds = {3600.0, 3600.0};
+  ConcurrentDatabaseOptions copts;
+  copts.async_stalls = true;
+  OpenDb(16, opts, copts);
+
+  const int n = 32;
+  std::atomic<int> called{0};
+  for (int i = 0; i < n; ++i) {
+    cdb_->GetByKeyAsync(1 + i % 16, [&](Result<ProtectedResult> r) {
+      EXPECT_TRUE(!r.ok() && r.status().IsCancelled());
+      ++called;
+    });
+  }
+  cdb_.reset();  // Must cancel all parked stalls and join.
+  EXPECT_EQ(called.load(), n);
+}
+
+// ExecuteSqlAsync parks SELECT stalls the same way.
+TEST_F(ConcurrencyTest, ExecuteSqlAsyncParksSelectStall) {
+  ProtectedDatabaseOptions opts;
+  opts.mode = DelayMode::kAccessPopularity;
+  opts.popularity.bounds = {0.01, 0.01};
+  ConcurrentDatabaseOptions copts;
+  copts.async_stalls = true;
+  OpenDb(8, opts, copts);
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> ok{false};
+  cdb_->ExecuteSqlAsync("SELECT * FROM items WHERE id = 5",
+                        [&](Result<ProtectedResult> r) {
+                          ok = r.ok() && r->result.rows.size() == 1;
+                          done = true;
+                        });
+  cdb_->delay_scheduler()->Drain();
+  EXPECT_TRUE(done.load());
+  EXPECT_TRUE(ok.load());
+}
+
 }  // namespace
 }  // namespace tarpit

@@ -95,6 +95,102 @@ TEST(SessionManagerTest, TokensAreUniqueAndUnforgeable) {
   EXPECT_FALSE(mgr.Validate(*t1 + 1, 0.0).ok());
 }
 
+// The eviction hook fires on every way a session can end -- explicit
+// logout, TTL expiry observed by Validate, and the ExpireStale sweep --
+// exactly once per session. This is the signal the stall scheduler
+// relies on to cancel an evicted session's parked stalls.
+TEST(SessionManagerTest, EvictionHookFiresOnEveryEnding) {
+  SessionOptions opts;
+  opts.ttl_seconds = 10.0;
+  opts.max_sessions_per_identity = 0;
+  SessionManager mgr(opts);
+  std::vector<std::pair<SessionToken, IdentityId>> evicted;
+  mgr.set_eviction_hook([&](SessionToken token, IdentityId id) {
+    evicted.emplace_back(token, id);
+  });
+
+  Identity user{6, 0, 0};
+  auto by_logout = mgr.Login(user, 0.0);
+  auto by_validate = mgr.Login(user, 0.0);
+  auto by_sweep = mgr.Login(user, 0.0);
+  ASSERT_TRUE(by_logout.ok());
+  ASSERT_TRUE(by_validate.ok());
+  ASSERT_TRUE(by_sweep.ok());
+
+  mgr.Logout(*by_logout);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].first, *by_logout);
+  EXPECT_EQ(evicted[0].second, user.id);
+
+  // Keep by_sweep fresh a little longer so Validate kills only one.
+  ASSERT_TRUE(mgr.Validate(*by_sweep, 5.0).ok());
+  EXPECT_FALSE(mgr.Validate(*by_validate, 11.0).ok());  // TTL expiry.
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[1].first, *by_validate);
+
+  EXPECT_EQ(mgr.ExpireStale(16.0), 1u);  // by_sweep idle since t=5.
+  ASSERT_EQ(evicted.size(), 3u);
+  EXPECT_EQ(evicted[2].first, *by_sweep);
+
+  mgr.Logout(*by_logout);  // Idempotent: no double eviction.
+  EXPECT_EQ(evicted.size(), 3u);
+}
+
+// End-to-end eviction wiring: the session manager's eviction hook
+// feeds ConcurrentProtectedDatabase::CancelSession, so an evicted
+// session's hour-long parked stalls complete (Cancelled) immediately
+// instead of holding wheel entries until they expire.
+TEST(SessionManagerTest, EvictionCancelsParkedStallsEndToEnd) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("tarpit_evict_e2e_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  RealClock clock;
+  ProtectedDatabaseOptions opts;
+  opts.mode = DelayMode::kAccessPopularity;
+  opts.popularity.scale = 1e12;
+  opts.popularity.bounds = {3600.0, 3600.0};  // Hour-long stalls.
+  ConcurrentDatabaseOptions copts;
+  copts.async_stalls = true;
+  auto opened = ConcurrentProtectedDatabase::Open(dir.string(), "items",
+                                                  &clock, opts, copts);
+  ASSERT_TRUE(opened.ok());
+  auto cdb = std::move(*opened);
+  ASSERT_TRUE(
+      cdb->ExecuteSql("CREATE TABLE items (id INT PRIMARY KEY, v DOUBLE)")
+          .ok());
+  for (int i = 1; i <= 8; ++i) {
+    ASSERT_TRUE(
+        cdb->BulkLoadRow({Value(static_cast<int64_t>(i)), Value(1.0)})
+            .ok());
+  }
+
+  SessionManager mgr;
+  mgr.set_eviction_hook([&](SessionToken token, IdentityId) {
+    cdb->CancelSession(token);
+  });
+  Identity user{9, Ipv4FromString("10.0.0.9"), 0};
+  auto token = mgr.Login(user, 0.0);
+  ASSERT_TRUE(token.ok());
+
+  std::atomic<int> cancelled{0};
+  for (int i = 1; i <= 4; ++i) {
+    cdb->GetByKeyAsync(
+        i,
+        [&](Result<ProtectedResult> r) {
+          if (!r.ok() && r.status().IsCancelled()) ++cancelled;
+        },
+        /*session=*/*token);
+  }
+  EXPECT_EQ(cdb->delay_scheduler()->parked(), 4u);
+  mgr.Logout(*token);  // Hook fires -> CancelSession(token).
+  cdb->delay_scheduler()->Drain();
+  EXPECT_EQ(cancelled.load(), 4);
+  EXPECT_EQ(cdb->delay_scheduler()->parked(), 0u);
+  cdb.reset();
+  fs::remove_all(dir);
+}
+
 // ---------- Full-pipeline trace replay ----------
 
 class EndToEndTest : public ::testing::Test {
