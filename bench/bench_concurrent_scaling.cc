@@ -35,6 +35,8 @@
 #include "common/random.h"
 #include "core/concurrent_db.h"
 #include "core/popularity_delay.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "stats/count_tracker.h"
 #include "workload/key_generator.h"
 
@@ -49,12 +51,11 @@ constexpr double kZipfAlpha = 1.1;
 
 /// TARPIT_BENCH_TINY=1 shrinks per-thread work for CI smoke runs (the
 /// acceptance thresholds are only meaningful at the full size).
-int OpsPerThread() {
+bool TinyConfig() {
   const char* env = std::getenv("TARPIT_BENCH_TINY");
-  const bool tiny = env != nullptr && env[0] != '\0' && env[0] != '0';
-  return tiny ? 500 : 20'000;
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
-const int kOpsPerThread = OpsPerThread();
+const int kOpsPerThread = TinyConfig() ? 500 : 20'000;
 
 struct RunResult {
   double qps = 0;
@@ -114,15 +115,17 @@ std::vector<std::vector<int64_t>> MakeSequences(bool zipf, int threads) {
 }
 
 RunResult RunConfig(const fs::path& base, ConcurrencyMode mode,
-                    const std::vector<std::vector<int64_t>>& seqs) {
+                    const std::vector<std::vector<int64_t>>& seqs,
+                    obs::MetricRegistry* metrics) {
   static int run_id = 0;
   const fs::path dir = base / ("run_" + std::to_string(run_id++));
   fs::create_directories(dir);
 
   RealClock clock;
+  ConcurrentDatabaseOptions copts = MakeConcurrentOptions(mode);
+  copts.metrics = metrics;
   auto opened = ConcurrentProtectedDatabase::Open(
-      dir.string(), "items", &clock, MakeDbOptions(),
-      MakeConcurrentOptions(mode));
+      dir.string(), "items", &clock, MakeDbOptions(), copts);
   if (!opened.ok()) std::abort();
   auto db = std::move(*opened);
   if (!db->ExecuteSql("CREATE TABLE items (id INT PRIMARY KEY, v DOUBLE)")
@@ -217,13 +220,25 @@ int main() {
 
   double global8_uniform = 0, sharded8_uniform = 0;
   double sharded8_zipf_drift = 0;
+  // Sharded 8-thread runs publish into registries whose snapshots go
+  // into the JSON dump (buffer-pool / row-cache hit rates, count-cache
+  // traffic) so a regression in cache behavior is visible in CI
+  // artifacts, not just in aggregate qps.
+  obs::MetricRegistry reg_uniform8;
+  obs::MetricRegistry reg_zipf8;
+  std::string json_rows;
+  char row_buf[512];
 
   for (bool zipf : {false, true}) {
     for (ConcurrencyMode mode :
          {ConcurrencyMode::kGlobalLock, ConcurrencyMode::kSharded}) {
       for (int threads : thread_counts) {
         const auto seqs = MakeSequences(zipf, threads);
-        const RunResult r = RunConfig(base, mode, seqs);
+        obs::MetricRegistry* reg = nullptr;
+        if (threads == 8 && mode == ConcurrencyMode::kSharded) {
+          reg = zipf ? &reg_zipf8 : &reg_uniform8;
+        }
+        const RunResult r = RunConfig(base, mode, seqs, reg);
         const double hit_pct =
             r.cache_hits + r.cache_misses == 0
                 ? 0.0
@@ -235,6 +250,20 @@ int main() {
                                                          : "sharded",
                     threads, r.qps, r.per_thread_qps, hit_pct,
                     static_cast<unsigned long long>(r.epoch_flushes));
+
+        std::snprintf(
+            row_buf, sizeof(row_buf),
+            "%s    {\"workload\": \"%s\", \"mode\": \"%s\", "
+            "\"threads\": %d, \"qps\": %.1f, \"qps_per_thread\": %.1f, "
+            "\"row_cache_hits\": %llu, \"row_cache_misses\": %llu, "
+            "\"epoch_flushes\": %llu}",
+            json_rows.empty() ? "" : ",\n", zipf ? "zipf" : "uniform",
+            mode == ConcurrencyMode::kGlobalLock ? "global" : "sharded",
+            threads, r.qps, r.per_thread_qps,
+            static_cast<unsigned long long>(r.cache_hits),
+            static_cast<unsigned long long>(r.cache_misses),
+            static_cast<unsigned long long>(r.epoch_flushes));
+        json_rows.append(row_buf);
 
         if (!zipf && threads == 8) {
           if (mode == ConcurrencyMode::kGlobalLock) {
@@ -269,6 +298,36 @@ int main() {
               "(target <= 5%%) %s\n",
               100.0 * sharded8_zipf_drift,
               sharded8_zipf_drift <= 0.05 ? "PASS" : "FAIL");
+
+  if (const char* json_path = std::getenv("TARPIT_BENCH_JSON")) {
+    if (json_path[0] != '\0') {
+      if (std::FILE* f = std::fopen(json_path, "w")) {
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"concurrent_scaling\",\n"
+            "  \"tiny\": %s,\n"
+            "  \"rows\": %d,\n"
+            "  \"ops_per_thread\": %d,\n"
+            "  \"configs\": [\n%s\n  ],\n"
+            "  \"speedup_uniform8\": %.3f,\n"
+            "  \"speedup_pass\": %s,\n"
+            "  \"zipf8_drift\": %.6f,\n"
+            "  \"drift_pass\": %s,\n"
+            "  \"registry_sharded8_uniform\": %s,\n"
+            "  \"registry_sharded8_zipf\": %s\n"
+            "}\n",
+            TinyConfig() ? "true" : "false", kRows, kOpsPerThread,
+            json_rows.c_str(), speedup,
+            speedup >= 3.0 ? "true" : "false", sharded8_zipf_drift,
+            sharded8_zipf_drift <= 0.05 ? "true" : "false",
+            obs::ToJson(reg_uniform8.Snapshot()).c_str(),
+            obs::ToJson(reg_zipf8.Snapshot()).c_str());
+        std::fclose(f);
+        std::printf("json written to %s\n", json_path);
+      }
+    }
+  }
 
   fs::remove_all(base);
   return 0;

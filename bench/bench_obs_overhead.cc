@@ -1,0 +1,215 @@
+// Telemetry overhead: the metrics registry and trace sink must be
+// close to free on the extraction-critical read path.
+//
+// The instrumentation contract (ISSUE 4) is "one null-pointer test per
+// site when metrics are off; sharded counters and a lock-free
+// histogram when on". This bench holds the implementation to it:
+// two identical sharded databases, 8 threads of uniform GetByKey reads
+// (delays computed but not slept -- serve_delays=false -- so the
+// measurement is pure engine work, not stalling), one run with no
+// registry attached and one with a registry AND a trace sink
+// publishing every request. Uniform keys maximize per-request
+// instrument traffic relative to cache effects; best-of-N repetitions
+// on each side squeeze out scheduler noise.
+//
+// Acceptance (ISSUE 4): metrics-on throughput within 3% of metrics-off
+// on the standard config. TARPIT_BENCH_TINY runs a smaller workload
+// for CI smoke where a single-digit-millisecond run cannot resolve 3%;
+// the tiny bar is 15% (the check still catches pathological
+// regressions like a lock on the hot path).
+//
+// Env: TARPIT_BENCH_TINY=1 shrinks the workload;
+// TARPIT_BENCH_JSON=<path> emits machine-readable JSON (the CI
+// quick-bench job uploads it as BENCH_obs.json).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "core/concurrent_db.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/key_generator.h"
+
+using namespace tarpit;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool TinyConfig() {
+  const char* env = std::getenv("TARPIT_BENCH_TINY");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+constexpr int kThreads = 8;
+constexpr int kRows = 4096;
+
+std::unique_ptr<ConcurrentProtectedDatabase> OpenDb(
+    const fs::path& dir, Clock* clock, obs::MetricRegistry* metrics,
+    obs::TraceSink* sink) {
+  fs::create_directories(dir);
+  ProtectedDatabaseOptions opts;
+  opts.mode = DelayMode::kAccessPopularity;
+  ConcurrentDatabaseOptions copts;
+  copts.mode = ConcurrencyMode::kSharded;
+  copts.serve_delays = false;  // Measure engine work, not stalling.
+  copts.metrics = metrics;
+  copts.trace_sink = sink;
+  auto opened = ConcurrentProtectedDatabase::Open(
+      dir.string(), "items", clock, opts, copts);
+  if (!opened.ok()) std::abort();
+  auto db = std::move(*opened);
+  if (!db->ExecuteSql("CREATE TABLE items (id INT PRIMARY KEY, v DOUBLE)")
+           .ok()) {
+    std::abort();
+  }
+  for (int i = 1; i <= kRows; ++i) {
+    if (!db->BulkLoadRow({Value(static_cast<int64_t>(i)), Value(i * 0.5)})
+             .ok()) {
+      std::abort();
+    }
+  }
+  if (!db->Checkpoint().ok()) std::abort();
+  return db;
+}
+
+/// One timed pass: kThreads workers, `ops_per_thread` uniform reads
+/// each. Returns queries per second.
+double TimedPass(ConcurrentProtectedDatabase* db, Clock* clock,
+                 int ops_per_thread, uint64_t seed) {
+  std::vector<std::thread> workers;
+  const int64_t start = clock->NowMicros();
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([db, ops_per_thread, seed, t] {
+      Rng rng(seed + static_cast<uint64_t>(t) * 0x9E3779B97F4A7C15ull);
+      UniformKeyGenerator gen(kRows);
+      for (int i = 0; i < ops_per_thread; ++i) {
+        auto r = db->GetByKey(gen.Next(&rng));
+        if (!r.ok()) std::abort();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed = (clock->NowMicros() - start) / 1e6;
+  return static_cast<double>(ops_per_thread) * kThreads / elapsed;
+}
+
+/// Best-of-`reps` throughput for one configuration (after one
+/// untimed warmup pass that faults the row caches in).
+double BestOf(ConcurrentProtectedDatabase* db, Clock* clock,
+              int ops_per_thread, int reps) {
+  TimedPass(db, clock, ops_per_thread, 0xAAAA);  // Warmup.
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    best = std::max(
+        best, TimedPass(db, clock, ops_per_thread,
+                        0xBEEF + static_cast<uint64_t>(rep)));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const bool tiny = TinyConfig();
+  const int ops_per_thread = tiny ? 2000 : 40000;
+  const int reps = tiny ? 3 : 5;
+  // See header comment: tiny runs are too short to resolve 3%.
+  const double bar = tiny ? 0.15 : 0.03;
+
+  const fs::path base =
+      fs::temp_directory_path() / "tarpit_bench_obs_overhead";
+  fs::remove_all(base);
+  fs::create_directories(base);
+
+  std::printf("# Telemetry overhead: sharded uniform reads, %d threads, "
+              "%d ops/thread, best of %d%s\n\n",
+              kThreads, ops_per_thread, reps, tiny ? " (tiny)" : "");
+
+  RealClock clock;
+  double qps_off = 0.0;
+  {
+    auto db = OpenDb(base / "off", &clock, nullptr, nullptr);
+    qps_off = BestOf(db.get(), &clock, ops_per_thread, reps);
+    db.reset();
+  }
+
+  obs::MetricRegistry registry;
+  obs::TraceSink sink;
+  double qps_on = 0.0;
+  uint64_t requests_seen = 0;
+  {
+    auto db = OpenDb(base / "on", &clock, &registry, &sink);
+    qps_on = BestOf(db.get(), &clock, ops_per_thread, reps);
+    db.reset();
+    const obs::RegistrySnapshot snap = registry.Snapshot();
+    if (const obs::MetricSnapshot* m =
+            snap.Find("tarpit_db_requests_total")) {
+      requests_seen = static_cast<uint64_t>(m->value);
+    }
+  }
+
+  // Sanity: the registry must have actually been on the path.
+  // (1 + reps) passes of kThreads * ops_per_thread reads, plus the
+  // CREATE TABLE statement.
+  const uint64_t expected_min =
+      static_cast<uint64_t>(1 + reps) * kThreads * ops_per_thread;
+  const bool counted = requests_seen >= expected_min;
+
+  const double overhead =
+      qps_off <= 0 ? 1.0 : (qps_off - qps_on) / qps_off;
+  const bool overhead_pass = overhead <= bar;
+
+  std::printf("%-12s %-14s\n", "config", "qps(best)");
+  std::printf("%-12s %-14.0f\n", "metrics-off", qps_off);
+  std::printf("%-12s %-14.0f\n", "metrics-on", qps_on);
+
+  std::printf("\n# Acceptance\n");
+  std::printf("overhead: %.2f%% (bar <= %.0f%%) %s\n", 100.0 * overhead,
+              100.0 * bar, overhead_pass ? "PASS" : "FAIL");
+  std::printf("instrumented: requests_total=%llu (>= %llu) %s\n",
+              static_cast<unsigned long long>(requests_seen),
+              static_cast<unsigned long long>(expected_min),
+              counted ? "PASS" : "FAIL");
+
+  if (const char* json_path = std::getenv("TARPIT_BENCH_JSON")) {
+    if (json_path[0] != '\0') {
+      if (std::FILE* f = std::fopen(json_path, "w")) {
+        std::fprintf(f,
+                     "{\n"
+                     "  \"bench\": \"obs_overhead\",\n"
+                     "  \"tiny\": %s,\n"
+                     "  \"threads\": %d,\n"
+                     "  \"ops_per_thread\": %d,\n"
+                     "  \"reps\": %d,\n"
+                     "  \"qps_metrics_off\": %.1f,\n"
+                     "  \"qps_metrics_on\": %.1f,\n"
+                     "  \"overhead\": %.6f,\n"
+                     "  \"overhead_bar\": %.6f,\n"
+                     "  \"overhead_pass\": %s,\n"
+                     "  \"requests_total\": %llu,\n"
+                     "  \"registry\": %s\n"
+                     "}\n",
+                     tiny ? "true" : "false", kThreads, ops_per_thread,
+                     reps, qps_off, qps_on, overhead, bar,
+                     overhead_pass ? "true" : "false",
+                     static_cast<unsigned long long>(requests_seen),
+                     obs::ToJson(registry.Snapshot()).c_str());
+        std::fclose(f);
+        std::printf("json written to %s\n", json_path);
+      }
+    }
+  }
+
+  fs::remove_all(base);
+  return (overhead_pass && counted) ? 0 : 1;
+}

@@ -25,6 +25,12 @@
 //     replaying the identical submission order within 0.01% (the wheel
 //     changes WHERE a stall waits, never HOW MUCH is charged).
 //
+// Telemetry acceptance (ISSUE 4): the async run publishes into a
+// MetricRegistry; the tarpit_scheduler_parked gauge must be > 0 in a
+// mid-run snapshot, and the tarpit_delay_charged_ns{policy} histogram
+// median must match the oracle's exact median within 0.1%. The full
+// registry snapshot is embedded in the JSON output.
+//
 // Env: TARPIT_BENCH_TINY=1 shrinks the workload for CI smoke runs;
 // TARPIT_BENCH_JSON=<path> additionally emits machine-readable JSON.
 
@@ -45,6 +51,8 @@
 #include "common/random.h"
 #include "core/concurrent_db.h"
 #include "core/popularity_delay.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "stats/count_tracker.h"
 #include "workload/key_generator.h"
 
@@ -95,13 +103,14 @@ std::vector<int64_t> MakeSequence(int ops, uint64_t seed) {
   return seq;
 }
 
-std::unique_ptr<ConcurrentProtectedDatabase> OpenDb(const fs::path& dir,
-                                                    Clock* clock,
-                                                    bool async_stalls) {
+std::unique_ptr<ConcurrentProtectedDatabase> OpenDb(
+    const fs::path& dir, Clock* clock, bool async_stalls,
+    obs::MetricRegistry* metrics) {
   fs::create_directories(dir);
+  ConcurrentDatabaseOptions copts = MakeConcurrentOptions(async_stalls);
+  copts.metrics = metrics;
   auto opened = ConcurrentProtectedDatabase::Open(
-      dir.string(), "items", clock, MakeDbOptions(),
-      MakeConcurrentOptions(async_stalls));
+      dir.string(), "items", clock, MakeDbOptions(), copts);
   if (!opened.ok()) std::abort();
   auto db = std::move(*opened);
   if (!db->ExecuteSql("CREATE TABLE items (id INT PRIMARY KEY, v DOUBLE)")
@@ -123,6 +132,9 @@ struct PathResult {
   double qps = 0;           // Completions per wall second, under stall.
   double total_delay = 0;   // Seconds charged across the measured ops.
   size_t peak_stalled = 0;  // Max requests stalling simultaneously.
+  // Registry's view of the wheel mid-run (async only): the
+  // tarpit_scheduler_parked gauge read while stalls were in flight.
+  int64_t parked_gauge_midrun = 0;
 };
 
 /// Blocking path: kThreads workers, each thread sleeps through its own
@@ -130,7 +142,7 @@ struct PathResult {
 PathResult RunBlocking(const fs::path& dir,
                        const std::vector<int64_t>& seq) {
   RealClock clock;
-  auto db = OpenDb(dir, &clock, /*async_stalls=*/false);
+  auto db = OpenDb(dir, &clock, /*async_stalls=*/false, nullptr);
 
   std::atomic<size_t> in_call{0};
   std::atomic<size_t> peak{0};
@@ -169,9 +181,10 @@ PathResult RunBlocking(const fs::path& dir,
 
 /// Async path: one submitter; stalls park on the wheel; kThreads
 /// dispatchers run completions. Capacity = the wheel's high-water mark.
-PathResult RunAsync(const fs::path& dir, const std::vector<int64_t>& seq) {
+PathResult RunAsync(const fs::path& dir, const std::vector<int64_t>& seq,
+                    obs::MetricRegistry* metrics) {
   RealClock clock;
-  auto db = OpenDb(dir, &clock, /*async_stalls=*/true);
+  auto db = OpenDb(dir, &clock, /*async_stalls=*/true, metrics);
 
   std::mutex mu;
   std::condition_variable cv;
@@ -186,6 +199,14 @@ PathResult RunAsync(const fs::path& dir, const std::vector<int64_t>& seq) {
       if (++completed == seq.size()) cv.notify_all();
     });
   }
+  // Mid-run registry read: every op is submitted, most are still
+  // parked (each stalls 20-80ms; submission outruns expiry). The
+  // parked gauge must see the stalled population.
+  int64_t parked_gauge = 0;
+  if (const obs::MetricSnapshot* parked =
+          metrics->Snapshot().Find("tarpit_scheduler_parked")) {
+    parked_gauge = parked->value;
+  }
   {
     std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [&] { return completed == seq.size(); });
@@ -195,6 +216,7 @@ PathResult RunAsync(const fs::path& dir, const std::vector<int64_t>& seq) {
   res.qps = static_cast<double>(seq.size()) / res.elapsed_seconds;
   res.total_delay = total_delay;
   res.peak_stalled = db->delay_scheduler()->peak_parked();
+  res.parked_gauge_midrun = parked_gauge;
   db.reset();
   fs::remove_all(dir);
   return res;
@@ -202,17 +224,28 @@ PathResult RunAsync(const fs::path& dir, const std::vector<int64_t>& seq) {
 
 /// Serial oracle: one CountTracker replaying the async submission order
 /// (single submitter => the global order is exactly `seq`), charging
-/// through the same snapshot math as the database.
-double SerialOracleDelay(const std::vector<int64_t>& seq) {
+/// through the same snapshot math as the database. Returns every
+/// per-request delay so callers can check totals AND quantiles.
+std::vector<double> SerialOracleDelays(const std::vector<int64_t>& seq) {
   const ProtectedDatabaseOptions opts = MakeDbOptions();
   CountTracker tracker(kRows, opts.decay_per_request);
-  double total = 0.0;
+  std::vector<double> delays;
+  delays.reserve(seq.size());
   for (int64_t key : seq) {
     tracker.Record(key);
-    total += PopularityDelayPolicy::DelayFromStats(tracker.Stats(key),
-                                                   opts.popularity);
+    delays.push_back(PopularityDelayPolicy::DelayFromStats(
+        tracker.Stats(key), opts.popularity));
   }
-  return total;
+  return delays;
+}
+
+/// Exact median by the same rank convention as
+/// HistogramSnapshot::Quantile (the ceil(n/2)-th order statistic).
+double ExactMedian(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const size_t k = (values.size() + 1) / 2 - 1;
+  std::nth_element(values.begin(), values.begin() + k, values.end());
+  return values[k];
 }
 
 }  // namespace
@@ -239,7 +272,12 @@ int main() {
   const auto async_seq = MakeSequence(async_ops, 0xA51Cu);
 
   const PathResult blocking = RunBlocking(base / "blocking", blocking_seq);
-  const PathResult async_r = RunAsync(base / "async", async_seq);
+  // The async run publishes into a registry; the post-run snapshot is
+  // exact (its writers quiesced when the db was torn down).
+  obs::MetricRegistry async_registry;
+  const PathResult async_r =
+      RunAsync(base / "async", async_seq, &async_registry);
+  const obs::RegistrySnapshot registry_snap = async_registry.Snapshot();
 
   std::printf("%-9s %-10s %-12s %-14s %-14s\n", "path", "ops",
               "elapsed(s)", "qps-under-stall", "peak-stalled");
@@ -258,16 +296,43 @@ int main() {
   const double ratio = static_cast<double>(async_r.peak_stalled) /
                        static_cast<double>(blocking_capacity);
 
-  const double oracle = SerialOracleDelay(async_seq);
+  const std::vector<double> oracle_delays = SerialOracleDelays(async_seq);
+  double oracle = 0.0;
+  for (double d : oracle_delays) oracle += d;
   const double drift =
       oracle <= 0 ? 0.0
                   : std::fabs(async_r.total_delay - oracle) / oracle;
+
+  // Registry acceptance (ISSUE 4): the per-policy delay-charged
+  // histogram must reproduce the serial oracle's MEDIAN within 0.1%
+  // (the nanosecond-domain sub_bits=11 geometry bounds bucket width at
+  // 0.049%, so a correct pipeline has margin), and the parked gauge
+  // must have seen the mid-run stalled population.
+  const double oracle_median_ns = ExactMedian(oracle_delays) * 1e9;
+  double hist_median_ns = 0.0;
+  int64_t hist_count = 0;
+  if (const obs::MetricSnapshot* m = registry_snap.Find(
+          "tarpit_delay_charged_ns",
+          {{"policy", "access-popularity"}})) {
+    hist_median_ns = m->histogram.Median();
+    hist_count = m->histogram.count;
+  }
+  const double median_drift =
+      oracle_median_ns <= 0
+          ? 1.0
+          : std::fabs(hist_median_ns - oracle_median_ns) / oracle_median_ns;
 
   // Tiny CI configs shrink the parked population along with the ops
   // count; hold them to a reduced but still order-of-magnitude bar.
   const double ratio_target = tiny ? 10.0 : 50.0;
   const bool ratio_pass = ratio >= ratio_target;
   const bool drift_pass = drift <= 1e-4;
+  // >= not ==: setup statements (CREATE TABLE) also record a
+  // (zero-delay) charge into the policy histogram.
+  const bool median_pass =
+      hist_count >= static_cast<int64_t>(async_seq.size()) &&
+      median_drift <= 1e-3;
+  const bool gauge_pass = async_r.parked_gauge_midrun > 0;
 
   std::printf("\n# Acceptance\n");
   std::printf("stall capacity: async peak %zu vs blocking peak %zu -> "
@@ -278,6 +343,15 @@ int main() {
               "-> drift %.5f%% (target <= 0.01%%) %s\n",
               async_r.total_delay, oracle, 100.0 * drift,
               drift_pass ? "PASS" : "FAIL");
+  std::printf("histogram: tarpit_delay_charged_ns{policy=access-"
+              "popularity} median %.0fns (n=%lld) vs oracle median "
+              "%.0fns -> drift %.4f%% (target <= 0.1%%) %s\n",
+              hist_median_ns, static_cast<long long>(hist_count),
+              oracle_median_ns, 100.0 * median_drift,
+              median_pass ? "PASS" : "FAIL");
+  std::printf("gauge: tarpit_scheduler_parked mid-run %lld (> 0) %s\n",
+              static_cast<long long>(async_r.parked_gauge_midrun),
+              gauge_pass ? "PASS" : "FAIL");
 
   if (const char* json_path = std::getenv("TARPIT_BENCH_JSON")) {
     if (json_path[0] != '\0') {
@@ -298,14 +372,26 @@ int main() {
             "  \"oracle_delay_s\": %.9f,\n"
             "  \"measured_delay_s\": %.9f,\n"
             "  \"drift\": %.9f,\n"
-            "  \"drift_pass\": %s\n"
+            "  \"drift_pass\": %s,\n"
+            "  \"oracle_median_ns\": %.1f,\n"
+            "  \"histogram_median_ns\": %.1f,\n"
+            "  \"median_drift\": %.9f,\n"
+            "  \"median_pass\": %s,\n"
+            "  \"parked_gauge_midrun\": %lld,\n"
+            "  \"gauge_pass\": %s,\n"
+            "  \"registry\": %s\n"
             "}\n",
             tiny ? "true" : "false", kThreads, blocking_seq.size(),
             blocking.elapsed_seconds, blocking.qps, blocking.peak_stalled,
             async_seq.size(), async_r.elapsed_seconds, async_r.qps,
             async_r.peak_stalled, ratio, ratio_target,
             ratio_pass ? "true" : "false", oracle, async_r.total_delay,
-            drift, drift_pass ? "true" : "false");
+            drift, drift_pass ? "true" : "false", oracle_median_ns,
+            hist_median_ns, median_drift,
+            median_pass ? "true" : "false",
+            static_cast<long long>(async_r.parked_gauge_midrun),
+            gauge_pass ? "true" : "false",
+            obs::ToJson(registry_snap).c_str());
         std::fclose(f);
         std::printf("json written to %s\n", json_path);
       }
@@ -313,5 +399,5 @@ int main() {
   }
 
   fs::remove_all(base);
-  return (ratio_pass && drift_pass) ? 0 : 1;
+  return (ratio_pass && drift_pass && median_pass && gauge_pass) ? 0 : 1;
 }

@@ -51,6 +51,92 @@ double QuantileSketch::Mean() const {
                           : Sum() / static_cast<double>(samples_.size());
 }
 
+BoundedQuantileSketch::BoundedQuantileSketch(size_t capacity,
+                                             uint64_t seed)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      rng_state_(seed == 0 ? 1 : seed) {
+  samples_.reserve(capacity_);
+}
+
+uint64_t BoundedQuantileSketch::NextRandom() {
+  // xorshift64*: cheap, decent, and deterministic for a given seed.
+  uint64_t x = rng_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rng_state_ = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+void BoundedQuantileSketch::Add(double x) {
+  ++count_;
+  sum_ += x;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(x);
+    sorted_ = false;
+    return;
+  }
+  // Algorithm R: the new value displaces a uniformly random retained
+  // sample with probability capacity/count.
+  const uint64_t j = NextRandom() % count_;
+  if (j < capacity_) {
+    samples_[static_cast<size_t>(j)] = x;
+    sorted_ = false;
+  }
+}
+
+void BoundedQuantileSketch::Merge(const BoundedQuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    samples_ = other.samples_;
+    if (samples_.size() > capacity_) samples_.resize(capacity_);
+    count_ = other.count_;
+    sum_ = other.sum_;
+    sorted_ = false;
+    return;
+  }
+  // Draw the merged reservoir from the two sides in proportion to
+  // their true counts (with replacement within a side -- acceptable
+  // for the stripe-merge use where both sides saw the same workload).
+  const uint64_t total = count_ + other.count_;
+  std::vector<double> merged;
+  const size_t want = std::min(
+      capacity_, samples_.size() + other.samples_.size());
+  merged.reserve(want);
+  for (size_t i = 0; i < want; ++i) {
+    const bool from_this = NextRandom() % total < count_;
+    const std::vector<double>& src =
+        from_this ? samples_ : other.samples_;
+    merged.push_back(src[NextRandom() % src.size()]);
+  }
+  samples_ = std::move(merged);
+  count_ = total;
+  sum_ += other.sum_;
+  sorted_ = false;
+}
+
+double BoundedQuantileSketch::Quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (q <= 0.0) return samples_.front();
+  if (q >= 1.0) return samples_.back();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+void BoundedQuantileSketch::Clear() {
+  samples_.clear();
+  sorted_ = false;
+  count_ = 0;
+  sum_ = 0.0;
+}
+
 LogHistogram::LogHistogram(double base, double growth, int buckets)
     : base_(base), growth_(growth), counts_(buckets + 1, 0) {}
 

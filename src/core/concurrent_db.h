@@ -14,6 +14,8 @@
 #include "common/stats.h"
 #include "core/delay_scheduler.h"
 #include "core/protected_db.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/concurrent_count_tracker.h"
 #include "storage/value.h"
 
@@ -61,6 +63,16 @@ struct ConcurrentDatabaseOptions {
   /// Wheel geometry and dispatcher pool used when async_stalls is on.
   /// With a VirtualClock the wheel fires instantly (simulation mode).
   DelaySchedulerOptions scheduler;
+  /// When non-null the front door publishes request/cancellation
+  /// counters, row-cache counters, and the per-policy delay-charged
+  /// histogram here, and propagates the registry down to the inner
+  /// database (storage, count cache) and the delay scheduler at Open.
+  /// Must outlive the database.
+  obs::MetricRegistry* metrics = nullptr;
+  /// When non-null every request carries a RequestTrace through
+  /// admit -> stats -> delay-compute -> park -> complete and reports
+  /// it here on completion. Must outlive the database.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// Thread-safe front door over a ProtectedDatabase.
@@ -183,12 +195,15 @@ class ConcurrentProtectedDatabase {
     std::unordered_map<int64_t, Row> rows;
   };
   /// Per-stripe delay accounting so the hot path shares no accounting
-  /// cache line; merged on Metrics().
+  /// cache line; merged on Metrics(). The sketch is a bounded
+  /// reservoir: a long-running server's accounting must not grow with
+  /// request count (the unbounded QuantileSketch is for experiment
+  /// harnesses that reset between runs).
   struct AcctStripe {
     std::mutex mu;
     double total_delay = 0.0;
     uint64_t charges = 0;
-    QuantileSketch sketch;
+    BoundedQuantileSketch sketch;
   };
 
   ConcurrentProtectedDatabase(std::unique_ptr<ProtectedDatabase> inner,
@@ -196,20 +211,37 @@ class ConcurrentProtectedDatabase {
 
   size_t RowStripeFor(int64_t key) const;
   // Compute phase only (admit + delay accounting, no stall served).
-  Result<ProtectedResult> ComputeGetByKey(int64_t key);
-  Result<ProtectedResult> ComputeExecuteSql(const std::string& sql);
-  Result<ProtectedResult> GetByKeyGlobal(int64_t key);
-  Result<ProtectedResult> GetByKeySharded(int64_t key);
-  Result<ProtectedResult> ExecuteSqlGlobal(const std::string& sql);
-  Result<ProtectedResult> ExecuteSqlSharded(const std::string& sql);
+  // `tr` is the request's trace (null when tracing is off).
+  Result<ProtectedResult> ComputeGetByKey(int64_t key,
+                                          obs::RequestTrace* tr);
+  Result<ProtectedResult> ComputeExecuteSql(const std::string& sql,
+                                            obs::RequestTrace* tr);
+  Result<ProtectedResult> GetByKeyGlobal(int64_t key,
+                                         obs::RequestTrace* tr);
+  Result<ProtectedResult> GetByKeySharded(int64_t key,
+                                          obs::RequestTrace* tr);
+  Result<ProtectedResult> ExecuteSqlGlobal(const std::string& sql,
+                                           obs::RequestTrace* tr);
+  Result<ProtectedResult> ExecuteSqlSharded(const std::string& sql,
+                                            obs::RequestTrace* tr);
   void InvalidateRowCaches();
+  /// Starts a trace span for one request. Returns null (tracing off)
+  /// or `tr` initialized with a fresh id and start stamp.
+  obs::RequestTrace* BeginTrace(obs::RequestTrace* tr, const char* op,
+                                int64_t key, StallGroup session);
+  /// Stamps the end of the span, records request metrics
+  /// (delay-charged histogram, cancellation counter), and reports the
+  /// trace to the sink. Safe with tr == null (metrics still recorded).
+  void EndRequest(obs::RequestTrace* tr,
+                  const Result<ProtectedResult>& r, bool cancelled);
   /// Blocking stall service: sleeps inline, or (async_stalls) parks on
   /// the wheel and waits -- the shim that keeps existing callers
   /// working. Cancellation surfaces as Status::Cancelled.
-  Result<ProtectedResult> FinishBlocking(Result<ProtectedResult> r);
+  Result<ProtectedResult> FinishBlocking(Result<ProtectedResult> r,
+                                         obs::RequestTrace* tr);
   /// Async stall service: parks the stall and fires `done` on expiry.
   void FinishAsync(Result<ProtectedResult> r, AsyncCompletion done,
-                   StallGroup session);
+                   StallGroup session, obs::RequestTrace* tr);
 
   std::unique_ptr<ProtectedDatabase> inner_;
   ConcurrentDatabaseOptions concurrent_options_;
@@ -226,6 +258,15 @@ class ConcurrentProtectedDatabase {
   std::atomic<uint64_t> row_cache_hits_{0};
   std::atomic<uint64_t> row_cache_misses_{0};
   std::atomic<int> in_flight_{0};
+
+  // Registry-owned instruments (null when metrics are off) and the
+  // trace terminal (null when tracing is off).
+  obs::TraceSink* sink_ = nullptr;
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_cancelled_ = nullptr;
+  obs::Counter* m_row_hits_ = nullptr;
+  obs::Counter* m_row_misses_ = nullptr;
+  obs::Histogram* m_delay_charged_ns_ = nullptr;
   // First error from the flush hook pushing merged deltas into the
   // persistent count cache; surfaced at Checkpoint. Guarded by
   // storage_mu_ (the hook holds it).

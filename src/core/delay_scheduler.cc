@@ -36,6 +36,26 @@ DelayScheduler::DelayScheduler(Clock* clock, DelaySchedulerOptions options)
   span_ticks_ = int64_t{1} << (options_.wheel_bits * options_.levels);
   current_tick_ = TickOf(clock_->NowMicros());
 
+  if (options_.metrics != nullptr) {
+    obs::MetricRegistry* m = options_.metrics;
+    m_scheduled_ = m->GetCounter("tarpit_scheduler_scheduled_total");
+    m_fired_ = m->GetCounter("tarpit_scheduler_fired_total");
+    m_cancelled_ = m->GetCounter("tarpit_scheduler_cancelled_total");
+    m_cascades_ = m->GetCounter("tarpit_scheduler_cascades_total");
+    m_overflow_promotions_ =
+        m->GetCounter("tarpit_scheduler_overflow_promotions_total");
+    m_parked_ = m->GetGauge("tarpit_scheduler_parked");
+    m_parked_peak_ = m->GetGauge("tarpit_scheduler_parked_peak");
+    m_queue_depth_ =
+        m->GetGauge("tarpit_scheduler_completion_queue_depth");
+    obs::HistogramOptions us;
+    us.unit = "us";
+    m_park_micros_ =
+        m->GetHistogram("tarpit_scheduler_park_micros", {}, us);
+    m_dispatch_lag_micros_ =
+        m->GetHistogram("tarpit_scheduler_dispatch_lag_micros", {}, us);
+  }
+
   wheel_.assign(options_.levels,
                 std::vector<Entry*>(slots_per_level_, nullptr));
   dispatchers_.reserve(options_.num_dispatchers);
@@ -56,6 +76,7 @@ TimerId DelayScheduler::Submit(double delay_seconds, Callback done,
     std::lock_guard<std::mutex> lock(mu_);
     if (!stop_) {
       ++scheduled_total_;
+      if (m_scheduled_ != nullptr) m_scheduled_->Increment();
       const TimerId id = next_id_++;
       if (virtual_ || delay_us == 0) {
         // Instant fire: virtual time charges without waiting, and a
@@ -63,6 +84,10 @@ TimerId DelayScheduler::Submit(double delay_seconds, Callback done,
         // completion queue preserves submission order.
         ++fired_total_;
         ready_.push_back(Completion{std::move(done), false});
+        if (m_fired_ != nullptr) m_fired_->Increment();
+        if (m_queue_depth_ != nullptr) {
+          m_queue_depth_->Set(static_cast<int64_t>(ready_.size()));
+        }
         ready_cv_.notify_one();
         return id;
       }
@@ -70,16 +95,21 @@ TimerId DelayScheduler::Submit(double delay_seconds, Callback done,
       e->id = id;
       e->group = group;
       e->done = std::move(done);
+      e->submit_micros = clock_->NowMicros();
       // Round the expiry UP to the next tick so a stall is never
       // served short.
       e->deadline_tick =
-          (clock_->NowMicros() + delay_us + tick_micros_ - 1) /
+          (e->submit_micros + delay_us + tick_micros_ - 1) /
           tick_micros_;
       std::vector<Entry*> expired;
       InsertLocked(e, &expired);
       if (expired.empty()) {
         entries_.emplace(id, e);
         peak_parked_ = std::max(peak_parked_, entries_.size());
+        if (m_parked_ != nullptr) {
+          m_parked_->Set(static_cast<int64_t>(entries_.size()));
+          m_parked_peak_->Set(static_cast<int64_t>(peak_parked_));
+        }
         // Wake the driver in case this deadline is earlier than what
         // it is sleeping toward.
         timer_cv_.notify_one();
@@ -272,6 +302,7 @@ void DelayScheduler::CascadeLocked(size_t level,
   if (node == nullptr) return;
   wheel_[level][idx] = nullptr;
   ++cascades_;
+  if (m_cascades_ != nullptr) m_cascades_->Increment();
   while (node != nullptr) {
     Entry* next = node->next;
     node->prev = nullptr;
@@ -289,6 +320,9 @@ void DelayScheduler::PromoteOverflowLocked(std::vector<Entry*>* expired) {
     Entry* e = overflow_.back();
     overflow_.pop_back();
     ++overflow_promotions_;
+    if (m_overflow_promotions_ != nullptr) {
+      m_overflow_promotions_->Increment();
+    }
     InsertLocked(e, expired);
   }
 }
@@ -363,15 +397,35 @@ int64_t DelayScheduler::NextEventTickLocked() const {
 void DelayScheduler::CompleteLocked(std::vector<Entry*>* entries,
                                     bool cancelled) {
   if (entries->empty()) return;
+  const int64_t now_micros =
+      options_.metrics != nullptr ? clock_->NowMicros() : 0;
   for (Entry* e : *entries) {
     entries_.erase(e->id);
     if (cancelled) {
       ++cancelled_total_;
+      if (m_cancelled_ != nullptr) m_cancelled_->Increment();
     } else {
       ++fired_total_;
+      if (m_fired_ != nullptr) m_fired_->Increment();
+    }
+    if (options_.metrics != nullptr) {
+      m_park_micros_->Record(
+          std::max<int64_t>(0, now_micros - e->submit_micros));
+      if (!cancelled) {
+        // How late past its rounded-up deadline the stall actually
+        // fired: driver wakeup jitter plus cascade batching.
+        m_dispatch_lag_micros_->Record(std::max<int64_t>(
+            0, now_micros - e->deadline_tick * tick_micros_));
+      }
     }
     ready_.push_back(Completion{std::move(e->done), cancelled});
     delete e;
+  }
+  if (m_parked_ != nullptr) {
+    m_parked_->Set(static_cast<int64_t>(entries_.size()));
+  }
+  if (m_queue_depth_ != nullptr) {
+    m_queue_depth_->Set(static_cast<int64_t>(ready_.size()));
   }
   if (entries->size() == 1) {
     ready_cv_.notify_one();
@@ -413,6 +467,9 @@ void DelayScheduler::DispatcherLoop() {
     }
     Completion c = std::move(ready_.front());
     ready_.pop_front();
+    if (m_queue_depth_ != nullptr) {
+      m_queue_depth_->Set(static_cast<int64_t>(ready_.size()));
+    }
     ++executing_;
     lock.unlock();
     c.done(c.cancelled);  // Outside the lock: callbacks may re-enter.

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 
 namespace tarpit {
 
@@ -44,6 +45,11 @@ struct DelaySchedulerOptions {
   /// (simulation mode). Also implied by Clock::IsVirtual(), so
   /// simulations on a VirtualClock never spin a driver thread.
   bool virtual_time = false;
+  /// When non-null, the scheduler publishes wheel occupancy, cascade
+  /// and overflow-promotion counts, completion-queue depth, and park /
+  /// dispatch-lag latency histograms here (names are listed in
+  /// docs/INTERNALS.md). Must outlive the scheduler.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Hierarchical timer wheel + overflow heap with a dispatcher pool:
@@ -126,6 +132,7 @@ class DelayScheduler {
     TimerId id = 0;
     StallGroup group = 0;
     int64_t deadline_tick = 0;
+    int64_t submit_micros = 0;
     Callback done;
     // Intrusive wheel-slot list links + location (for O(1) unlink).
     Entry* prev = nullptr;
@@ -183,6 +190,19 @@ class DelayScheduler {
   uint64_t cancelled_total_ = 0;
   uint64_t cascades_ = 0;
   uint64_t overflow_promotions_ = 0;
+
+  // Registry-owned instruments; null when options_.metrics is null so
+  // the unobserved hot path pays a single pointer test.
+  obs::Counter* m_scheduled_ = nullptr;
+  obs::Counter* m_fired_ = nullptr;
+  obs::Counter* m_cancelled_ = nullptr;
+  obs::Counter* m_cascades_ = nullptr;
+  obs::Counter* m_overflow_promotions_ = nullptr;
+  obs::Gauge* m_parked_ = nullptr;
+  obs::Gauge* m_parked_peak_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
+  obs::Histogram* m_park_micros_ = nullptr;
+  obs::Histogram* m_dispatch_lag_micros_ = nullptr;
 
   std::thread driver_;
   std::vector<std::thread> dispatchers_;

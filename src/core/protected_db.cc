@@ -18,6 +18,16 @@ class NoDelayPolicy : public DelayPolicy {
 
 }  // namespace
 
+const char* DelayModeName(DelayMode mode) {
+  switch (mode) {
+    case DelayMode::kNone: return "none";
+    case DelayMode::kAccessPopularity: return "access-popularity";
+    case DelayMode::kUpdateRate: return "update-rate";
+    case DelayMode::kCombinedMax: return "combined-max";
+  }
+  return "unknown";
+}
+
 Result<std::unique_ptr<ProtectedDatabase>> ProtectedDatabase::Open(
     const std::string& dir, const std::string& table_name, Clock* clock,
     ProtectedDatabaseOptions options) {
@@ -30,6 +40,7 @@ Result<std::unique_ptr<ProtectedDatabase>> ProtectedDatabase::Open(
 Status ProtectedDatabase::Init(const std::string& dir,
                                const std::string& table_name) {
   protected_table_name_ = table_name;
+  options_.table_options.metrics = options_.metrics;
   TARPIT_ASSIGN_OR_RETURN(db_, Database::Open(dir, options_.table_options));
   Result<Table*> table = db_->GetTable(table_name);
   if (table.ok()) {
@@ -67,6 +78,14 @@ Status ProtectedDatabase::Init(const std::string& dir,
     }
     count_cache_ = std::make_unique<CountCache>(
         counts_table_, options_.count_cache_capacity);
+    if (options_.metrics != nullptr) {
+      obs::MetricRegistry* m = options_.metrics;
+      count_cache_->BindMetrics(
+          m->GetCounter("tarpit_count_cache_hits_total"),
+          m->GetCounter("tarpit_count_cache_misses_total"),
+          m->GetCounter("tarpit_count_cache_spills_total"),
+          m->GetCounter("tarpit_count_cache_write_behind_flushes_total"));
+    }
     // Warm-start: counts persisted by a previous run seed the learned
     // distribution, so delays are sensible immediately after restart
     // instead of re-paying the start-up transient.

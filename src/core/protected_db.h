@@ -29,6 +29,10 @@ enum class DelayMode {
                       // neither missing skew leaves a hole.
 };
 
+/// Stable lowercase identifier ("none", "access-popularity", ...);
+/// used as the `policy` metric label.
+const char* DelayModeName(DelayMode mode);
+
 struct ProtectedDatabaseOptions {
   DelayMode mode = DelayMode::kAccessPopularity;
   PopularityDelayParams popularity;
@@ -48,6 +52,10 @@ struct ProtectedDatabaseOptions {
   /// this to sleep outside its lock).
   bool defer_delay_sleep = false;
   TableOptions table_options;
+  /// When non-null, storage (buffer pools, WAL) and the count cache
+  /// publish instruments here; also copied into
+  /// table_options.metrics at open. Must outlive the database.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Operational snapshot of a protected database (observability for

@@ -16,6 +16,7 @@ std::string AuditEventName(AuditEvent event) {
 }
 
 void AuditLog::Record(AuditRecord record) {
+  if (clock_ != nullptr) record.time_seconds = clock_->NowSeconds();
   ++total_recorded_;
   records_.push_back(record);
   while (records_.size() > capacity_) records_.pop_front();

@@ -6,6 +6,7 @@
 #include <functional>
 #include <string>
 
+#include "common/clock.h"
 #include "defense/identity.h"
 
 namespace tarpit {
@@ -24,6 +25,8 @@ enum class AuditEvent : uint8_t {
 std::string AuditEventName(AuditEvent event);
 
 struct AuditRecord {
+  /// Stamped by AuditLog::Record from the injected clock when the log
+  /// was constructed with one; otherwise the emitter's value is kept.
   double time_seconds = 0;
   AuditEvent event = AuditEvent::kQueryServed;
   IdentityId identity = 0;
@@ -42,6 +45,17 @@ class AuditLog {
  public:
   explicit AuditLog(size_t capacity = 4096) : capacity_(capacity) {}
 
+  /// Timestamps every record from `clock` (which must outlive the
+  /// log). Records once stamped wall-clock time at the emitting sites,
+  /// which made virtual-clock simulation runs irreproducible -- the
+  /// same trace produced different audit timestamps on every run.
+  /// Routing through the injected clock keeps the audit trail on the
+  /// simulation's timeline.
+  explicit AuditLog(const Clock* clock, size_t capacity = 4096)
+      : capacity_(capacity), clock_(clock) {}
+
+  /// Appends one record; stamps `record.time_seconds` from the
+  /// attached clock when one was injected.
   void Record(AuditRecord record);
 
   /// Iterates records oldest-first; `fn` returns false to stop.
@@ -59,6 +73,7 @@ class AuditLog {
 
  private:
   size_t capacity_;
+  const Clock* clock_ = nullptr;
   std::deque<AuditRecord> records_;
   uint64_t total_recorded_ = 0;
 };

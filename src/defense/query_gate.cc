@@ -7,7 +7,36 @@ QueryGate::QueryGate(ProtectedDatabase* db, QueryGateOptions options)
       options_(options),
       reg_limiter_(options.registration_seconds_per_account,
                    options.registration_burst),
-      coverage_monitor_(options.coverage) {}
+      coverage_monitor_(options.coverage),
+      // The audit trail stamps from the database's clock so
+      // virtual-clock simulations get reproducible timestamps.
+      audit_log_(db->clock()) {
+  if (options_.metrics != nullptr) {
+    obs::MetricRegistry* m = options_.metrics;
+    m_admits_ = m->GetCounter("tarpit_gate_admits_total");
+    m_denied_lifetime_ = m->GetCounter("tarpit_gate_denials_total",
+                                       {{"reason", "lifetime-cap"}});
+    m_denied_subnet_ = m->GetCounter("tarpit_gate_denials_total",
+                                     {{"reason", "subnet-rate"}});
+    m_denied_user_ = m->GetCounter("tarpit_gate_denials_total",
+                                   {{"reason", "user-rate"}});
+    m_registrations_ = m->GetCounter("tarpit_gate_registrations_total");
+    m_reg_denied_ = m->GetCounter("tarpit_gate_denials_total",
+                                  {{"reason", "registration"}});
+    m_escalations_ =
+        m->GetCounter("tarpit_gate_coverage_escalations_total");
+    obs::HistogramOptions ns;
+    ns.sub_bits = 11;
+    ns.unit = "ns";
+    const char* policy = DelayModeName(db_->options().mode);
+    m_delay_legit_ns_ = m->GetHistogram(
+        "tarpit_gate_delay_charged_ns",
+        {{"policy", policy}, {"class", "legitimate"}}, ns);
+    m_delay_flagged_ns_ = m->GetHistogram(
+        "tarpit_gate_delay_charged_ns",
+        {{"policy", policy}, {"class", "flagged"}}, ns);
+  }
+}
 
 double QueryGate::NowSeconds() const {
   return db_->clock()->NowSeconds();
@@ -21,9 +50,11 @@ Result<Identity> QueryGate::RegisterUser(uint32_t ipv4) {
   if (id.ok()) {
     record.event = AuditEvent::kRegistered;
     record.identity = id->id;
+    if (m_registrations_ != nullptr) m_registrations_->Increment();
   } else {
     record.event = AuditEvent::kRegistrationDenied;
     record.magnitude = reg_limiter_.RetryAfter(NowSeconds());
+    if (m_reg_denied_ != nullptr) m_reg_denied_->Increment();
   }
   audit_log_.Record(record);
   return id;
@@ -67,6 +98,7 @@ Result<ProtectedResult> QueryGate::ExecuteSql(const Identity& identity,
       user.lifetime_queries >= options_.per_user_lifetime_query_limit) {
     record.event = AuditEvent::kLifetimeCapHit;
     audit_log_.Record(record);
+    if (m_denied_lifetime_ != nullptr) m_denied_lifetime_->Increment();
     return Status::PermissionDenied(
         "identity " + std::to_string(identity.id) +
         " exceeded its lifetime query limit");
@@ -78,6 +110,7 @@ Result<ProtectedResult> QueryGate::ExecuteSql(const Identity& identity,
     record.event = AuditEvent::kRateLimitedSubnet;
     record.magnitude = subnet.RetryAfter(now);
     audit_log_.Record(record);
+    if (m_denied_subnet_ != nullptr) m_denied_subnet_->Increment();
     return Status::RateLimited(
         "subnet " + Ipv4ToString(identity.Subnet24()) +
         "/24 rate limit; retry in " +
@@ -87,12 +120,14 @@ Result<ProtectedResult> QueryGate::ExecuteSql(const Identity& identity,
     record.event = AuditEvent::kRateLimitedUser;
     record.magnitude = user.bucket.RetryAfter(now);
     audit_log_.Record(record);
+    if (m_denied_user_ != nullptr) m_denied_user_->Increment();
     return Status::RateLimited(
         "identity " + std::to_string(identity.id) +
         " rate limit; retry in " +
         std::to_string(user.bucket.RetryAfter(now)) + "s");
   }
   ++user.lifetime_queries;
+  if (m_admits_ != nullptr) m_admits_->Increment();
 
   // Coverage escalation uses the factor accrued *before* this query so
   // a first-time crossing is not penalized retroactively.
@@ -119,7 +154,17 @@ Result<ProtectedResult> QueryGate::ExecuteSql(const Identity& identity,
       record.event = AuditEvent::kCoverageEscalated;
       record.magnitude = escalation;
       audit_log_.Record(record);
+      if (m_escalations_ != nullptr) m_escalations_->Increment();
     }
+  }
+  // Per-class delay accounting: an identity the coverage monitor has
+  // escalated is "flagged"; everyone else is "legitimate". The split
+  // is what lets a dashboard confirm the defense's core promise --
+  // extraction-shaped traffic pays, normal traffic doesn't.
+  obs::Histogram* delay_hist =
+      escalation > 1.0 ? m_delay_flagged_ns_ : m_delay_legit_ns_;
+  if (delay_hist != nullptr) {
+    delay_hist->Record(obs::NanosFromSeconds(result->delay_seconds));
   }
   record.event = AuditEvent::kQueryServed;
   record.magnitude = result->delay_seconds;

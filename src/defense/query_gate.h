@@ -38,6 +38,10 @@ struct QueryGateOptions {
   /// have their delays multiplied.
   bool coverage_escalation = false;
   CoverageMonitorOptions coverage;
+  /// When non-null the gate publishes admission/denial counters and
+  /// the delay-charged histograms (split legitimate vs flagged by the
+  /// coverage monitor) here. Must outlive the gate.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// The front door: account registration plus per-user and per-subnet
@@ -99,6 +103,17 @@ class QueryGate {
   AuditLog audit_log_;
   std::unordered_map<IdentityId, UserState> users_;
   std::unordered_map<uint32_t, TokenBucket> subnets_;
+
+  // Registry-owned instruments; all null when options_.metrics is null.
+  obs::Counter* m_admits_ = nullptr;
+  obs::Counter* m_denied_lifetime_ = nullptr;
+  obs::Counter* m_denied_subnet_ = nullptr;
+  obs::Counter* m_denied_user_ = nullptr;
+  obs::Counter* m_registrations_ = nullptr;
+  obs::Counter* m_reg_denied_ = nullptr;
+  obs::Counter* m_escalations_ = nullptr;
+  obs::Histogram* m_delay_legit_ns_ = nullptr;
+  obs::Histogram* m_delay_flagged_ns_ = nullptr;
 };
 
 }  // namespace tarpit

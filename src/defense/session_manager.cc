@@ -5,7 +5,17 @@
 namespace tarpit {
 
 SessionManager::SessionManager(SessionOptions options, uint64_t seed)
-    : options_(options), rng_(seed) {}
+    : options_(options), rng_(seed) {
+  if (options_.metrics != nullptr) {
+    obs::MetricRegistry* m = options_.metrics;
+    m_active_ = m->GetGauge("tarpit_sessions_active");
+    m_logins_ = m->GetCounter("tarpit_session_logins_total");
+    m_evict_logout_ = m->GetCounter("tarpit_session_evictions_total",
+                                    {{"reason", "logout"}});
+    m_evict_ttl_ = m->GetCounter("tarpit_session_evictions_total",
+                                 {{"reason", "ttl"}});
+  }
+}
 
 Result<SessionToken> SessionManager::Login(const Identity& identity,
                                            double now_seconds) {
@@ -22,6 +32,10 @@ Result<SessionToken> SessionManager::Login(const Identity& identity,
   } while (token == 0 || sessions_.count(token));
   sessions_[token] = Session{identity.id, now_seconds};
   ++count;
+  if (m_logins_ != nullptr) m_logins_->Increment();
+  if (m_active_ != nullptr) {
+    m_active_->Set(static_cast<int64_t>(sessions_.size()));
+  }
   return token;
 }
 
@@ -33,17 +47,15 @@ Result<IdentityId> SessionManager::Validate(SessionToken token,
   }
   if (now_seconds - it->second.last_active_seconds >
       options_.ttl_seconds) {
-    const IdentityId id = it->second.identity;
-    sessions_.erase(it);
-    if (--per_identity_[id] == 0) per_identity_.erase(id);
-    if (eviction_hook_) eviction_hook_(token, id);
+    RemoveSession(token, m_evict_ttl_);
     return Status::PermissionDenied("session expired");
   }
   it->second.last_active_seconds = now_seconds;
   return it->second.identity;
 }
 
-void SessionManager::Logout(SessionToken token) {
+void SessionManager::RemoveSession(SessionToken token,
+                                   obs::Counter* reason_counter) {
   auto it = sessions_.find(token);
   if (it == sessions_.end()) return;
   const IdentityId id = it->second.identity;
@@ -52,7 +64,15 @@ void SessionManager::Logout(SessionToken token) {
   if (pit != per_identity_.end() && --pit->second == 0) {
     per_identity_.erase(pit);
   }
+  if (reason_counter != nullptr) reason_counter->Increment();
+  if (m_active_ != nullptr) {
+    m_active_->Set(static_cast<int64_t>(sessions_.size()));
+  }
   if (eviction_hook_) eviction_hook_(token, id);
+}
+
+void SessionManager::Logout(SessionToken token) {
+  RemoveSession(token, m_evict_logout_);
 }
 
 size_t SessionManager::ExpireStale(double now_seconds) {
@@ -63,7 +83,7 @@ size_t SessionManager::ExpireStale(double now_seconds) {
       dead.push_back(token);
     }
   }
-  for (SessionToken token : dead) Logout(token);
+  for (SessionToken token : dead) RemoveSession(token, m_evict_ttl_);
   return dead.size();
 }
 

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "defense/identity.h"
+#include "obs/metrics.h"
 
 namespace tarpit {
 
@@ -21,6 +22,9 @@ struct SessionOptions {
   /// Hard cap on concurrent sessions per identity (0 = unlimited).
   /// Bounds how much parallelism one account can mount by itself.
   uint32_t max_sessions_per_identity = 4;
+  /// When non-null the manager publishes the active-session gauge and
+  /// login/eviction counters here. Must outlive the manager.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Issues and validates opaque session tokens for registered
@@ -69,11 +73,20 @@ class SessionManager {
     double last_active_seconds;
   };
 
+  /// Ends one session, attributing the eviction to `reason_counter`
+  /// (null ok). Shared by Logout, Validate expiry, and ExpireStale.
+  void RemoveSession(SessionToken token, obs::Counter* reason_counter);
+
   SessionOptions options_;
   Rng rng_;
   EvictionHook eviction_hook_;
   std::unordered_map<SessionToken, Session> sessions_;
   std::unordered_map<IdentityId, uint32_t> per_identity_;
+
+  obs::Gauge* m_active_ = nullptr;
+  obs::Counter* m_logins_ = nullptr;
+  obs::Counter* m_evict_logout_ = nullptr;
+  obs::Counter* m_evict_ttl_ = nullptr;
 };
 
 }  // namespace tarpit

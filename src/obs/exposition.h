@@ -1,0 +1,75 @@
+#ifndef TARPIT_OBS_EXPOSITION_H_
+#define TARPIT_OBS_EXPOSITION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace tarpit {
+namespace obs {
+
+/// Prometheus text exposition (version 0.0.4). Histograms emit
+/// cumulative `_bucket{le=...}` lines at power-of-two boundaries (so a
+/// 2^sub_bits-per-octave histogram exports ~50 lines, not tens of
+/// thousands) plus `_sum` and `_count`; the full-resolution data stays
+/// queryable programmatically via RegistrySnapshot.
+std::string ToPrometheusText(const RegistrySnapshot& snapshot);
+
+/// JSON dump: every metric with labels; histograms carry count, sum,
+/// min, max, p50/p90/p99/p999 and the non-zero buckets as
+/// [lower, upper, count] triples.
+std::string ToJson(const RegistrySnapshot& snapshot);
+
+struct PeriodicExporterOptions {
+  std::string path;
+  double interval_seconds = 10.0;
+  enum class Format { kPrometheus, kJson };
+  Format format = Format::kPrometheus;
+  /// Also write a final dump when the exporter stops (so short runs
+  /// always leave a file behind).
+  bool flush_on_stop = true;
+};
+
+/// Background thread that dumps a registry snapshot to a file every
+/// interval (written to `<path>.tmp`, then renamed, so readers never
+/// observe a torn dump). Wall-clock driven: exporting is operational
+/// I/O, not simulated time, so a VirtualClock simulation still emits
+/// dumps in real time.
+class PeriodicExporter {
+ public:
+  PeriodicExporter(MetricRegistry* registry,
+                   PeriodicExporterOptions options);
+  ~PeriodicExporter();
+
+  PeriodicExporter(const PeriodicExporter&) = delete;
+  PeriodicExporter& operator=(const PeriodicExporter&) = delete;
+
+  /// Idempotent; joins the writer thread.
+  void Stop();
+
+  /// Successful dumps so far.
+  uint64_t writes() const;
+
+  /// One immediate synchronous dump (also what the thread runs).
+  bool WriteOnce();
+
+ private:
+  void Loop();
+
+  MetricRegistry* registry_;
+  PeriodicExporterOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  uint64_t writes_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace tarpit
+
+#endif  // TARPIT_OBS_EXPOSITION_H_

@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace tarpit {
+namespace obs {
+
+namespace {
+
+struct SlowerThan {
+  bool operator()(const RequestTrace& a, const RequestTrace& b) const {
+    return a.TotalMicros() > b.TotalMicros();  // Min-heap on duration.
+  }
+};
+
+void AppendJsonTrace(std::string* out, const RequestTrace& t) {
+  out->append("{\"request_id\":");
+  out->append(std::to_string(t.request_id));
+  out->append(",\"op\":\"");
+  out->append(t.op);
+  out->append("\",\"key\":");
+  out->append(std::to_string(t.key));
+  out->append(",\"session\":");
+  out->append(std::to_string(t.session));
+  out->append(",\"start_micros\":");
+  out->append(std::to_string(t.start_micros));
+  out->append(",\"total_micros\":");
+  out->append(std::to_string(t.TotalMicros()));
+  out->append(",\"charged_delay_seconds\":");
+  out->append(std::to_string(t.charged_delay_seconds));
+  out->append(",\"ok\":");
+  out->append(t.ok ? "true" : "false");
+  out->append(",\"cancelled\":");
+  out->append(t.cancelled ? "true" : "false");
+  out->append(",\"phases\":{");
+  for (int p = 0; p < kNumTracePhases; ++p) {
+    if (p != 0) out->push_back(',');
+    out->push_back('"');
+    out->append(TracePhaseName(static_cast<TracePhase>(p)));
+    out->append("\":");
+    out->append(std::to_string(t.phase_micros[p]));
+  }
+  out->append("}}");
+}
+
+}  // namespace
+
+const char* TracePhaseName(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kAdmit: return "admit";
+    case TracePhase::kStatsLookup: return "stats_lookup";
+    case TracePhase::kDelayCompute: return "delay_compute";
+    case TracePhase::kPark: return "park";
+    case TracePhase::kComplete: return "complete";
+    case TracePhase::kNumPhases: break;
+  }
+  return "unknown";
+}
+
+TraceSink::TraceSink(TraceSinkOptions options) : options_(options) {
+  if (options_.slowest_capacity == 0) options_.slowest_capacity = 1;
+  if (options_.recent_capacity == 0) options_.recent_capacity = 1;
+  if (options_.recent_sample_every == 0) options_.recent_sample_every = 1;
+  heap_.reserve(options_.slowest_capacity);
+  ring_.resize(options_.recent_capacity);
+}
+
+void TraceSink::Complete(const RequestTrace& trace) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  const bool sample_recent =
+      recent_tick_.fetch_add(1, std::memory_order_relaxed) %
+          options_.recent_sample_every ==
+      0;
+  const int64_t floor = slowest_floor_.load(std::memory_order_relaxed);
+  const bool slow_candidate = floor < 0 || trace.TotalMicros() > floor;
+  if (!sample_recent && !slow_candidate) return;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sample_recent) {
+    ring_[ring_next_] = trace;
+    ring_next_ = (ring_next_ + 1) % ring_.size();
+    if (ring_next_ == 0) ring_wrapped_ = true;
+  }
+  if (slow_candidate) {
+    if (heap_.size() < options_.slowest_capacity) {
+      heap_.push_back(trace);
+      std::push_heap(heap_.begin(), heap_.end(), SlowerThan{});
+    } else if (trace.TotalMicros() > heap_.front().TotalMicros()) {
+      std::pop_heap(heap_.begin(), heap_.end(), SlowerThan{});
+      heap_.back() = trace;
+      std::push_heap(heap_.begin(), heap_.end(), SlowerThan{});
+    }
+    if (heap_.size() == options_.slowest_capacity) {
+      slowest_floor_.store(heap_.front().TotalMicros(),
+                           std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<RequestTrace> TraceSink::Slowest() const {
+  std::vector<RequestTrace> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = heap_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestTrace& a, const RequestTrace& b) {
+              return a.TotalMicros() > b.TotalMicros();
+            });
+  return out;
+}
+
+std::vector<RequestTrace> TraceSink::Recent() const {
+  std::vector<RequestTrace> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_wrapped_) {
+    out.insert(out.end(), ring_.begin() + ring_next_, ring_.end());
+  }
+  out.insert(out.end(), ring_.begin(), ring_.begin() + ring_next_);
+  return out;
+}
+
+std::string TraceSink::ToJson() const {
+  const std::vector<RequestTrace> slowest = Slowest();
+  const std::vector<RequestTrace> recent = Recent();
+  std::string out;
+  out.append("{\"completed_total\":");
+  out.append(std::to_string(completed_total()));
+  out.append(",\"slowest\":[");
+  for (size_t i = 0; i < slowest.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    AppendJsonTrace(&out, slowest[i]);
+  }
+  out.append("],\"recent\":[");
+  for (size_t i = 0; i < recent.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    AppendJsonTrace(&out, recent[i]);
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace obs
+}  // namespace tarpit

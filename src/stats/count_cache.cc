@@ -9,10 +9,12 @@ Result<CountCache::Entry*> CountCache::Load(int64_t key) {
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++hits_;
+    if (m_hits_ != nullptr) m_hits_->Increment();
     lru_.splice(lru_.end(), lru_, it->second.lru_pos);
     return &it->second;
   }
   ++misses_;
+  if (m_misses_ != nullptr) m_misses_->Increment();
   double value = 0;
   Result<Row> row = backing_->GetByKey(key);
   if (row.ok()) {
@@ -41,6 +43,8 @@ Status CountCache::Evict() {
   auto it = entries_.find(victim);
   if (it != entries_.end()) {
     if (it->second.dirty) {
+      ++spills_;
+      if (m_spills_ != nullptr) m_spills_->Increment();
       TARPIT_RETURN_IF_ERROR(WriteBack(victim, it->second.value));
     }
     entries_.erase(it);
@@ -73,6 +77,7 @@ Status CountCache::Add(int64_t key, double delta) {
 Status CountCache::FlushAll() {
   for (auto& [key, entry] : entries_) {
     if (entry.dirty) {
+      if (m_flushes_ != nullptr) m_flushes_->Increment();
       TARPIT_RETURN_IF_ERROR(WriteBack(key, entry.value));
       entry.dirty = false;
     }

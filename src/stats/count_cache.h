@@ -42,6 +42,19 @@ class CountCache {
   uint64_t backing_writes() const { return backing_writes_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  /// Dirty entries written back because eviction forced them out.
+  uint64_t spills() const { return spills_; }
+
+  /// Mirrors cache behavior into registry counters (any may be null):
+  /// hits, misses, dirty-eviction spills, and FlushAll write-backs.
+  /// Counters must outlive the cache.
+  void BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                   obs::Counter* spills, obs::Counter* flushes) {
+    m_hits_ = hits;
+    m_misses_ = misses;
+    m_spills_ = spills;
+    m_flushes_ = flushes;
+  }
 
  private:
   struct Entry {
@@ -64,6 +77,11 @@ class CountCache {
   uint64_t backing_writes_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t spills_ = 0;
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_spills_ = nullptr;
+  obs::Counter* m_flushes_ = nullptr;
 };
 
 }  // namespace tarpit

@@ -44,6 +44,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++hits_;
+    if (m_hits_ != nullptr) m_hits_->Increment();
     Frame& f = *frames_[it->second];
     if (f.in_lru) {
       lru_.erase(f.lru_pos);
@@ -53,6 +54,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
     return PageGuard(this, &f.page);
   }
   ++misses_;
+  if (m_misses_ != nullptr) m_misses_->Increment();
   TARPIT_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
   Frame& f = *frames_[idx];
   TARPIT_RETURN_IF_ERROR(disk_->ReadPage(id, f.page.data()));
@@ -122,6 +124,8 @@ Result<size_t> BufferPool::GetVictimFrame() {
   }
   size_t idx = lru_.front();
   lru_.pop_front();
+  ++evictions_;
+  if (m_evictions_ != nullptr) m_evictions_->Increment();
   Frame& f = *frames_[idx];
   f.in_lru = false;
   if (f.page.is_dirty_) {

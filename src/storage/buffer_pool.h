@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -68,7 +69,17 @@ class BufferPool {
   size_t capacity() const { return capacity_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
   DiskManager* disk() const { return disk_; }
+
+  /// Mirrors hit/miss/eviction counts into registry counters (any may
+  /// be null). The counters must outlive the pool.
+  void BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                   obs::Counter* evictions) {
+    m_hits_ = hits;
+    m_misses_ = misses;
+    m_evictions_ = evictions;
+  }
 
  private:
   friend class PageGuard;
@@ -92,6 +103,10 @@ class BufferPool {
   std::vector<size_t> free_frames_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
 };
 
 }  // namespace tarpit

@@ -64,10 +64,32 @@ Status Table::OpenStorage(const std::string& dir, bool create) {
   index_ = std::make_unique<BTree>(index_pool_.get());
   TARPIT_RETURN_IF_ERROR(heap_->Open());
   TARPIT_RETURN_IF_ERROR(index_->Open());
+  if (options_.metrics != nullptr) {
+    obs::MetricRegistry* m = options_.metrics;
+    auto bind_pool = [&](BufferPool* pool, const char* kind) {
+      obs::Labels labels{{"table", name_}, {"pool", kind}};
+      pool->BindMetrics(
+          m->GetCounter("tarpit_bufferpool_hits_total", labels),
+          m->GetCounter("tarpit_bufferpool_misses_total", labels),
+          m->GetCounter("tarpit_bufferpool_evictions_total", labels));
+    };
+    bind_pool(heap_pool_.get(), "heap");
+    bind_pool(index_pool_.get(), "index");
+  }
   if (options_.wal_enabled) {
     TARPIT_RETURN_IF_ERROR(wal_.Open(base + ".wal"));
     wal_.set_group_commit_window_micros(
         options_.wal_group_commit_window_micros);
+    if (options_.metrics != nullptr) {
+      obs::MetricRegistry* m = options_.metrics;
+      obs::Labels labels{{"table", name_}};
+      obs::HistogramOptions us;
+      us.unit = "us";
+      wal_.BindMetrics(
+          m->GetCounter("tarpit_wal_append_bytes_total", labels),
+          m->GetHistogram("tarpit_wal_group_commit_batch_size", labels),
+          m->GetHistogram("tarpit_wal_fsync_micros", labels, us));
+    }
     if (!create) TARPIT_RETURN_IF_ERROR(ReplayWal());
   }
   return Status::OK();

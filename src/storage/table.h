@@ -32,6 +32,10 @@ struct TableOptions {
   /// shares one disk flush at the cost of a bounded (one-window)
   /// durability gap. See Wal::set_group_commit_window_micros.
   int64_t wal_group_commit_window_micros = 0;
+  /// When non-null, the table binds its buffer pools (labels
+  /// {table, pool=heap|index}) and WAL to registry instruments at
+  /// open. Must outlive the table.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// A relation with a mandatory int64 primary key: heap file for rows,

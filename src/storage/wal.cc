@@ -54,15 +54,28 @@ Status Wal::Close() {
   return Status::OK();
 }
 
-Status Wal::Sync() {
-  if (unsynced_records_ == 0) return Status::OK();
-  if (fd_ < 0) return Status::FailedPrecondition("wal not open");
+Status Wal::FsyncNow(uint64_t batch_records) {
+  const int64_t t0 =
+      m_fsync_micros_ != nullptr ? SteadyNowMicros() : 0;
   if (::fdatasync(fd_) != 0) {
     return Status::IOError("wal fdatasync");
   }
+  if (m_fsync_micros_ != nullptr) {
+    m_fsync_micros_->Record(SteadyNowMicros() - t0);
+  }
+  if (m_batch_size_ != nullptr) {
+    m_batch_size_->Record(static_cast<int64_t>(batch_records));
+  }
   ++syncs_issued_;
-  unsynced_records_ = 0;
   last_sync_micros_ = SteadyNowMicros();
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  if (unsynced_records_ == 0) return Status::OK();
+  if (fd_ < 0) return Status::FailedPrecondition("wal not open");
+  TARPIT_RETURN_IF_ERROR(FsyncNow(unsynced_records_));
+  unsynced_records_ = 0;
   return Status::OK();
 }
 
@@ -81,14 +94,13 @@ Status Wal::Append(WalRecordType type, std::string_view payload,
   if (n != static_cast<ssize_t>(frame.size())) {
     return Status::IOError("wal append");
   }
+  if (m_append_bytes_ != nullptr) {
+    m_append_bytes_->Increment(static_cast<int64_t>(frame.size()));
+  }
   if (sync) {
     if (group_commit_window_micros_ <= 0) {
       // fsync-per-record: the seed behavior.
-      if (::fdatasync(fd_) != 0) {
-        return Status::IOError("wal fdatasync");
-      }
-      ++syncs_issued_;
-      last_sync_micros_ = SteadyNowMicros();
+      TARPIT_RETURN_IF_ERROR(FsyncNow(1));
     } else {
       // Group commit: defer, and let the first append past the window
       // boundary sync the whole batch.

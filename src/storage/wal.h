@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace tarpit {
 
@@ -80,7 +81,22 @@ class Wal {
 
   uint64_t records_appended() const { return records_appended_; }
 
+  /// Mirrors append volume and sync behavior into registry
+  /// instruments (any may be null): bytes appended, records covered
+  /// per fdatasync (1 on the fsync-per-record path), and fdatasync
+  /// wall latency in microseconds. Instruments must outlive the log.
+  void BindMetrics(obs::Counter* append_bytes,
+                   obs::Histogram* batch_size,
+                   obs::Histogram* fsync_micros) {
+    m_append_bytes_ = append_bytes;
+    m_batch_size_ = batch_size;
+    m_fsync_micros_ = fsync_micros;
+  }
+
  private:
+  /// fdatasync + bookkeeping shared by Sync() and the per-record path.
+  Status FsyncNow(uint64_t batch_records);
+
   int fd_ = -1;
   std::string path_;
   uint64_t records_appended_ = 0;
@@ -88,6 +104,9 @@ class Wal {
   int64_t last_sync_micros_ = 0;
   uint64_t unsynced_records_ = 0;
   uint64_t syncs_issued_ = 0;
+  obs::Counter* m_append_bytes_ = nullptr;
+  obs::Histogram* m_batch_size_ = nullptr;
+  obs::Histogram* m_fsync_micros_ = nullptr;
 };
 
 }  // namespace tarpit

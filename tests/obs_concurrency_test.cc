@@ -1,0 +1,208 @@
+// Concurrency suite for the metrics registry (labelled "concurrency"
+// in CMake; the TSan CI job runs it under ThreadSanitizer). The
+// registry's contract: registration is mutex-guarded and idempotent,
+// recording is lock-free, and totals are EXACT once writers join --
+// striped counter slots and histogram header slots must not lose
+// updates under contention.
+//
+// TARPIT_STRESS_ITERS shrinks per-thread iteration counts for
+// sanitizer slowdown (same convention as concurrency_test.cc).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tarpit {
+namespace {
+
+int StressIters(int standard) {
+  const char* env = std::getenv("TARPIT_STRESS_ITERS");
+  if (env != nullptr && env[0] != '\0') {
+    const int v = std::atoi(env);
+    if (v > 0) return v < standard ? v : standard;
+  }
+  return standard;
+}
+
+constexpr int kThreads = 8;
+
+TEST(ObsConcurrencyTest, CounterExactUnderContention) {
+  const int iters = StressIters(100000);
+  obs::MetricRegistry reg;
+  obs::Counter* c = reg.GetCounter("tarpit_test_total");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([c, iters] {
+      for (int i = 0; i < iters; ++i) c->Increment();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c->Value(), static_cast<int64_t>(kThreads) * iters);
+}
+
+TEST(ObsConcurrencyTest, RegistrationRacesYieldOneSeries) {
+  // All threads race GetCounter/GetHistogram for the same names while
+  // also hammering increments; every thread must resolve to the same
+  // instrument and no update may be lost.
+  const int iters = StressIters(20000);
+  obs::MetricRegistry reg;
+  std::atomic<obs::Counter*> first{nullptr};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, &first, iters] {
+      obs::Counter* c =
+          reg.GetCounter("tarpit_raced_total", {{"k", "v"}});
+      obs::Counter* expected = nullptr;
+      if (!first.compare_exchange_strong(expected, c)) {
+        EXPECT_EQ(expected, c);
+      }
+      for (int i = 0; i < iters; ++i) c->Increment();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(first.load()->Value(), static_cast<int64_t>(kThreads) * iters);
+}
+
+TEST(ObsConcurrencyTest, HistogramExactTotalsUnderContention) {
+  // Every thread records a distinct value so bucket counts, count, sum,
+  // min and max are all exactly checkable after the join. Concurrent
+  // snapshot readers run THROUGHOUT the writes (TSan coverage for the
+  // relaxed-read snapshot path); mid-run snapshots must be monotonic
+  // in count and never see a sum/count pair implying a negative value.
+  const int iters = StressIters(50000);
+  obs::MetricRegistry reg;
+  obs::Histogram* h = reg.GetHistogram("tarpit_test_lat");
+  std::atomic<bool> done{false};
+
+  std::thread reader([&reg, &done] {
+    int64_t last_count = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const obs::RegistrySnapshot snap = reg.Snapshot();
+      const obs::MetricSnapshot* m = snap.Find("tarpit_test_lat");
+      ASSERT_NE(m, nullptr);
+      EXPECT_GE(m->histogram.count, last_count);
+      EXPECT_GE(m->histogram.sum, 0);
+      last_count = m->histogram.count;
+    }
+  });
+
+  // Values below 2^sub_bits live in the exact region, so each thread
+  // owns a distinct bucket (values above it share sub-buckets and the
+  // per-bucket assertion below would double-count).
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([h, iters, t] {
+      const int64_t value = 100 + t;
+      for (int i = 0; i < iters; ++i) h->Record(value);
+    });
+  }
+  for (auto& w : workers) w.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const obs::HistogramSnapshot s = h->Snapshot();
+  EXPECT_EQ(s.count, static_cast<int64_t>(kThreads) * iters);
+  int64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum += static_cast<int64_t>(100 + t) * iters;
+    const size_t idx =
+        obs::Histogram::BucketIndex(h->options().sub_bits, 100 + t);
+    EXPECT_EQ(s.buckets[idx], static_cast<uint64_t>(iters))
+        << "thread value " << 100 + t;
+  }
+  EXPECT_EQ(s.sum, expected_sum);
+  EXPECT_EQ(s.min, 100);
+  EXPECT_EQ(s.max, 100 + kThreads - 1);
+}
+
+TEST(ObsConcurrencyTest, HistogramMergeDuringRecording) {
+  // Racing merges exercise MergeFrom's reader side under TSan while
+  // writers keep recording. A racing merge reads the source's buckets
+  // and striped totals at different instants, so its output is only
+  // approximately consistent -- exactness is asserted on a final merge
+  // taken after every writer has joined.
+  const int iters = StressIters(20000);
+  obs::Histogram a, b;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads / 2; ++t) {
+    workers.emplace_back([&a, iters] {
+      for (int i = 0; i < iters; ++i) a.Record(7);
+    });
+    workers.emplace_back([&b, iters] {
+      for (int i = 0; i < iters; ++i) b.Record(9);
+    });
+  }
+  std::thread merger([&a, &b] {
+    for (int i = 0; i < 50; ++i) {
+      obs::Histogram scratch;
+      scratch.MergeFrom(a);
+      scratch.MergeFrom(b);
+      const obs::HistogramSnapshot mid = scratch.Snapshot();
+      EXPECT_GE(mid.count, 0);
+      EXPECT_GE(mid.sum, 0);
+    }
+  });
+  for (auto& w : workers) w.join();
+  merger.join();
+
+  obs::Histogram total;
+  total.MergeFrom(a);
+  total.MergeFrom(b);
+  const obs::HistogramSnapshot s = total.Snapshot();
+  const int64_t per_side = static_cast<int64_t>(kThreads / 2) * iters;
+  EXPECT_EQ(s.count, 2 * per_side);
+  EXPECT_EQ(s.sum, per_side * 7 + per_side * 9);
+  EXPECT_EQ(s.min, 7);
+  EXPECT_EQ(s.max, 9);
+  const int sub_bits = total.options().sub_bits;
+  EXPECT_EQ(s.buckets[obs::Histogram::BucketIndex(sub_bits, 7)],
+            static_cast<uint64_t>(per_side));
+  EXPECT_EQ(s.buckets[obs::Histogram::BucketIndex(sub_bits, 9)],
+            static_cast<uint64_t>(per_side));
+}
+
+TEST(ObsConcurrencyTest, TraceSinkConcurrentCompletions) {
+  const int iters = StressIters(20000);
+  obs::TraceSinkOptions opts;
+  opts.slowest_capacity = 16;
+  opts.recent_sample_every = 8;
+  opts.sample_every = 1;
+  obs::TraceSink sink(opts);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sink, iters, t] {
+      for (int i = 0; i < iters; ++i) {
+        obs::RequestTrace tr;
+        tr.request_id = sink.NextRequestId();
+        tr.op = "get_by_key";
+        tr.start_micros = 0;
+        // Durations overlap across threads so slowest-N admission
+        // races on the floor constantly.
+        tr.end_micros = (t * iters + i) % 1000;
+        sink.Complete(tr);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const int64_t total = static_cast<int64_t>(kThreads) * iters;
+  EXPECT_EQ(sink.completed_total(), static_cast<uint64_t>(total));
+  const std::vector<obs::RequestTrace> slowest = sink.Slowest();
+  ASSERT_EQ(slowest.size(),
+            static_cast<size_t>(std::min<int64_t>(16, total)));
+  // The global maximum duration must have been retained. Generated
+  // durations are 0..total-1 reduced mod 1000.
+  EXPECT_EQ(slowest.front().TotalMicros(),
+            std::min<int64_t>(999, total - 1));
+  EXPECT_LE(sink.Recent().size(), 128u);
+}
+
+}  // namespace
+}  // namespace tarpit
