@@ -81,7 +81,8 @@ ConcurrentProtectedDatabase::ConcurrentProtectedDatabase(
       // (spine -> storage is the global lock order).
       stats_tracker_->set_flush_hook(
           [this](const std::vector<std::pair<int64_t, uint64_t>>& batch) {
-            std::lock_guard<std::mutex> lock(storage_mu_);
+            // Storage WRITE: exclusive against shared-mode readers.
+            std::lock_guard<std::shared_mutex> lock(storage_mu_);
             for (const auto& [key, n] : batch) {
               Status s = inner_->count_cache()->Add(
                   key, static_cast<double>(n));
@@ -379,9 +380,11 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKeySharded(
     } else {
       Result<Row> fetched = Status::Internal("unset");
       {
-        // The storage engine (buffer pool, B+tree) is single-threaded:
-        // misses serialize here, hits never do.
-        std::lock_guard<std::mutex> lock(storage_mu_);
+        // Read-only storage access is thread-safe (sharded buffer
+        // pool, crabbing B+tree descent): misses proceed in parallel
+        // under a shared lock, excluded only from in-region storage
+        // writers (count-cache flush hook).
+        std::shared_lock<std::shared_mutex> lock(storage_mu_);
         fetched = table->GetByKey(key);
       }
       if (!fetched.ok()) return fetched.status();
@@ -434,27 +437,46 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKeySharded(
 Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSqlSharded(
     const std::string& sql, obs::RequestTrace* tr) {
   PhaseMarker pm(tr, inner_->clock());
-  TARPIT_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
+  // Classify through the inner plan cache so the classification parse
+  // is the only parse the statement ever pays: execution below reuses
+  // the same compiled form instead of re-parsing. The cache lookup
+  // needs the shared DDL lock (compiling reads the catalog).
+  std::shared_ptr<const PreparedStatement> prep;
+  Statement fallback_stmt;
+  const Statement* stmt = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
+    if (inner_->plan_cache() != nullptr) {
+      TARPIT_ASSIGN_OR_RETURN(prep, inner_->plan_cache()->Get(sql));
+      stmt = &prep->stmt;
+    } else {
+      TARPIT_ASSIGN_OR_RETURN(fallback_stmt, Parser::Parse(sql));
+      stmt = &fallback_stmt;
+    }
+  }
   Result<ProtectedResult> result = Status::Internal("unset");
-  if (IsMutatingStatement(stmt)) {
+  if (IsMutatingStatement(*stmt)) {
     InFlightMark mark(&in_flight_);
     // Writer/DDL path: exclusive against all readers. The inner
     // database (executor, trackers, universe sizes) can be touched
     // freely; row caches are invalidated because UPDATE/DELETE/DDL
     // change what GetByKey must observe.
     std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
-    result = inner_->ExecuteSql(sql);
+    result = prep != nullptr ? inner_->ExecutePrepared(*prep)
+                             : inner_->ExecuteStatement(*stmt);
     InvalidateRowCaches();
   } else {
     InFlightMark mark(&in_flight_);
     std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
-    // The SQL read path serializes: the executor and the inner access
-    // tracker are single-threaded. Exclusive spine keeps tracker
-    // mutation invisible to concurrent snapshot readers; storage after
-    // spine is the global lock order.
+    // The SQL read path still serializes on the stats spine: the inner
+    // access tracker and delay engine are single-threaded. Storage is
+    // held SHARED -- the scan itself is safe alongside GetByKey misses;
+    // the spine's exclusivity already excludes the count-cache flush
+    // hook's storage writes. Spine -> storage is the global lock order.
     stats_tracker_->WithExclusive([&](CountTracker*) {
-      std::lock_guard<std::mutex> lock(storage_mu_);
-      result = inner_->ExecuteSql(sql);
+      std::shared_lock<std::shared_mutex> lock(storage_mu_);
+      result = prep != nullptr ? inner_->ExecutePrepared(*prep)
+                               : inner_->ExecuteStatement(*stmt);
     });
   }
   // The SQL path parses and executes as one unit; that whole
@@ -542,7 +564,7 @@ Status ConcurrentProtectedDatabase::Checkpoint() {
   // cache via the flush hook) before flushing storage.
   QuiesceStats();
   {
-    std::lock_guard<std::mutex> lock(storage_mu_);
+    std::lock_guard<std::shared_mutex> lock(storage_mu_);
     if (!deferred_count_cache_status_.ok()) {
       return deferred_count_cache_status_;
     }
@@ -558,7 +580,7 @@ ProtectedDatabaseMetrics ConcurrentProtectedDatabase::Metrics() {
   std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
   ProtectedDatabaseMetrics m;
   stats_tracker_->WithExclusive([&](CountTracker*) {
-    std::lock_guard<std::mutex> lock(storage_mu_);
+    std::lock_guard<std::shared_mutex> lock(storage_mu_);
     m = inner_->Metrics();
   });
   // Requests parked in stats stripes are real, just not merged yet.

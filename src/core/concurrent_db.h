@@ -81,15 +81,22 @@ struct ConcurrentDatabaseOptions {
 /// locks are leaves):
 ///  * GetByKey (the extraction-critical path) holds `ddl_mu_` SHARED,
 ///    resolves the row through a lock-striped read-through row cache
-///    (misses serialize briefly on `storage_mu_`, the single-threaded
-///    storage engine's gate), records the access in a
-///    ConcurrentCountTracker, computes its delay from a read-mostly
-///    PopularityStats snapshot, and serves the stall OUTSIDE every
-///    lock -- concurrent sessions stall in parallel, the paper's
-///    section 2.4 parallel-attack semantics.
-///  * SELECT statements hold `ddl_mu_` shared but serialize on the
-///    stats spine + storage (the SQL executor and the inner tracker
-///    are single-threaded).
+///    (misses take `storage_mu_` SHARED: the sharded buffer pool and
+///    lock-crabbing B+tree descent make concurrent read-only storage
+///    access safe, so misses no longer serialize), records the access
+///    in a ConcurrentCountTracker, computes its delay from a
+///    read-mostly PopularityStats snapshot, and serves the stall
+///    OUTSIDE every lock -- concurrent sessions stall in parallel, the
+///    paper's section 2.4 parallel-attack semantics.
+///  * SELECT statements hold `ddl_mu_` shared and `storage_mu_` shared
+///    (reads run alongside GetByKey misses) but still serialize on the
+///    stats spine (the inner tracker and delay engine are
+///    single-threaded). Statement texts resolve through the inner
+///    plan cache, so the classification parse is the only parse and
+///    repeats skip compilation entirely.
+///  * Storage WRITERS inside the shared-lock region (the stats flush
+///    hook pushing merged deltas into the persistent count cache) take
+///    `storage_mu_` EXCLUSIVE.
 ///  * Mutating/DDL statements, bulk loads and checkpoints hold
 ///    `ddl_mu_` EXCLUSIVE and invalidate the row caches.
 ///
@@ -249,9 +256,13 @@ class ConcurrentProtectedDatabase {
   // kGlobalLock state.
   std::mutex mutex_;
 
-  // kSharded state.
+  // kSharded state. storage_mu_ is reader-writer: read-only storage
+  // access (GetByKey misses, SELECT scans) holds it shared -- the
+  // sharded buffer pool makes that safe -- while in-region storage
+  // writers (count-cache flush hook) hold it exclusive. Mutating SQL
+  // excludes everything via ddl_mu_ and needs no storage lock.
   std::shared_mutex ddl_mu_;
-  std::mutex storage_mu_;
+  std::shared_mutex storage_mu_;
   std::unique_ptr<ConcurrentCountTracker> stats_tracker_;
   std::vector<std::unique_ptr<RowStripe>> row_stripes_;
   std::vector<std::unique_ptr<AcctStripe>> acct_stripes_;

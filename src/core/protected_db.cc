@@ -51,6 +51,14 @@ Status ProtectedDatabase::Init(const std::string& dir,
   // table_ may be null until the protected table is created via SQL.
 
   executor_ = std::make_unique<Executor>(db_.get());
+  if (options_.plan_cache_capacity > 0) {
+    plan_cache_ = std::make_unique<PlanCache>(options_.plan_cache_capacity,
+                                              db_.get());
+    if (options_.metrics != nullptr) {
+      plan_cache_->BindMetrics(options_.metrics,
+                               {{"table", table_name}});
+    }
+  }
 
   uint64_t n = options_.universe_size;
   if (n == 0 && table_ != nullptr) n = table_->NumRows();
@@ -132,8 +140,39 @@ Status ProtectedDatabase::Init(const std::string& dir,
 
 Result<ProtectedResult> ProtectedDatabase::ExecuteSql(
     const std::string& sql) {
+  if (plan_cache_ != nullptr) {
+    TARPIT_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedStatement> prep,
+                            plan_cache_->Get(sql));
+    return ExecutePrepared(*prep);
+  }
   TARPIT_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
-  TARPIT_ASSIGN_OR_RETURN(QueryResult qr, executor_->Execute(stmt));
+  return ExecuteStatement(stmt, nullptr);
+}
+
+Result<ProtectedResult> ProtectedDatabase::ExecutePrepared(
+    const PreparedStatement& prepared) {
+  // The plan is only trustworthy while the schema it was compiled
+  // against is still live; fail closed to a fresh planning pass.
+  const AccessPlan* hint =
+      prepared.has_select_plan &&
+              prepared.schema_version == db_->schema_version()
+          ? &prepared.select_plan
+          : nullptr;
+  Result<ProtectedResult> out = ExecuteStatement(prepared.stmt, hint);
+  if (out.ok() && plan_cache_ != nullptr &&
+      (prepared.stmt.kind == Statement::Kind::kCreateTable ||
+       prepared.stmt.kind == Statement::Kind::kCreateIndex)) {
+    // Version stamping already makes old entries unservable; this just
+    // reclaims them eagerly.
+    plan_cache_->Invalidate();
+  }
+  return out;
+}
+
+Result<ProtectedResult> ProtectedDatabase::ExecuteStatement(
+    const Statement& stmt, const AccessPlan* select_plan_hint) {
+  TARPIT_ASSIGN_OR_RETURN(QueryResult qr,
+                          executor_->Execute(stmt, select_plan_hint));
 
   ProtectedResult out;
   const bool targets_protected_table = [&] {

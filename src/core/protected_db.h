@@ -12,6 +12,7 @@
 #include "core/combined_delay.h"
 #include "core/update_delay.h"
 #include "sql/executor.h"
+#include "sql/plan_cache.h"
 #include "stats/count_cache.h"
 #include "stats/count_tracker.h"
 #include "stats/update_tracker.h"
@@ -51,6 +52,10 @@ struct ProtectedDatabaseOptions {
   /// the caller serves the stall (ConcurrentProtectedDatabase uses
   /// this to sleep outside its lock).
   bool defer_delay_sleep = false;
+  /// Entries in the statement-text -> parsed AST + access plan cache
+  /// that lets repeated statements skip lexer -> parser -> planner.
+  /// 0 disables the cache (every ExecuteSql parses from scratch).
+  size_t plan_cache_capacity = 256;
   TableOptions table_options;
   /// When non-null, storage (buffer pools, WAL) and the count cache
   /// publish instruments here; also copied into
@@ -100,8 +105,21 @@ class ProtectedDatabase {
   ProtectedDatabase(const ProtectedDatabase&) = delete;
   ProtectedDatabase& operator=(const ProtectedDatabase&) = delete;
 
-  /// Executes one SQL statement with delay protection.
+  /// Executes one SQL statement with delay protection. Consults the
+  /// plan cache (when enabled) so repeated statement texts skip the
+  /// lexer -> parser -> planner pipeline entirely.
   Result<ProtectedResult> ExecuteSql(const std::string& sql);
+
+  /// Executes an already-compiled statement. The cached access plan is
+  /// used only when its schema-version stamp still matches the live
+  /// database (fails closed to a fresh planning pass otherwise). DDL
+  /// statements invalidate the plan cache after executing.
+  Result<ProtectedResult> ExecutePrepared(const PreparedStatement& prepared);
+
+  /// Executes a parsed statement with delay protection, optionally with
+  /// a pre-validated SELECT access plan.
+  Result<ProtectedResult> ExecuteStatement(
+      const Statement& stmt, const AccessPlan* select_plan_hint = nullptr);
 
   /// Convenience single-tuple retrieval (the paper's canonical query).
   Result<ProtectedResult> GetByKey(int64_t key);
@@ -136,6 +154,8 @@ class ProtectedDatabase {
   Database* raw_database() { return db_.get(); }
   Table* table() { return table_; }
   CountCache* count_cache() { return count_cache_.get(); }
+  /// Null when plan_cache_capacity == 0.
+  PlanCache* plan_cache() { return plan_cache_.get(); }
   const ProtectedDatabaseOptions& options() const { return options_; }
   Clock* clock() const { return clock_; }
 
@@ -151,6 +171,7 @@ class ProtectedDatabase {
   Table* table_ = nullptr;          // Borrowed from db_.
   Table* counts_table_ = nullptr;   // Borrowed; only if persist_counts.
   std::unique_ptr<Executor> executor_;
+  std::unique_ptr<PlanCache> plan_cache_;
   std::unique_ptr<CountTracker> access_tracker_;
   std::unique_ptr<UpdateTracker> update_tracker_;
   std::unique_ptr<CountCache> count_cache_;

@@ -138,7 +138,8 @@ Result<QueryResult> Executor::ExecuteSql(const std::string& sql) {
   return Execute(stmt);
 }
 
-Result<QueryResult> Executor::Execute(const Statement& stmt) {
+Result<QueryResult> Executor::Execute(const Statement& stmt,
+                                      const AccessPlan* select_plan_hint) {
   if (stmt.explain) return Explain(stmt);
   switch (stmt.kind) {
     case Statement::Kind::kCreateTable:
@@ -148,7 +149,7 @@ Result<QueryResult> Executor::Execute(const Statement& stmt) {
     case Statement::Kind::kInsert:
       return ExecuteInsert(stmt.insert);
     case Statement::Kind::kSelect:
-      return ExecuteSelect(stmt.select);
+      return ExecuteSelect(stmt.select, select_plan_hint);
     case Statement::Kind::kUpdate:
       return ExecuteUpdate(stmt.update);
     case Statement::Kind::kDelete:
@@ -257,17 +258,34 @@ Result<QueryResult> Executor::ExecuteInsert(const InsertStatement& stmt) {
 
 Status Executor::ScanMatching(
     Table* table, const Expr* where, const AccessPlan& plan,
-    const std::function<Status(const Row&)>& fn) {
+    uint64_t limit, const std::function<Status(const Row&)>& fn) {
+  if (plan.empty || limit == 0) return Status::OK();
   const Schema& schema = table->schema();
+  // When the planner proved the access path implies the whole
+  // predicate, skip per-row residual evaluation entirely.
+  const bool check_residual = where != nullptr && !plan.fully_absorbed;
+  uint64_t remaining = limit;
+  bool limit_stop = false;
   auto filtered = [&](const Row& row) -> Status {
-    if (where != nullptr) {
+    if (check_residual) {
       TARPIT_ASSIGN_OR_RETURN(bool match,
                               EvalPredicate(where, schema, row));
       if (!match) return Status::OK();
     }
-    return fn(row);
+    TARPIT_RETURN_IF_ERROR(fn(row));
+    if (remaining != UINT64_MAX && --remaining == 0) {
+      // Internal sentinel, absorbed below: aborts the scan without the
+      // call sites ever seeing an error.
+      limit_stop = true;
+      return Status::Cancelled("scan limit reached");
+    }
+    return Status::OK();
   };
-  if (plan.empty) return Status::OK();
+  // Residual-free paths let the limit push into the index scan, so the
+  // B+tree stops pinning leaves as soon as k entries surfaced; with a
+  // residual the scan must keep producing until k rows *match*.
+  const uint64_t scan_limit = check_residual ? UINT64_MAX : limit;
+  Status st = Status::OK();
   switch (plan.kind) {
     case AccessPathKind::kPointLookup: {
       Result<Row> row = table->GetByKey(plan.point_key);
@@ -275,7 +293,8 @@ Status Executor::ScanMatching(
         if (row.status().IsNotFound()) return Status::OK();
         return row.status();
       }
-      return filtered(*row);
+      st = filtered(*row);
+      break;
     }
     case AccessPathKind::kMultiPoint: {
       for (int64_t key : plan.multi_keys) {
@@ -284,30 +303,37 @@ Status Executor::ScanMatching(
           if (row.status().IsNotFound()) continue;
           return row.status();
         }
-        TARPIT_RETURN_IF_ERROR(filtered(*row));
+        st = filtered(*row);
+        if (!st.ok()) break;
       }
-      return Status::OK();
+      break;
     }
     case AccessPathKind::kRangeScan:
-      return table->ScanRange(plan.range_lo, plan.range_hi, filtered);
+      st = table->ScanRangeLimited(plan.range_lo, plan.range_hi,
+                                   scan_limit, filtered);
+      break;
     case AccessPathKind::kSecondaryLookup: {
       TARPIT_ASSIGN_OR_RETURN(
           size_t col, schema.ColumnIndex(plan.secondary_column));
-      return table->LookupBySecondary(col, plan.secondary_value,
-                                      filtered);
+      st = table->LookupBySecondary(col, plan.secondary_value, filtered);
+      break;
     }
     case AccessPathKind::kFullScan:
-      return table->ScanAll(filtered);
+      st = table->ScanRangeLimited(INT64_MIN, INT64_MAX, scan_limit,
+                                   filtered);
+      break;
   }
-  return Status::Internal("unhandled access path");
+  if (limit_stop) return Status::OK();
+  return st;
 }
 
-Result<QueryResult> Executor::ExecuteSelect(const SelectStatement& stmt) {
+Result<QueryResult> Executor::ExecuteSelect(const SelectStatement& stmt,
+                                            const AccessPlan* plan_hint) {
   TARPIT_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
   const Schema& schema = table->schema();
   if (!stmt.aggregates.empty() || !stmt.group_by.empty()) {
     // GROUP BY without aggregates is DISTINCT-like grouping.
-    return ExecuteAggregateSelect(stmt, table);
+    return ExecuteAggregateSelect(stmt, table, plan_hint);
   }
 
   std::vector<size_t> projection;
@@ -326,11 +352,15 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectStatement& stmt) {
   }
 
   const std::string& pk_name = schema.column(table->pk_column()).name;
-  result.plan = PlanAccess(stmt.where.get(), pk_name,
-                           IndexProbeFor(table));
+  result.plan = plan_hint != nullptr
+                    ? *plan_hint
+                    : PlanAccess(stmt.where.get(), pk_name,
+                                 IndexProbeFor(table));
 
-  // ORDER BY and LIMIT interact: without ORDER BY we can stop early at
-  // LIMIT; with it we must materialize all matches first.
+  // ORDER BY and LIMIT interact: without ORDER BY the scan stops at
+  // LIMIT matches (ScanMatching pushes it into the index scan when the
+  // plan absorbs the predicate); with it we must materialize all
+  // matches first.
   std::optional<size_t> order_idx;
   if (stmt.order_by.has_value()) {
     TARPIT_ASSIGN_OR_RETURN(size_t idx,
@@ -338,20 +368,32 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectStatement& stmt) {
     order_idx = idx;
   }
 
-  std::vector<Row> matched;
   const uint64_t limit =
       stmt.limit.value_or(std::numeric_limits<uint64_t>::max());
-  bool limit_reached = false;
-  Status st = ScanMatching(
-      table, stmt.where.get(), result.plan, [&](const Row& row) -> Status {
+  const uint64_t scan_limit =
+      order_idx.has_value() ? std::numeric_limits<uint64_t>::max() : limit;
+
+  std::vector<Row> matched;
+  switch (result.plan.kind) {
+    case AccessPathKind::kPointLookup:
+      matched.reserve(1);
+      break;
+    case AccessPathKind::kMultiPoint:
+      matched.reserve(result.plan.multi_keys.size());
+      break;
+    default:
+      if (limit != std::numeric_limits<uint64_t>::max()) {
+        matched.reserve(static_cast<size_t>(
+            std::min<uint64_t>(limit, 4096)));
+      }
+      break;
+  }
+  TARPIT_RETURN_IF_ERROR(ScanMatching(
+      table, stmt.where.get(), result.plan, scan_limit,
+      [&](const Row& row) {
         matched.push_back(row);
-        if (!order_idx.has_value() && matched.size() >= limit) {
-          limit_reached = true;
-          return Status::FailedPrecondition("__limit__");
-        }
         return Status::OK();
-      });
-  if (!st.ok() && !limit_reached) return st;
+      }));
 
   if (order_idx.has_value()) {
     const bool asc = stmt.order_by->ascending;
@@ -363,6 +405,8 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectStatement& stmt) {
     if (matched.size() > limit) matched.resize(limit);
   }
 
+  result.touched_keys.reserve(matched.size());
+  result.rows.reserve(matched.size());
   for (const Row& row : matched) {
     result.touched_keys.push_back(row[table->pk_column()].AsInt());
     Row projected;
@@ -374,7 +418,8 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectStatement& stmt) {
 }
 
 Result<QueryResult> Executor::ExecuteAggregateSelect(
-    const SelectStatement& stmt, Table* table) {
+    const SelectStatement& stmt, Table* table,
+    const AccessPlan* plan_hint) {
   const Schema& schema = table->schema();
 
   struct Accumulator {
@@ -501,8 +546,10 @@ Result<QueryResult> Executor::ExecuteAggregateSelect(
   };
 
   const std::string& pk_name = schema.column(table->pk_column()).name;
-  result.plan = PlanAccess(stmt.where.get(), pk_name,
-                           IndexProbeFor(table));
+  result.plan = plan_hint != nullptr
+                    ? *plan_hint
+                    : PlanAccess(stmt.where.get(), pk_name,
+                                 IndexProbeFor(table));
 
   struct Group {
     Row sample;  // First row of the group (for the plain columns).
@@ -515,7 +562,8 @@ Result<QueryResult> Executor::ExecuteAggregateSelect(
   Row first_row;
 
   Status st = ScanMatching(
-      table, stmt.where.get(), result.plan, [&](const Row& row) {
+      table, stmt.where.get(), result.plan,
+      std::numeric_limits<uint64_t>::max(), [&](const Row& row) {
         result.touched_keys.push_back(row[table->pk_column()].AsInt());
         if (group_cols.empty()) {
           saw_any = true;
@@ -605,11 +653,13 @@ Result<QueryResult> Executor::ExecuteUpdate(const UpdateStatement& stmt) {
   // Two-phase: collect matches first so updates cannot affect scan order
   // (no Halloween problem).
   std::vector<Row> matched;
-  TARPIT_RETURN_IF_ERROR(ScanMatching(table, stmt.where.get(), plan,
-                                      [&](const Row& row) {
-                                        matched.push_back(row);
-                                        return Status::OK();
-                                      }));
+  TARPIT_RETURN_IF_ERROR(
+      ScanMatching(table, stmt.where.get(), plan,
+                   std::numeric_limits<uint64_t>::max(),
+                   [&](const Row& row) {
+                     matched.push_back(row);
+                     return Status::OK();
+                   }));
   QueryResult result;
   result.plan = plan;
   for (Row& row : matched) {
@@ -633,7 +683,8 @@ Result<QueryResult> Executor::ExecuteDelete(const DeleteStatement& stmt) {
 
   std::vector<int64_t> keys;
   TARPIT_RETURN_IF_ERROR(ScanMatching(
-      table, stmt.where.get(), plan, [&](const Row& row) {
+      table, stmt.where.get(), plan,
+      std::numeric_limits<uint64_t>::max(), [&](const Row& row) {
         keys.push_back(row[table->pk_column()].AsInt());
         return Status::OK();
       }));

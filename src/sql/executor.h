@@ -44,7 +44,12 @@ class Executor {
   /// Parses and executes one SQL string.
   Result<QueryResult> ExecuteSql(const std::string& sql);
 
-  Result<QueryResult> Execute(const Statement& stmt);
+  /// Executes a parsed statement. `select_plan_hint`, when non-null,
+  /// supplies a pre-computed access plan for a SELECT (from the plan
+  /// cache); the caller must have validated it against the current
+  /// schema version. Non-SELECT statements ignore the hint.
+  Result<QueryResult> Execute(const Statement& stmt,
+                              const AccessPlan* select_plan_hint = nullptr);
 
  private:
   /// EXPLAIN: returns the access plan and filter without executing.
@@ -52,17 +57,22 @@ class Executor {
   Result<QueryResult> ExecuteCreateTable(const CreateTableStatement& stmt);
   Result<QueryResult> ExecuteCreateIndex(const CreateIndexStatement& stmt);
   Result<QueryResult> ExecuteInsert(const InsertStatement& stmt);
-  Result<QueryResult> ExecuteSelect(const SelectStatement& stmt);
+  Result<QueryResult> ExecuteSelect(const SelectStatement& stmt,
+                                    const AccessPlan* plan_hint);
   /// Aggregate-list SELECT (COUNT/SUM/AVG/MIN/MAX, single output row).
   Result<QueryResult> ExecuteAggregateSelect(const SelectStatement& stmt,
-                                             Table* table);
+                                             Table* table,
+                                             const AccessPlan* plan_hint);
   Result<QueryResult> ExecuteUpdate(const UpdateStatement& stmt);
   Result<QueryResult> ExecuteDelete(const DeleteStatement& stmt);
 
   /// Runs the chosen access path, invoking `fn` for each row matching
-  /// `where` (after residual filtering).
+  /// `where` (after residual filtering), and stops cleanly once `limit`
+  /// rows have been delivered (UINT64_MAX = unbounded). When the plan
+  /// fully absorbs the predicate the limit pushes into the index scan
+  /// itself and per-row residual evaluation is skipped.
   Status ScanMatching(Table* table, const Expr* where,
-                      const AccessPlan& plan,
+                      const AccessPlan& plan, uint64_t limit,
                       const std::function<Status(const Row&)>& fn);
 
   Database* db_;

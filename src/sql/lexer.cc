@@ -1,8 +1,8 @@
 #include "sql/lexer.h"
 
 #include <cctype>
-#include <cerrno>
-#include <cstdlib>
+#include <charconv>
+#include <string>
 #include <unordered_map>
 
 namespace tarpit {
@@ -63,8 +63,11 @@ std::string TokenTypeName(TokenType t) {
 
 namespace {
 
-const std::unordered_map<std::string, TokenType>& KeywordMap() {
-  static const auto* map = new std::unordered_map<std::string, TokenType>{
+// Keyed by string_view over static literals: lookups probe with the
+// uppercased stack buffer below, no per-token string allocation.
+const std::unordered_map<std::string_view, TokenType>& KeywordMap() {
+  static const auto* map =
+      new std::unordered_map<std::string_view, TokenType>{
       {"SELECT", TokenType::kSelect},  {"FROM", TokenType::kFrom},
       {"WHERE", TokenType::kWhere},    {"AND", TokenType::kAnd},
       {"OR", TokenType::kOr},          {"NOT", TokenType::kNot},
@@ -87,14 +90,25 @@ const std::unordered_map<std::string, TokenType>& KeywordMap() {
   return *map;
 }
 
-std::string ToUpper(std::string s) {
-  for (char& c : s) c = static_cast<char>(std::toupper(c));
-  return s;
+// Longest keyword is "INTEGER"/"VARCHAR" (7 chars); anything longer
+// cannot be a keyword, so the fixed buffer never truncates a match.
+constexpr size_t kMaxKeywordLen = 8;
+
+/// Uppercases `word` into `buf` and returns a view of it, or an empty
+/// view if the word is too long to be a keyword.
+std::string_view UpperForKeyword(std::string_view word,
+                                 char (&buf)[kMaxKeywordLen]) {
+  if (word.size() > kMaxKeywordLen) return {};
+  for (size_t i = 0; i < word.size(); ++i) {
+    buf[i] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(word[i])));
+  }
+  return {buf, word.size()};
 }
 
 }  // namespace
 
-Result<std::vector<Token>> Tokenize(const std::string& sql) {
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
   std::vector<Token> tokens;
   size_t i = 0;
   const size_t n = sql.size();
@@ -184,22 +198,24 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
         }
         ++j;
       }
-      std::string text = sql.substr(i, j - i);
+      // Parse in place via from_chars: no substr temporary, no errno.
+      const char* first = sql.data() + i;
+      const char* last = sql.data() + j;
       Token t;
       t.position = start;
-      errno = 0;
-      char* end = nullptr;
       if (is_double) {
         t.type = TokenType::kDoubleLiteral;
-        t.double_value = std::strtod(text.c_str(), &end);
-        if (errno != 0 || end != text.c_str() + text.size()) {
-          return Status::InvalidArgument("bad numeric literal: " + text);
+        auto [end, ec] = std::from_chars(first, last, t.double_value);
+        if (ec != std::errc() || end != last) {
+          return Status::InvalidArgument(
+              "bad numeric literal: " + std::string(sql.substr(i, j - i)));
         }
       } else {
         t.type = TokenType::kIntLiteral;
-        t.int_value = std::strtoll(text.c_str(), &end, 10);
-        if (errno != 0 || end != text.c_str() + text.size()) {
-          return Status::InvalidArgument("integer out of range: " + text);
+        auto [end, ec] = std::from_chars(first, last, t.int_value);
+        if (ec != std::errc() || end != last) {
+          return Status::InvalidArgument(
+              "integer out of range: " + std::string(sql.substr(i, j - i)));
         }
       }
       tokens.push_back(std::move(t));
@@ -212,12 +228,15 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
                        sql[j] == '_')) {
         ++j;
       }
-      std::string word = sql.substr(i, j - i);
-      auto it = KeywordMap().find(ToUpper(word));
+      std::string_view word = sql.substr(i, j - i);
+      char upper[kMaxKeywordLen];
+      std::string_view key = UpperForKeyword(word, upper);
+      auto it = key.empty() ? KeywordMap().end() : KeywordMap().find(key);
       if (it != KeywordMap().end()) {
         tokens.push_back({it->second, "", 0, 0, start});
       } else {
-        tokens.push_back({TokenType::kIdentifier, word, 0, 0, start});
+        tokens.push_back(
+            {TokenType::kIdentifier, std::string(word), 0, 0, start});
       }
       i = j;
       continue;

@@ -1,7 +1,7 @@
 #ifndef TARPIT_SQL_LEXER_H_
 #define TARPIT_SQL_LEXER_H_
 
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -12,8 +12,10 @@ namespace tarpit {
 
 /// Tokenizes one SQL statement. Keywords are case-insensitive;
 /// identifiers preserve case. Strings use single quotes with ''
-/// escaping.
-Result<std::vector<Token>> Tokenize(const std::string& sql);
+/// escaping. Scans over the view without intermediate copies; only
+/// identifier names and string-literal bodies are materialized into
+/// their tokens.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
 
 }  // namespace tarpit
 

@@ -98,7 +98,10 @@ AccessPlan PlanAccess(
     const Expr* where, const std::string& pk_column,
     const std::function<bool(const std::string&)>& has_index) {
   AccessPlan plan;
-  if (where == nullptr) return plan;  // Full scan.
+  if (where == nullptr) {
+    plan.fully_absorbed = true;  // Nothing to filter.
+    return plan;
+  }
 
   std::vector<const Expr*> conjuncts;
   CollectConjuncts(where, &conjuncts);
@@ -106,10 +109,12 @@ AccessPlan PlanAccess(
   int64_t lo = INT64_MIN;
   int64_t hi = INT64_MAX;
   bool narrowed = false;
+  size_t absorbed = 0;
   for (const Expr* c : conjuncts) {
     auto cmp = MatchPkComparison(c, pk_column);
     if (!cmp.has_value()) continue;
     narrowed = true;
+    ++absorbed;
     switch (cmp->op) {
       case BinaryOp::kEq:
         lo = std::max(lo, cmp->value);
@@ -156,6 +161,7 @@ AccessPlan PlanAccess(
       }
       if (!all_ints) continue;
       plan.kind = AccessPathKind::kMultiPoint;
+      plan.fully_absorbed = conjuncts.size() == 1;
       for (const Value& v : c->in_list) {
         plan.multi_keys.push_back(v.AsInt());
       }
@@ -197,6 +203,8 @@ AccessPlan PlanAccess(
     plan.empty = true;
     return plan;
   }
+  // The path implies the predicate iff every conjunct folded into it.
+  plan.fully_absorbed = absorbed == conjuncts.size();
   if (lo == hi) {
     plan.kind = AccessPathKind::kPointLookup;
     plan.point_key = lo;

@@ -34,6 +34,11 @@ struct AccessPlan {
   std::string secondary_column;  // kSecondaryLookup.
   Value secondary_value;         // kSecondaryLookup.
   std::vector<int64_t> multi_keys;  // kMultiPoint, sorted unique.
+  /// True when the access path alone implies the whole WHERE clause
+  /// (every conjunct was folded into the path), so the residual filter
+  /// can never reject a produced row. Lets LIMIT push all the way into
+  /// the index scan.
+  bool fully_absorbed = false;
 
   std::string ToString() const;
 };

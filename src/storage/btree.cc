@@ -165,22 +165,28 @@ Status BTree::SetRoot(PageId root) {
   return Status::OK();
 }
 
-Result<PageId> BTree::FindLeaf(int64_t key,
-                               std::vector<PathEntry>* path) const {
-  TARPIT_ASSIGN_OR_RETURN(PageId cur, root());
+Result<PageGuard> BTree::FindLeafGuard(int64_t key,
+                                       std::vector<PathEntry>* path) const {
+  TARPIT_ASSIGN_OR_RETURN(PageId root_id, root());
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(root_id));
   while (true) {
-    TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
     Node node{guard.data()};
-    if (node.is_leaf()) return cur;
+    if (node.is_leaf()) return std::move(guard);
     int idx = node.internal_descend_index(key);
-    if (path != nullptr) path->push_back({cur, idx});
-    cur = node.child(idx);
+    if (path != nullptr) path->push_back({guard.page_id(), idx});
+    PageId child = node.child(idx);
+    // Crab: pin the child before the parent's pin drops (the move
+    // assignment below releases the parent only after FetchPage
+    // returned), so eviction can never recycle a node we are standing
+    // on.
+    TARPIT_ASSIGN_OR_RETURN(PageGuard child_guard,
+                            pool_->FetchPage(child));
+    guard = std::move(child_guard);
   }
 }
 
 Result<RecordId> BTree::Search(int64_t key) const {
-  TARPIT_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
-  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(leaf_id));
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, FindLeafGuard(key, nullptr));
   Node leaf{guard.data()};
   int i = leaf.leaf_lower_bound(key);
   if (i < leaf.count() && leaf.leaf_key(i) == key) {
@@ -191,12 +197,11 @@ Result<RecordId> BTree::Search(int64_t key) const {
 
 Status BTree::Insert(int64_t key, RecordId rid) {
   std::vector<PathEntry> path;
-  TARPIT_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, &path));
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, FindLeafGuard(key, &path));
 
   int64_t sep_key = 0;
   PageId new_right = kInvalidPageId;
   {
-    TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(leaf_id));
     Node leaf{guard.data()};
     int i = leaf.leaf_lower_bound(key);
     if (i < leaf.count() && leaf.leaf_key(i) == key) {
@@ -236,6 +241,7 @@ Status BTree::Insert(int64_t key, RecordId rid) {
     guard.MarkDirty();
     rightg.MarkDirty();
   }
+  guard.Release();
   return InsertIntoParent(&path, sep_key, new_right);
 }
 
@@ -309,8 +315,7 @@ Status BTree::InsertIntoParent(std::vector<PathEntry>* path,
 }
 
 Status BTree::UpdateRid(int64_t key, RecordId rid) {
-  TARPIT_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
-  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(leaf_id));
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, FindLeafGuard(key, nullptr));
   Node leaf{guard.data()};
   int i = leaf.leaf_lower_bound(key);
   if (i >= leaf.count() || leaf.leaf_key(i) != key) {
@@ -322,8 +327,7 @@ Status BTree::UpdateRid(int64_t key, RecordId rid) {
 }
 
 Status BTree::Delete(int64_t key) {
-  TARPIT_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
-  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(leaf_id));
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, FindLeafGuard(key, nullptr));
   Node leaf{guard.data()};
   int i = leaf.leaf_lower_bound(key);
   if (i >= leaf.count() || leaf.leaf_key(i) != key) {
@@ -335,31 +339,59 @@ Status BTree::Delete(int64_t key) {
   return Status::OK();
 }
 
+Status BTree::RangeScanBatched(
+    int64_t lo, int64_t hi, uint64_t max_entries,
+    const std::function<Status(const std::vector<BTreeEntry>&)>& fn)
+    const {
+  if (lo > hi || max_entries == 0) return Status::OK();
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, FindLeafGuard(lo, nullptr));
+  std::vector<BTreeEntry> batch;
+  batch.reserve(kLeafCapacity);
+  uint64_t remaining = max_entries;
+  while (true) {
+    Node leaf{guard.data()};
+    batch.clear();
+    bool done = false;
+    for (int i = leaf.leaf_lower_bound(lo); i < leaf.count(); ++i) {
+      int64_t k = leaf.leaf_key(i);
+      if (k > hi) {
+        done = true;
+        break;
+      }
+      batch.push_back({k, leaf.leaf_rid(i)});
+      if (--remaining == 0) {
+        done = true;
+        break;
+      }
+    }
+    PageId next = leaf.next();
+    // Single pin per leaf: drop it before user code runs so callbacks
+    // that fetch heap pages never stack pins against tiny pools.
+    guard.Release();
+    if (!batch.empty()) TARPIT_RETURN_IF_ERROR(fn(batch));
+    if (done || next == kInvalidPageId) return Status::OK();
+    TARPIT_ASSIGN_OR_RETURN(guard, pool_->FetchPage(next));
+  }
+}
+
 Status BTree::RangeScan(
     int64_t lo, int64_t hi,
     const std::function<Status(int64_t, RecordId)>& fn) const {
-  if (lo > hi) return Status::OK();
-  TARPIT_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(lo, nullptr));
-  PageId cur = leaf_id;
-  while (cur != kInvalidPageId) {
-    TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
-    Node leaf{guard.data()};
-    int i = leaf.leaf_lower_bound(lo);
-    for (; i < leaf.count(); ++i) {
-      int64_t k = leaf.leaf_key(i);
-      if (k > hi) return Status::OK();
-      TARPIT_RETURN_IF_ERROR(fn(k, leaf.leaf_rid(i)));
-    }
-    cur = leaf.next();
-  }
-  return Status::OK();
+  return RangeScanBatched(
+      lo, hi, UINT64_MAX,
+      [&fn](const std::vector<BTreeEntry>& batch) -> Status {
+        for (const BTreeEntry& e : batch) {
+          TARPIT_RETURN_IF_ERROR(fn(e.key, e.rid));
+        }
+        return Status::OK();
+      });
 }
 
 Result<BTree::Cursor> BTree::SeekGE(int64_t key) const {
-  TARPIT_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
-  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(leaf_id));
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, FindLeafGuard(key, nullptr));
   Node leaf{guard.data()};
-  Cursor cursor(this, leaf_id, leaf.leaf_lower_bound(key));
+  Cursor cursor(this, guard.page_id(), leaf.leaf_lower_bound(key));
+  guard.Release();
   TARPIT_RETURN_IF_ERROR(cursor.LoadCurrent());
   return cursor;
 }

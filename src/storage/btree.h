@@ -12,6 +12,12 @@
 
 namespace tarpit {
 
+/// One decoded leaf entry, as surfaced by batched range scans.
+struct BTreeEntry {
+  int64_t key = 0;
+  RecordId rid;
+};
+
 /// Disk-backed B+tree mapping int64 keys to RecordIds, used as the
 /// primary-key index of a table. Unique keys only. Deletes remove
 /// entries without rebalancing (underfull nodes are tolerated, as in
@@ -45,6 +51,16 @@ class BTree {
   Status RangeScan(
       int64_t lo, int64_t hi,
       const std::function<Status(int64_t, RecordId)>& fn) const;
+
+  /// Batched range scan: decodes each leaf's qualifying entries under a
+  /// single pin, releases the pin, then hands the whole block to `fn`
+  /// (ascending, never empty). Stops after `max_entries` total entries
+  /// (UINT64_MAX = unbounded); stops early and propagates non-OK from
+  /// fn. One pin + one shard lookup per leaf instead of per tuple.
+  Status RangeScanBatched(
+      int64_t lo, int64_t hi, uint64_t max_entries,
+      const std::function<Status(const std::vector<BTreeEntry>&)>& fn)
+      const;
 
   /// Number of entries (walks the leaf chain).
   Result<uint64_t> CountEntries() const;
@@ -93,8 +109,12 @@ class BTree {
     int child_index;  // Which child we descended into.
   };
 
-  Result<PageId> FindLeaf(int64_t key,
-                          std::vector<PathEntry>* path) const;
+  /// Descends to the leaf that owns `key` and returns it pinned.
+  /// Lock-crabbing-lite: the parent's pin is held until the child is
+  /// pinned, so a concurrent eviction can never repurpose a node
+  /// mid-descent.
+  Result<PageGuard> FindLeafGuard(int64_t key,
+                                  std::vector<PathEntry>* path) const;
   Status InsertIntoParent(std::vector<PathEntry>* path, int64_t sep_key,
                           PageId right_child);
   Result<PageId> root() const;

@@ -1,9 +1,11 @@
 #ifndef TARPIT_STORAGE_BUFFER_POOL_H_
 #define TARPIT_STORAGE_BUFFER_POOL_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +21,9 @@ class BufferPool;
 
 /// RAII pin on a buffer-pool page. Unpins on destruction; call
 /// MarkDirty() after mutating the page image.
+///
+/// Guards are safe to hold and release from any thread: release is a
+/// single atomic decrement on the frame's pin count.
 class PageGuard {
  public:
   PageGuard() = default;
@@ -44,11 +49,34 @@ class PageGuard {
   Page* page_ = nullptr;
 };
 
-/// Fixed-capacity page cache over one DiskManager with LRU eviction of
-/// unpinned frames. Single-threaded by design: the simulation harness
-/// models concurrency at the request level, not the page level.
+/// Fixed-capacity page cache over one DiskManager, safe for concurrent
+/// readers.
+///
+/// Layout: the page table is striped over kShards independently locked
+/// maps (PageId -> frame index); frames live in one flat array shared
+/// by every shard. Eviction is clock-style second chance over that
+/// array with an atomic hand, replacing the old global LRU list.
+///
+/// Locking protocol (the invariants everything else leans on):
+///   - A frame's pin count is only ever *incremented* while holding the
+///     lock of the shard that maps its page. Decrements (guard release)
+///     are lock-free. Hence "pin == 0 observed under the shard lock,
+///     then erased from the map" claims the frame exclusively: any
+///     future pinner must go through the map and will miss.
+///   - Dirty write-back during eviction and flush happens under the
+///     shard lock, so a concurrent miss on the same page cannot re-read
+///     the stale on-disk image mid-write-back.
+///   - Frames on the free list have page_id == kInvalidPageId and are
+///     invisible to the clock sweep.
+///   - No thread ever holds two shard locks.
+///
+/// Concurrent misses on the same page are resolved optimistically: each
+/// loser re-checks the shard map after its disk read, returns its frame
+/// to the free list, and pins the winner's copy.
 class BufferPool {
  public:
+  static constexpr size_t kShards = 16;
+
   BufferPool(DiskManager* disk, size_t capacity);
 
   BufferPool(const BufferPool&) = delete;
@@ -57,7 +85,8 @@ class BufferPool {
   /// Pins page `id`, reading it from disk on miss.
   Result<PageGuard> FetchPage(PageId id);
 
-  /// Allocates a fresh page on disk and pins it.
+  /// Allocates a fresh page on disk and pins it. Callers that create
+  /// pages are serialized by the engine's writer lock.
   Result<PageGuard> NewPage();
 
   /// Writes back every dirty page (leaves them cached).
@@ -67,9 +96,15 @@ class BufferPool {
   Status FlushPage(PageId id);
 
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   DiskManager* disk() const { return disk_; }
 
   /// Mirrors hit/miss/eviction counts into registry counters (any may
@@ -81,29 +116,65 @@ class BufferPool {
     m_evictions_ = evictions;
   }
 
+  /// Per-shard lookup counters in the registry, labelled
+  /// {base..., shard=i}: tarpit_bufpool_shard_{hits,misses}_total.
+  /// Counters must outlive the pool.
+  void BindShardMetrics(obs::MetricRegistry* registry,
+                        const obs::Labels& base_labels);
+
+  /// Lookups served by shard `i` since construction (hits + misses).
+  uint64_t ShardLookups(size_t i) const;
+
  private:
   friend class PageGuard;
 
   struct Frame {
     Page page;
-    // Position in lru_ when the frame is unpinned; invalid otherwise.
-    std::list<size_t>::iterator lru_pos;
-    bool in_lru = false;
+    // Clock reference bit: set on pin, cleared (second chance) by the
+    // sweep before a frame becomes a victim.
+    std::atomic<bool> referenced{false};
   };
 
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::unordered_map<PageId, size_t> map;  // PageId -> frame index.
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    obs::Counter* m_hits = nullptr;
+    obs::Counter* m_misses = nullptr;
+  };
+
+  Shard& ShardFor(PageId id) {
+    // Pages of one table interleave across shards; splitmix-style
+    // scramble keeps sequential ids from hammering one stripe.
+    uint64_t x = id + 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return shards_[(x ^ (x >> 31)) % kShards];
+  }
+
   void Unpin(Page* page);
-  /// Finds a frame to host a new page, evicting if needed.
-  Result<size_t> GetVictimFrame();
+
+  /// Returns a frame index exclusively owned by the caller (page reset,
+  /// unmapped, unpinned): free-list pop, else clock eviction.
+  Result<size_t> GetFreeFrame();
+
+  /// Returns the claimed frame to the free list.
+  void ReleaseFrame(size_t idx);
 
   DiskManager* disk_;
   size_t capacity_;
   std::vector<std::unique_ptr<Frame>> frames_;
-  std::unordered_map<PageId, size_t> page_table_;
-  std::list<size_t> lru_;  // Front = least recently used.
+  std::array<Shard, kShards> shards_;
+
+  std::mutex free_mu_;
   std::vector<size_t> free_frames_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+
+  std::atomic<size_t> clock_hand_{0};
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
   obs::Counter* m_hits_ = nullptr;
   obs::Counter* m_misses_ = nullptr;
   obs::Counter* m_evictions_ = nullptr;

@@ -95,6 +95,7 @@ Result<Table*> Database::CreateTable(const std::string& name,
   Table* raw = table.get();
   tables_[name] = TableMeta{schema, pk, {}, std::move(table)};
   TARPIT_RETURN_IF_ERROR(SaveCatalog());
+  BumpSchemaVersion();
   return raw;
 }
 
@@ -104,6 +105,7 @@ Status Database::CreateIndex(const std::string& table,
   if (it == tables_.end()) return Status::NotFound("table " + table);
   TARPIT_RETURN_IF_ERROR(it->second.table->CreateSecondaryIndex(column));
   it->second.index_columns.push_back(column);
+  BumpSchemaVersion();
   return SaveCatalog();
 }
 
@@ -124,6 +126,7 @@ Status Database::DropTable(const std::string& name) {
     std::remove(path.c_str());  // WAL may not exist; ignore errors.
   }
   tables_.erase(it);
+  BumpSchemaVersion();
   return SaveCatalog();
 }
 

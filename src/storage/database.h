@@ -1,6 +1,8 @@
 #ifndef TARPIT_STORAGE_DATABASE_H_
 #define TARPIT_STORAGE_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -46,6 +48,14 @@ class Database {
 
   const std::string& dir() const { return dir_; }
 
+  /// Monotonic catalog generation: bumped by every DDL (CreateTable,
+  /// CreateIndex, DropTable). Plan-cache entries are stamped with the
+  /// version they were planned under and treated as misses once it
+  /// moves. Safe to read concurrently with DDL.
+  uint64_t schema_version() const {
+    return schema_version_.load(std::memory_order_acquire);
+  }
+
  private:
   Database(std::string dir, TableOptions defaults)
       : dir_(std::move(dir)), defaults_(defaults) {}
@@ -60,9 +70,14 @@ class Database {
     std::unique_ptr<Table> table;
   };
 
+  void BumpSchemaVersion() {
+    schema_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   std::string dir_;
   TableOptions defaults_;
   std::map<std::string, TableMeta> tables_;
+  std::atomic<uint64_t> schema_version_{1};
 };
 
 }  // namespace tarpit

@@ -30,7 +30,8 @@ Status DiskManager::Open(const std::string& path) {
     fd_ = -1;
     return Status::Corruption(path + " size not page-aligned");
   }
-  page_count_ = static_cast<uint32_t>(size / kPageSize);
+  page_count_.store(static_cast<uint32_t>(size / kPageSize),
+                    std::memory_order_release);
   return Status::OK();
 }
 
@@ -44,15 +45,14 @@ Status DiskManager::Close() {
 Result<PageId> DiskManager::AllocatePage() {
   if (fd_ < 0) return Status::FailedPrecondition("not open");
   char zeros[kPageSize] = {};
-  PageId id = page_count_;
+  PageId id = page_count_.load(std::memory_order_acquire);
   TARPIT_RETURN_IF_ERROR(WritePage(id, zeros));
-  page_count_ = id + 1;
   return id;
 }
 
 Status DiskManager::ReadPage(PageId id, char* out) const {
   if (fd_ < 0) return Status::FailedPrecondition("not open");
-  if (id >= page_count_) {
+  if (id >= page_count_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("read past end of file: page " +
                                    std::to_string(id));
   }
@@ -61,7 +61,7 @@ Status DiskManager::ReadPage(PageId id, char* out) const {
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IOError("pread page " + std::to_string(id));
   }
-  ++reads_;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -72,8 +72,12 @@ Status DiskManager::WritePage(PageId id, const char* data) {
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IOError("pwrite page " + std::to_string(id));
   }
-  ++writes_;
-  if (id >= page_count_) page_count_ = id + 1;
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  uint32_t count = page_count_.load(std::memory_order_acquire);
+  while (id >= count &&
+         !page_count_.compare_exchange_weak(count, id + 1,
+                                            std::memory_order_acq_rel)) {
+  }
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef TARPIT_STORAGE_DISK_MANAGER_H_
 #define TARPIT_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -28,7 +29,9 @@ class DiskManager {
   bool is_open() const { return fd_ >= 0; }
 
   /// Number of pages currently in the file.
-  uint32_t PageCount() const { return page_count_; }
+  uint32_t PageCount() const {
+    return page_count_.load(std::memory_order_acquire);
+  }
 
   /// Appends a zeroed page and returns its id.
   Result<PageId> AllocatePage();
@@ -43,16 +46,21 @@ class DiskManager {
   Status Sync();
 
   /// Cumulative physical I/O counters (used by the overhead experiment
-  /// to attribute costs).
-  uint64_t reads() const { return reads_; }
-  uint64_t writes() const { return writes_; }
+  /// to attribute costs). Relaxed atomics: pread/pwrite are issued from
+  /// concurrent buffer-pool shards.
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes() const {
+    return writes_.load(std::memory_order_relaxed);
+  }
 
  private:
   int fd_ = -1;
   std::string path_;
-  uint32_t page_count_ = 0;
-  mutable uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
+  // Allocation is writer-serialized above this layer, but the count is
+  // read concurrently (bounds checks in ReadPage, table stats).
+  std::atomic<uint32_t> page_count_{0};
+  mutable std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
 };
 
 }  // namespace tarpit

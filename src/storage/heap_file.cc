@@ -87,10 +87,17 @@ Result<RecordId> HeapFile::Insert(std::string_view record) {
 }
 
 Result<std::string> HeapFile::Get(RecordId rid) const {
+  std::string out;
+  TARPIT_RETURN_IF_ERROR(GetTo(rid, &out));
+  return out;
+}
+
+Status HeapFile::GetTo(RecordId rid, std::string* out) const {
   TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page_id));
   SlottedPage sp(guard.data());
   TARPIT_ASSIGN_OR_RETURN(std::string_view rec, sp.Get(rid.slot));
-  return std::string(rec);
+  out->assign(rec.data(), rec.size());
+  return Status::OK();
 }
 
 Result<RecordId> HeapFile::Update(RecordId rid, std::string_view record) {

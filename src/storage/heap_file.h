@@ -39,6 +39,11 @@ class HeapFile {
   /// Copies the record out (the page pin is released before returning).
   Result<std::string> Get(RecordId rid) const;
 
+  /// Like Get, but assigns into `*out`, reusing its capacity — the
+  /// per-record allocation in tight scan loops disappears after the
+  /// first record.
+  Status GetTo(RecordId rid, std::string* out) const;
+
   /// Updates in place when possible; otherwise relocates. Returns the
   /// record's (possibly new) id.
   Result<RecordId> Update(RecordId rid, std::string_view record);

@@ -1,6 +1,7 @@
 #ifndef TARPIT_STORAGE_PAGE_H_
 #define TARPIT_STORAGE_PAGE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 
@@ -29,6 +30,11 @@ struct RecordId {
 };
 
 /// In-memory image of one disk page, held in a buffer-pool frame.
+///
+/// Pin count and dirty bit are atomics so concurrent readers can pin,
+/// unpin and flush without a frame lock; the page *image* itself is
+/// only written by callers that are otherwise serialized (the storage
+/// engine's writer paths run under an exclusive lock above the pool).
 class Page {
  public:
   Page() { Reset(); }
@@ -36,15 +42,23 @@ class Page {
   char* data() { return data_; }
   const char* data() const { return data_; }
 
-  PageId page_id() const { return page_id_; }
-  bool is_dirty() const { return is_dirty_; }
-  int pin_count() const { return pin_count_; }
+  PageId page_id() const {
+    return page_id_.load(std::memory_order_acquire);
+  }
+  bool is_dirty() const {
+    return is_dirty_.load(std::memory_order_acquire);
+  }
+  int pin_count() const {
+    return pin_count_.load(std::memory_order_acquire);
+  }
 
+  /// Only safe while the frame is exclusively owned (freshly claimed
+  /// for reuse, or single-threaded setup).
   void Reset() {
     std::memset(data_, 0, kPageSize);
-    page_id_ = kInvalidPageId;
-    is_dirty_ = false;
-    pin_count_ = 0;
+    page_id_.store(kInvalidPageId, std::memory_order_release);
+    is_dirty_.store(false, std::memory_order_relaxed);
+    pin_count_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -52,9 +66,9 @@ class Page {
   friend class PageGuard;
 
   char data_[kPageSize];
-  PageId page_id_ = kInvalidPageId;
-  bool is_dirty_ = false;
-  int pin_count_ = 0;
+  std::atomic<PageId> page_id_{kInvalidPageId};
+  std::atomic<bool> is_dirty_{false};
+  std::atomic<int> pin_count_{0};
 };
 
 }  // namespace tarpit

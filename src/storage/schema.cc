@@ -77,19 +77,19 @@ Status Schema::EncodeRow(const Row& row, std::string* out) const {
   return Status::OK();
 }
 
-Result<Row> Schema::DecodeRow(std::string_view bytes) const {
+Status Schema::DecodeRowInto(std::string_view bytes, Row* out) const {
   const size_t bitmap_bytes = (columns_.size() + 7) / 8;
   if (bytes.size() < bitmap_bytes) {
     return Status::Corruption("row shorter than null bitmap");
   }
   const char* bitmap = bytes.data();
   size_t pos = bitmap_bytes;
-  Row row;
-  row.reserve(columns_.size());
+  out->clear();
+  out->reserve(columns_.size());
   for (size_t i = 0; i < columns_.size(); ++i) {
     const bool null = (bitmap[i / 8] >> (i % 8)) & 1;
     if (null) {
-      row.push_back(Value::Null());
+      out->push_back(Value::Null());
       continue;
     }
     switch (columns_[i].type) {
@@ -98,7 +98,7 @@ Result<Row> Schema::DecodeRow(std::string_view bytes) const {
         uint64_t v;
         std::memcpy(&v, bytes.data() + pos, 8);
         pos += 8;
-        row.push_back(Value(static_cast<int64_t>(v)));
+        out->push_back(Value(static_cast<int64_t>(v)));
         break;
       }
       case ColumnType::kDouble: {
@@ -110,7 +110,7 @@ Result<Row> Schema::DecodeRow(std::string_view bytes) const {
         pos += 8;
         double d;
         std::memcpy(&d, &bits, sizeof(d));
-        row.push_back(Value(d));
+        out->push_back(Value(d));
         break;
       }
       case ColumnType::kString: {
@@ -123,7 +123,7 @@ Result<Row> Schema::DecodeRow(std::string_view bytes) const {
         if (pos + len > bytes.size()) {
           return Status::Corruption("short string body");
         }
-        row.push_back(Value(std::string(bytes.substr(pos, len))));
+        out->push_back(Value(std::string(bytes.substr(pos, len))));
         pos += len;
         break;
       }
@@ -132,6 +132,12 @@ Result<Row> Schema::DecodeRow(std::string_view bytes) const {
   if (pos != bytes.size()) {
     return Status::Corruption("trailing bytes after row");
   }
+  return Status::OK();
+}
+
+Result<Row> Schema::DecodeRow(std::string_view bytes) const {
+  Row row;
+  TARPIT_RETURN_IF_ERROR(DecodeRowInto(bytes, &row));
   return row;
 }
 

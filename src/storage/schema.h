@@ -44,6 +44,12 @@ class Schema {
   /// Parses a row previously produced by EncodeRow.
   Result<Row> DecodeRow(std::string_view bytes) const;
 
+  /// Decode variant for hot scan loops: clears and refills `*out`,
+  /// reusing its vector capacity instead of allocating a fresh Row per
+  /// record. On error `*out` is left in an unspecified (but valid)
+  /// state.
+  Status DecodeRowInto(std::string_view bytes, Row* out) const;
+
   /// Serialization of the schema itself for the catalog file:
   /// "name:TYPE,name:TYPE,...".
   std::string Serialize() const;

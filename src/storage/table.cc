@@ -72,9 +72,14 @@ Status Table::OpenStorage(const std::string& dir, bool create) {
           m->GetCounter("tarpit_bufferpool_hits_total", labels),
           m->GetCounter("tarpit_bufferpool_misses_total", labels),
           m->GetCounter("tarpit_bufferpool_evictions_total", labels));
+      pool->BindShardMetrics(m, labels);
     };
     bind_pool(heap_pool_.get(), "heap");
     bind_pool(index_pool_.get(), "index");
+    obs::HistogramOptions rows;
+    rows.unit = "records";
+    m_scan_batch_ = m->GetHistogram("tarpit_scan_batch_rows",
+                                    {{"table", name_}}, rows);
   }
   if (options_.wal_enabled) {
     TARPIT_RETURN_IF_ERROR(wal_.Open(base + ".wal"));
@@ -285,11 +290,27 @@ Status Table::LookupBySecondary(
 Status Table::ScanRange(
     int64_t lo, int64_t hi,
     const std::function<Status(const Row&)>& fn) const {
-  return index_->RangeScan(lo, hi, [&](int64_t, RecordId rid) -> Status {
-    TARPIT_ASSIGN_OR_RETURN(std::string bytes, heap_->Get(rid));
-    TARPIT_ASSIGN_OR_RETURN(Row row, schema_.DecodeRow(bytes));
-    return fn(row);
-  });
+  return ScanRangeLimited(lo, hi, UINT64_MAX, fn);
+}
+
+Status Table::ScanRangeLimited(
+    int64_t lo, int64_t hi, uint64_t limit,
+    const std::function<Status(const Row&)>& fn) const {
+  std::string bytes;
+  Row row;
+  return index_->RangeScanBatched(
+      lo, hi, limit,
+      [&](const std::vector<BTreeEntry>& batch) -> Status {
+        if (m_scan_batch_ != nullptr) {
+          m_scan_batch_->Record(static_cast<int64_t>(batch.size()));
+        }
+        for (const BTreeEntry& e : batch) {
+          TARPIT_RETURN_IF_ERROR(heap_->GetTo(e.rid, &bytes));
+          TARPIT_RETURN_IF_ERROR(schema_.DecodeRowInto(bytes, &row));
+          TARPIT_RETURN_IF_ERROR(fn(row));
+        }
+        return Status::OK();
+      });
 }
 
 Status Table::ScanAll(

@@ -91,9 +91,18 @@ class Table {
                            const std::function<Status(const Row&)>& fn)
       const;
 
-  /// Ascending-key scan over [lo, hi].
+  /// Ascending-key scan over [lo, hi]. Rows are produced leaf-at-a-time
+  /// from the batched index scan with reused decode buffers; the Row
+  /// passed to fn is only valid for the duration of the call.
   Status ScanRange(int64_t lo, int64_t hi,
                    const std::function<Status(const Row&)>& fn) const;
+
+  /// ScanRange that stops after `limit` rows (LIMIT pushdown: the index
+  /// scan itself stops, instead of materializing the full range).
+  /// UINT64_MAX = unbounded.
+  Status ScanRangeLimited(int64_t lo, int64_t hi, uint64_t limit,
+                          const std::function<Status(const Row&)>& fn)
+      const;
 
   /// Full scan in key order.
   Status ScanAll(const std::function<Status(const Row&)>& fn) const;
@@ -138,6 +147,7 @@ class Table {
   std::unique_ptr<BTree> index_;
   Wal wal_;
   std::map<size_t, SecondaryIndex> secondary_indexes_;
+  obs::Histogram* m_scan_batch_ = nullptr;
 };
 
 }  // namespace tarpit

@@ -1,0 +1,285 @@
+// Plan cache correctness: DDL invalidation, schema-version mismatch
+// handling, and template-vs-literal equivalence (cached compilations
+// must return exactly what a fresh parse + plan + execute would).
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "core/protected_db.h"
+#include "sql/plan_cache.h"
+#include "storage/database.h"
+
+namespace tarpit {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("tarpit_plan_cache_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()) +
+            "_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    Result<std::unique_ptr<Database>> db = Database::Open(dir_.string());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+  void TearDown() override {
+    db_.reset();
+    fs::remove_all(dir_);
+  }
+
+  void CreateItems() {
+    Schema schema({{"id", ColumnType::kInt64},
+                   {"name", ColumnType::kString},
+                   {"v", ColumnType::kDouble}});
+    Result<Table*> t = db_->CreateTable("items", schema, "id");
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+  }
+
+  fs::path dir_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(PlanCacheTest, HitReturnsSamePreparedStatement) {
+  CreateItems();
+  PlanCache cache(64, db_.get());
+  auto first = cache.Get("SELECT * FROM items WHERE id = 5");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = cache.Get("SELECT * FROM items WHERE id = 5");
+  ASSERT_TRUE(second.ok());
+  // Same compilation object: hits share, not re-parse.
+  EXPECT_EQ(first->get(), second->get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_TRUE((*first)->has_select_plan);
+  EXPECT_EQ((*first)->select_plan.kind, AccessPathKind::kPointLookup);
+  EXPECT_EQ((*first)->select_plan.point_key, 5);
+  EXPECT_TRUE((*first)->select_plan.fully_absorbed);
+}
+
+TEST_F(PlanCacheTest, DistinctLiteralsAreDistinctEntries) {
+  CreateItems();
+  PlanCache cache(64, db_.get());
+  auto a = cache.Get("SELECT * FROM items WHERE id = 5");
+  auto b = cache.Get("SELECT * FROM items WHERE id = 7");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Text-keyed: a cached plan for one literal must never serve
+  // another.
+  EXPECT_NE(a->get(), b->get());
+  EXPECT_EQ((*a)->select_plan.point_key, 5);
+  EXPECT_EQ((*b)->select_plan.point_key, 7);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST_F(PlanCacheTest, SchemaVersionMismatchRecompiles) {
+  CreateItems();
+  PlanCache cache(64, db_.get());
+  auto before = cache.Get("SELECT * FROM items WHERE name = 'x'");
+  ASSERT_TRUE(before.ok());
+  // No index on `name` yet: full scan.
+  EXPECT_EQ((*before)->select_plan.kind, AccessPathKind::kFullScan);
+  const uint64_t v0 = (*before)->schema_version;
+
+  // DDL bumps the version; the cached entry must be treated as a miss
+  // even though the text matches and Invalidate() was never called.
+  ASSERT_TRUE(db_->CreateIndex("items", "name").ok());
+  EXPECT_GT(db_->schema_version(), v0);
+
+  auto after = cache.Get("SELECT * FROM items WHERE name = 'x'");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(before->get(), after->get());
+  EXPECT_EQ((*after)->schema_version, db_->schema_version());
+  // The recompiled plan sees the new index.
+  EXPECT_EQ((*after)->select_plan.kind,
+            AccessPathKind::kSecondaryLookup);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST_F(PlanCacheTest, InvalidateDropsEverything) {
+  CreateItems();
+  PlanCache cache(64, db_.get());
+  ASSERT_TRUE(cache.Get("SELECT * FROM items WHERE id = 1").ok());
+  ASSERT_TRUE(cache.Get("SELECT * FROM items WHERE id = 2").ok());
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  ASSERT_TRUE(cache.Get("SELECT * FROM items WHERE id = 1").ok());
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST_F(PlanCacheTest, EvictsLeastRecentlyUsed) {
+  CreateItems();
+  // Capacity 8 over 8 stripes = 1 entry per stripe: the second
+  // statement landing on a stripe evicts the first.
+  PlanCache cache(8, db_.get());
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(cache
+                    .Get("SELECT * FROM items WHERE id = " +
+                         std::to_string(i))
+                    .ok());
+  }
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST_F(PlanCacheTest, ParseErrorsAreNotCached) {
+  CreateItems();
+  PlanCache cache(64, db_.get());
+  EXPECT_FALSE(cache.Get("SELEKT garbage").ok());
+  EXPECT_FALSE(cache.Get("SELEKT garbage").ok());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);  // Both attempts compiled (and failed).
+}
+
+TEST_F(PlanCacheTest, UnknownTableCachesParseWithoutPlan) {
+  PlanCache cache(64, db_.get());
+  auto prep = cache.Get("SELECT * FROM ghosts WHERE id = 1");
+  ASSERT_TRUE(prep.ok()) << prep.status().ToString();
+  EXPECT_FALSE((*prep)->has_select_plan);
+}
+
+// End-to-end through ProtectedDatabase: cached execution must be
+// indistinguishable from fresh execution (template-vs-literal
+// equivalence), and DDL through the front door must invalidate.
+class ProtectedPlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("tarpit_pdb_cache_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()) +
+            "_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    pdb_.reset();
+    fs::remove_all(dir_);
+  }
+
+  void OpenDb(size_t cache_capacity) {
+    ProtectedDatabaseOptions opts;
+    opts.mode = DelayMode::kNone;
+    opts.plan_cache_capacity = cache_capacity;
+    auto pdb = ProtectedDatabase::Open(dir_.string(), "items", &clock_,
+                                       opts);
+    ASSERT_TRUE(pdb.ok()) << pdb.status().ToString();
+    pdb_ = std::move(*pdb);
+    ASSERT_TRUE(pdb_->ExecuteSql("CREATE TABLE items (id INT PRIMARY "
+                                 "KEY, name TEXT, v DOUBLE)")
+                    .ok());
+    for (int i = 1; i <= 50; ++i) {
+      ASSERT_TRUE(
+          pdb_->ExecuteSql("INSERT INTO items VALUES (" +
+                           std::to_string(i) + ", 'n" +
+                           std::to_string(i) + "', " +
+                           std::to_string(i * 1.5) + ")")
+              .ok());
+    }
+  }
+
+  fs::path dir_;
+  RealClock clock_;
+  std::unique_ptr<ProtectedDatabase> pdb_;
+};
+
+TEST_F(ProtectedPlanCacheTest, CachedEqualsUncached) {
+  OpenDb(/*cache_capacity=*/128);
+  ASSERT_NE(pdb_->plan_cache(), nullptr);
+  // Run each statement twice (second run is a guaranteed cache hit)
+  // and compare against a fresh Executor with no cache in the loop.
+  Executor fresh(pdb_->raw_database());
+  const std::string statements[] = {
+      "SELECT * FROM items WHERE id = 7",
+      "SELECT name FROM items WHERE id = 7 AND v > 1.0",
+      "SELECT * FROM items WHERE id >= 10 AND id <= 20",
+      "SELECT * FROM items WHERE id IN (3, 9, 27)",
+      "SELECT * FROM items WHERE id >= 5 LIMIT 4",
+      "SELECT COUNT(*), SUM(v) FROM items WHERE id <= 30",
+      "SELECT * FROM items WHERE name = 'n12'",
+  };
+  for (const std::string& sql : statements) {
+    Result<QueryResult> want = fresh.ExecuteSql(sql);
+    ASSERT_TRUE(want.ok()) << sql << ": " << want.status().ToString();
+    for (int round = 0; round < 2; ++round) {
+      Result<ProtectedResult> got = pdb_->ExecuteSql(sql);
+      ASSERT_TRUE(got.ok()) << sql << ": " << got.status().ToString();
+      ASSERT_EQ(got->result.rows.size(), want->rows.size())
+          << sql << " round " << round;
+      for (size_t r = 0; r < want->rows.size(); ++r) {
+        ASSERT_EQ(got->result.rows[r].size(), want->rows[r].size());
+        for (size_t c = 0; c < want->rows[r].size(); ++c) {
+          EXPECT_EQ(got->result.rows[r][c].ToString(),
+                    want->rows[r][c].ToString())
+              << sql << " row " << r << " col " << c;
+        }
+      }
+      EXPECT_EQ(got->result.touched_keys, want->touched_keys) << sql;
+    }
+  }
+  EXPECT_GT(pdb_->plan_cache()->hits(), 0u);
+}
+
+TEST_F(ProtectedPlanCacheTest, DdlThroughFrontDoorInvalidates) {
+  OpenDb(/*cache_capacity=*/128);
+  const std::string q = "SELECT * FROM items WHERE name = 'n3'";
+  Result<ProtectedResult> before = pdb_->ExecuteSql(q);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->result.plan.kind, AccessPathKind::kFullScan);
+  ASSERT_EQ(before->result.rows.size(), 1u);
+
+  // CREATE INDEX through the cached front door: the cache must not
+  // keep serving the full-scan plan afterwards.
+  ASSERT_TRUE(pdb_->ExecuteSql("CREATE INDEX idx ON items (name)").ok());
+  EXPECT_EQ(pdb_->plan_cache()->size(), 0u);  // Eagerly invalidated.
+
+  Result<ProtectedResult> after = pdb_->ExecuteSql(q);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->result.plan.kind, AccessPathKind::kSecondaryLookup);
+  ASSERT_EQ(after->result.rows.size(), 1u);
+  EXPECT_EQ(after->result.touched_keys, before->result.touched_keys);
+}
+
+TEST_F(ProtectedPlanCacheTest, DisabledCacheStillWorks) {
+  OpenDb(/*cache_capacity=*/0);
+  EXPECT_EQ(pdb_->plan_cache(), nullptr);
+  Result<ProtectedResult> r =
+      pdb_->ExecuteSql("SELECT * FROM items WHERE id = 7");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->result.rows.size(), 1u);
+}
+
+TEST_F(ProtectedPlanCacheTest, RepeatedLookupsHitAndStayCorrect) {
+  OpenDb(/*cache_capacity=*/128);
+  // Setup DDL/INSERTs also went through the cache; count deltas.
+  const uint64_t base_misses = pdb_->plan_cache()->misses();
+  const uint64_t base_hits = pdb_->plan_cache()->hits();
+  for (int round = 0; round < 20; ++round) {
+    const int key = 1 + (round % 10);
+    Result<ProtectedResult> r = pdb_->ExecuteSql(
+        "SELECT * FROM items WHERE id = " + std::to_string(key));
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->result.rows.size(), 1u);
+    EXPECT_EQ(r->result.rows[0][0].AsInt(), key);
+  }
+  // 10 distinct texts -> 10 misses, 10 hits.
+  EXPECT_EQ(pdb_->plan_cache()->misses() - base_misses, 10u);
+  EXPECT_EQ(pdb_->plan_cache()->hits() - base_hits, 10u);
+}
+
+}  // namespace
+}  // namespace tarpit
