@@ -105,6 +105,8 @@ ConcurrentProtectedDatabase::ConcurrentProtectedDatabase(
     m_cancelled_ = m->GetCounter("tarpit_db_cancelled_total");
     m_row_hits_ = m->GetCounter("tarpit_row_cache_hits_total");
     m_row_misses_ = m->GetCounter("tarpit_row_cache_misses_total");
+    m_rep_escalated_ = m->GetCounter(
+        "tarpit_reputation_escalations_total", {{"door", "concurrent"}});
     // The delay-charged histogram backs the bench's median-vs-oracle
     // acceptance check: nanosecond domain with 11 sub-bucket bits
     // keeps relative error under 0.05%, comfortably inside the 0.1%
@@ -159,6 +161,35 @@ ConcurrentProtectedDatabase::Open(const std::string& dir,
 
 size_t ConcurrentProtectedDatabase::RowStripeFor(int64_t key) const {
   return Mix(static_cast<uint64_t>(key)) % row_stripes_.size();
+}
+
+double ConcurrentProtectedDatabase::ReputationFactor(
+    const RequestPrincipal* who) const {
+  if (who == nullptr || concurrent_options_.reputation == nullptr) {
+    return 1.0;
+  }
+  return std::max(1.0, concurrent_options_.reputation->PenaltyFactor(
+                           who->identity, who->subnet24,
+                           inner_->clock()->NowSeconds()));
+}
+
+void ConcurrentProtectedDatabase::ReputationObserve(
+    const RequestPrincipal* who, int64_t key, uint64_t universe_n) {
+  if (who == nullptr || concurrent_options_.reputation == nullptr) {
+    return;
+  }
+  concurrent_options_.reputation->ObserveAccess(
+      who->identity, who->subnet24, key, universe_n,
+      inner_->clock()->NowSeconds());
+}
+
+double ConcurrentProtectedDatabase::ApplyReputation(ProtectedResult* r,
+                                                    double factor) {
+  if (factor <= 1.0 || r->delay_seconds <= 0.0) return 0.0;
+  const double extra = (factor - 1.0) * r->delay_seconds;
+  r->delay_seconds += extra;
+  if (m_rep_escalated_ != nullptr) m_rep_escalated_->Increment();
+  return extra;
 }
 
 obs::RequestTrace* ConcurrentProtectedDatabase::BeginTrace(
@@ -326,11 +357,21 @@ ProtectedDatabase* ConcurrentProtectedDatabase::unsafe_inner() {
 // --- Global-lock mode (the seed baseline). -------------------------------
 
 Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSqlGlobal(
-    const std::string& sql, obs::RequestTrace* tr) {
+    const std::string& sql, obs::RequestTrace* tr,
+    const RequestPrincipal* who) {
   InFlightMark mark(&in_flight_);
   PhaseMarker pm(tr, inner_->clock());
+  // Pre-access factor (same no-retroactive-penalty rule as the gate).
+  const double factor = ReputationFactor(who);
   std::lock_guard<std::mutex> lock(mutex_);
   Result<ProtectedResult> r = inner_->ExecuteSql(sql);
+  if (r.ok() && who != nullptr) {
+    const uint64_t n = inner_->access_tracker()->universe_size();
+    for (int64_t key : r->result.touched_keys) {
+      ReputationObserve(who, key, n);
+    }
+    global_rep_extra_delay_ += ApplyReputation(&*r, factor);
+  }
   // The global path computes everything under one lock; the whole
   // computation is the admission phase.
   pm.Mark(obs::TracePhase::kAdmit);
@@ -338,11 +379,17 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSqlGlobal(
 }
 
 Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKeyGlobal(
-    int64_t key, obs::RequestTrace* tr) {
+    int64_t key, obs::RequestTrace* tr, const RequestPrincipal* who) {
   InFlightMark mark(&in_flight_);
   PhaseMarker pm(tr, inner_->clock());
+  const double factor = ReputationFactor(who);
   std::lock_guard<std::mutex> lock(mutex_);
   Result<ProtectedResult> r = inner_->GetByKey(key);
+  if (r.ok() && who != nullptr) {
+    ReputationObserve(who, key,
+                      inner_->access_tracker()->universe_size());
+    global_rep_extra_delay_ += ApplyReputation(&*r, factor);
+  }
   pm.Mark(obs::TracePhase::kAdmit);
   return r;
 }
@@ -350,8 +397,12 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKeyGlobal(
 // --- Sharded mode. -------------------------------------------------------
 
 Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKeySharded(
-    int64_t key, obs::RequestTrace* tr) {
+    int64_t key, obs::RequestTrace* tr, const RequestPrincipal* who) {
   ProtectedResult out;
+  // Pre-access factor, read before this request's access is observed
+  // (no retroactive penalty -- a crossing earned here lands on the
+  // NEXT request).
+  const double factor = ReputationFactor(who);
   {
     InFlightMark mark(&in_flight_);
     PhaseMarker pm(tr, inner_->clock());
@@ -410,6 +461,15 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKeySharded(
     pm.Mark(obs::TracePhase::kStatsLookup);
     out.delay_seconds = inner_->DelayForAccessStats(stats, key);
 
+    // 2b. Reputation: escalate before the stripe accounting records
+    //     the charge, so accounting matches what the caller is
+    //     charged (and what FinishAsync parks). The access then feeds
+    //     breadth learning for future factors.
+    if (who != nullptr) {
+      ApplyReputation(&out, factor);
+      ReputationObserve(who, key, stats_tracker_->universe_size());
+    }
+
     // 3. Striped delay accounting (merged on Metrics()).
     AcctStripe& acct = *acct_stripes_[stripe_idx];
     {
@@ -435,8 +495,10 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKeySharded(
 }
 
 Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSqlSharded(
-    const std::string& sql, obs::RequestTrace* tr) {
+    const std::string& sql, obs::RequestTrace* tr,
+    const RequestPrincipal* who) {
   PhaseMarker pm(tr, inner_->clock());
+  const double factor = ReputationFactor(who);
   // Classify through the inner plan cache so the classification parse
   // is the only parse the statement ever pays: execution below reuses
   // the same compiled form instead of re-parsing. The cache lookup
@@ -479,6 +541,21 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSqlSharded(
                                : inner_->ExecuteStatement(*stmt);
     });
   }
+  if (result.ok() && who != nullptr) {
+    // The inner engine accounted the BASE delay; the reputation
+    // surcharge is accounted in an acct stripe so Metrics() still
+    // equals the sum of caller-charged delays.
+    const uint64_t n = stats_tracker_->universe_size();
+    for (int64_t key : result->result.touched_keys) {
+      ReputationObserve(who, key, n);
+    }
+    const double extra = ApplyReputation(&*result, factor);
+    if (extra > 0.0 && !acct_stripes_.empty()) {
+      AcctStripe& acct = *acct_stripes_[0];
+      std::lock_guard<std::mutex> lock(acct.mu);
+      acct.total_delay += extra;
+    }
+  }
   // The SQL path parses and executes as one unit; that whole
   // computation is the admission phase (delays were computed inside
   // the inner engine).
@@ -489,31 +566,46 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSqlSharded(
 // --- Public dispatch: admit/compute, then serve or park the stall. -------
 
 Result<ProtectedResult> ConcurrentProtectedDatabase::ComputeExecuteSql(
-    const std::string& sql, obs::RequestTrace* tr) {
+    const std::string& sql, obs::RequestTrace* tr,
+    const RequestPrincipal* who) {
   return concurrent_options_.mode == ConcurrencyMode::kGlobalLock
-             ? ExecuteSqlGlobal(sql, tr)
-             : ExecuteSqlSharded(sql, tr);
+             ? ExecuteSqlGlobal(sql, tr, who)
+             : ExecuteSqlSharded(sql, tr, who);
 }
 
 Result<ProtectedResult> ConcurrentProtectedDatabase::ComputeGetByKey(
-    int64_t key, obs::RequestTrace* tr) {
+    int64_t key, obs::RequestTrace* tr, const RequestPrincipal* who) {
   return concurrent_options_.mode == ConcurrencyMode::kGlobalLock
-             ? GetByKeyGlobal(key, tr)
-             : GetByKeySharded(key, tr);
+             ? GetByKeyGlobal(key, tr, who)
+             : GetByKeySharded(key, tr, who);
 }
 
 Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSql(
     const std::string& sql) {
   obs::RequestTrace trace;
   obs::RequestTrace* tr = BeginTrace(&trace, "sql", 0, 0);
-  return FinishBlocking(ComputeExecuteSql(sql, tr), tr);
+  return FinishBlocking(ComputeExecuteSql(sql, tr, nullptr), tr);
 }
 
 Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKey(
     int64_t key) {
   obs::RequestTrace trace;
   obs::RequestTrace* tr = BeginTrace(&trace, "get_by_key", key, 0);
-  return FinishBlocking(ComputeGetByKey(key, tr), tr);
+  return FinishBlocking(ComputeGetByKey(key, tr, nullptr), tr);
+}
+
+Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSql(
+    const std::string& sql, const RequestPrincipal& who) {
+  obs::RequestTrace trace;
+  obs::RequestTrace* tr = BeginTrace(&trace, "sql", 0, 0);
+  return FinishBlocking(ComputeExecuteSql(sql, tr, &who), tr);
+}
+
+Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKey(
+    int64_t key, const RequestPrincipal& who) {
+  obs::RequestTrace trace;
+  obs::RequestTrace* tr = BeginTrace(&trace, "get_by_key", key, 0);
+  return FinishBlocking(ComputeGetByKey(key, tr, &who), tr);
 }
 
 void ConcurrentProtectedDatabase::GetByKeyAsync(int64_t key,
@@ -522,7 +614,8 @@ void ConcurrentProtectedDatabase::GetByKeyAsync(int64_t key,
   obs::RequestTrace trace;
   obs::RequestTrace* tr =
       BeginTrace(&trace, "get_by_key", key, session);
-  FinishAsync(ComputeGetByKey(key, tr), std::move(done), session, tr);
+  FinishAsync(ComputeGetByKey(key, tr, nullptr), std::move(done),
+              session, tr);
 }
 
 void ConcurrentProtectedDatabase::ExecuteSqlAsync(const std::string& sql,
@@ -530,7 +623,30 @@ void ConcurrentProtectedDatabase::ExecuteSqlAsync(const std::string& sql,
                                                   StallGroup session) {
   obs::RequestTrace trace;
   obs::RequestTrace* tr = BeginTrace(&trace, "sql", 0, session);
-  FinishAsync(ComputeExecuteSql(sql, tr), std::move(done), session, tr);
+  FinishAsync(ComputeExecuteSql(sql, tr, nullptr), std::move(done),
+              session, tr);
+}
+
+void ConcurrentProtectedDatabase::GetByKeyAsync(int64_t key,
+                                                const RequestPrincipal& who,
+                                                AsyncCompletion done,
+                                                StallGroup session) {
+  obs::RequestTrace trace;
+  obs::RequestTrace* tr =
+      BeginTrace(&trace, "get_by_key", key, session);
+  // The compute phase applies the escalation, so the stall parked
+  // below is the post-escalation delay.
+  FinishAsync(ComputeGetByKey(key, tr, &who), std::move(done), session,
+              tr);
+}
+
+void ConcurrentProtectedDatabase::ExecuteSqlAsync(
+    const std::string& sql, const RequestPrincipal& who,
+    AsyncCompletion done, StallGroup session) {
+  obs::RequestTrace trace;
+  obs::RequestTrace* tr = BeginTrace(&trace, "sql", 0, session);
+  FinishAsync(ComputeExecuteSql(sql, tr, &who), std::move(done),
+              session, tr);
 }
 
 Status ConcurrentProtectedDatabase::BulkLoadRow(const Row& row) {
@@ -575,7 +691,10 @@ Status ConcurrentProtectedDatabase::Checkpoint() {
 ProtectedDatabaseMetrics ConcurrentProtectedDatabase::Metrics() {
   if (concurrent_options_.mode == ConcurrencyMode::kGlobalLock) {
     std::lock_guard<std::mutex> lock(mutex_);
-    return inner_->Metrics();
+    ProtectedDatabaseMetrics m = inner_->Metrics();
+    // Reputation surcharges bypass the inner engine's accounting.
+    m.total_delay_seconds += global_rep_extra_delay_;
+    return m;
   }
   std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
   ProtectedDatabaseMetrics m;

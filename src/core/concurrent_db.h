@@ -35,6 +35,18 @@ enum class ConcurrencyMode {
   kSharded,
 };
 
+/// Caller-attributed principal for a request entering the concurrent
+/// front door. The door does no registration or rate limiting (that is
+/// the QueryGate's job); given a principal it escalates the charged
+/// delay by the principal's reputation penalty and feeds served
+/// accesses back as breadth observations. Principal-less entry points
+/// behave exactly as before.
+struct RequestPrincipal {
+  uint64_t identity = 0;
+  /// The identity's /24 network (Identity::Subnet24() at the gate).
+  uint32_t subnet24 = 0;
+};
+
 /// Tuning knobs for the sharded path.
 struct ConcurrentDatabaseOptions {
   ConcurrencyMode mode = ConcurrencyMode::kSharded;
@@ -63,6 +75,14 @@ struct ConcurrentDatabaseOptions {
   /// Wheel geometry and dispatcher pool used when async_stalls is on.
   /// With a VirtualClock the wheel fires instantly (simulation mode).
   DelaySchedulerOptions scheduler;
+  /// Per-principal delay escalation seam (the defense layer's
+  /// ReputationStore is the implementation). Not owned; must outlive
+  /// the database and be safe from concurrent request threads. Null
+  /// disables reputation here; requests without a RequestPrincipal are
+  /// never escalated either way. Escalation happens in the COMPUTE
+  /// phase, before FinishBlocking/FinishAsync serves or parks the
+  /// stall, so the async park path parks the post-escalation delay.
+  PrincipalPenalty* reputation = nullptr;
   /// When non-null the front door publishes request/cancellation
   /// counters, row-cache counters, and the per-policy delay-charged
   /// histogram here, and propagates the registry down to the inner
@@ -127,6 +147,15 @@ class ConcurrentProtectedDatabase {
   /// the global mutex (kGlobalLock).
   Result<ProtectedResult> GetByKey(int64_t key);
 
+  /// Principal-attributed variants: the charged delay is escalated by
+  /// the principal's reputation penalty (when options.reputation is
+  /// set) and the served tuples feed its breadth learning. Identical
+  /// to the plain entry points when reputation is off.
+  Result<ProtectedResult> ExecuteSql(const std::string& sql,
+                                     const RequestPrincipal& who);
+  Result<ProtectedResult> GetByKey(int64_t key,
+                                   const RequestPrincipal& who);
+
   /// Completion callback for the async entry points. Runs on a
   /// scheduler dispatcher thread when the stall expires; perimeter /
   /// storage errors (nothing to stall for) complete inline on the
@@ -144,6 +173,15 @@ class ConcurrentProtectedDatabase {
   void GetByKeyAsync(int64_t key, AsyncCompletion done,
                      StallGroup session = 0);
   void ExecuteSqlAsync(const std::string& sql, AsyncCompletion done,
+                       StallGroup session = 0);
+
+  /// Principal-attributed async variants: the PARKED stall already
+  /// includes the reputation escalation (escalation happens in the
+  /// compute phase).
+  void GetByKeyAsync(int64_t key, const RequestPrincipal& who,
+                     AsyncCompletion done, StallGroup session = 0);
+  void ExecuteSqlAsync(const std::string& sql,
+                       const RequestPrincipal& who, AsyncCompletion done,
                        StallGroup session = 0);
 
   /// Cancels every stall parked under `session` (SessionManager
@@ -218,19 +256,41 @@ class ConcurrentProtectedDatabase {
 
   size_t RowStripeFor(int64_t key) const;
   // Compute phase only (admit + delay accounting, no stall served).
-  // `tr` is the request's trace (null when tracing is off).
+  // `tr` is the request's trace (null when tracing is off); `who` is
+  // the attributed principal (null for the principal-less entry
+  // points).
   Result<ProtectedResult> ComputeGetByKey(int64_t key,
-                                          obs::RequestTrace* tr);
+                                          obs::RequestTrace* tr,
+                                          const RequestPrincipal* who);
   Result<ProtectedResult> ComputeExecuteSql(const std::string& sql,
-                                            obs::RequestTrace* tr);
+                                            obs::RequestTrace* tr,
+                                            const RequestPrincipal* who);
   Result<ProtectedResult> GetByKeyGlobal(int64_t key,
-                                         obs::RequestTrace* tr);
+                                         obs::RequestTrace* tr,
+                                         const RequestPrincipal* who);
   Result<ProtectedResult> GetByKeySharded(int64_t key,
-                                          obs::RequestTrace* tr);
+                                          obs::RequestTrace* tr,
+                                          const RequestPrincipal* who);
   Result<ProtectedResult> ExecuteSqlGlobal(const std::string& sql,
-                                           obs::RequestTrace* tr);
+                                           obs::RequestTrace* tr,
+                                           const RequestPrincipal* who);
   Result<ProtectedResult> ExecuteSqlSharded(const std::string& sql,
-                                            obs::RequestTrace* tr);
+                                            obs::RequestTrace* tr,
+                                            const RequestPrincipal* who);
+  /// Pre-access penalty factor for `who` (1.0 when reputation is off
+  /// or `who` is null). Same no-retroactive-penalty rule as the gate:
+  /// the factor is read before this request's accesses are observed.
+  double ReputationFactor(const RequestPrincipal* who) const;
+  /// Feeds one served access into the reputation store (no-op when
+  /// reputation is off / `who` null). `universe_n` from the
+  /// thread-safe tracker.
+  void ReputationObserve(const RequestPrincipal* who, int64_t key,
+                         uint64_t universe_n);
+  /// Escalates `r`'s charged delay by `factor` (counting the metric).
+  /// Returns the surcharge; the CALLER must account it (acct stripe or
+  /// global surcharge total) so Metrics() keeps matching what callers
+  /// were charged.
+  double ApplyReputation(ProtectedResult* r, double factor);
   void InvalidateRowCaches();
   /// Starts a trace span for one request. Returns null (tracing off)
   /// or `tr` initialized with a fresh id and start stamp.
@@ -253,8 +313,11 @@ class ConcurrentProtectedDatabase {
   std::unique_ptr<ProtectedDatabase> inner_;
   ConcurrentDatabaseOptions concurrent_options_;
 
-  // kGlobalLock state.
+  // kGlobalLock state. The reputation surcharge accumulator keeps
+  // global-mode Metrics() equal to the sum of caller-charged delays
+  // (the inner engine only accounts the base delay).
   std::mutex mutex_;
+  double global_rep_extra_delay_ = 0.0;
 
   // kSharded state. storage_mu_ is reader-writer: read-only storage
   // access (GetByKey misses, SELECT scans) holds it shared -- the
@@ -277,6 +340,7 @@ class ConcurrentProtectedDatabase {
   obs::Counter* m_cancelled_ = nullptr;
   obs::Counter* m_row_hits_ = nullptr;
   obs::Counter* m_row_misses_ = nullptr;
+  obs::Counter* m_rep_escalated_ = nullptr;
   obs::Histogram* m_delay_charged_ns_ = nullptr;
   // First error from the flush hook pushing merged deltas into the
   // persistent count cache; surfaced at Checkpoint. Guarded by

@@ -20,6 +20,30 @@ struct DelayBounds {
   }
 };
 
+/// Per-principal delay escalation seam. Core front doors multiply a
+/// request's computed delay by PenaltyFactor(identity, subnet) when a
+/// principal is known; the defense layer's ReputationStore is the
+/// implementation (core cannot link against defense, so the interface
+/// lives here). Contract: PenaltyFactor returns >= 1.0 -- composition
+/// can only escalate, never undercut the base policy -- and every
+/// method is safe to call from concurrent request threads.
+class PrincipalPenalty {
+ public:
+  virtual ~PrincipalPenalty() = default;
+
+  /// Multiplier (>= 1.0) applied to the base policy's delay for this
+  /// (identity, /24 subnet) pair at `now_seconds`.
+  virtual double PenaltyFactor(uint64_t identity, uint32_t subnet24,
+                               double now_seconds) const = 0;
+
+  /// Observes one served tuple access so the implementation can learn
+  /// extraction-shaped breadth and rate. `universe_n` is the protected
+  /// relation's size (0 = unknown).
+  virtual void ObserveAccess(uint64_t identity, uint32_t subnet24,
+                             int64_t key, uint64_t universe_n,
+                             double now_seconds) = 0;
+};
+
 /// Strategy mapping a tuple to the delay (in seconds) charged for
 /// retrieving it. Implementations read learned statistics; they never
 /// mutate them (recording accesses/updates is the caller's job, which

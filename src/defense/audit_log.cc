@@ -11,6 +11,7 @@ std::string AuditEventName(AuditEvent event) {
     case AuditEvent::kRateLimitedSubnet: return "rate-limited-subnet";
     case AuditEvent::kLifetimeCapHit: return "lifetime-cap";
     case AuditEvent::kCoverageEscalated: return "coverage-escalated";
+    case AuditEvent::kReputationEscalated: return "reputation-escalated";
   }
   return "unknown";
 }

@@ -20,6 +20,7 @@ enum class AuditEvent : uint8_t {
   kRateLimitedSubnet,
   kLifetimeCapHit,
   kCoverageEscalated,
+  kReputationEscalated,
 };
 
 std::string AuditEventName(AuditEvent event);

@@ -31,12 +31,21 @@ double CoverageMonitor::Coverage(IdentityId principal,
 
 double CoverageMonitor::EscalationFactor(IdentityId principal,
                                          uint64_t n) const {
-  const double coverage = Coverage(principal, n);
+  return EscalationForCoverage(Coverage(principal, n));
+}
+
+double CoverageMonitor::EscalationForCoverage(double coverage) const {
+  // The escalation never undercuts the base policy, even under a
+  // misconfigured max_escalation < 1.
+  const double max_escalation = std::max(1.0, options_.max_escalation);
+  // The edge AT free_coverage is still free; the edge AT max_coverage
+  // is fully escalated. With free_coverage == max_coverage the curve
+  // degenerates to a step: the <= free test wins on the shared edge.
   if (coverage <= options_.free_coverage) return 1.0;
-  if (coverage >= options_.max_coverage) return options_.max_escalation;
+  if (coverage >= options_.max_coverage) return max_escalation;
   const double t = (coverage - options_.free_coverage) /
                    (options_.max_coverage - options_.free_coverage);
-  return 1.0 + t * (options_.max_escalation - 1.0);
+  return 1.0 + t * (max_escalation - 1.0);
 }
 
 void CoverageMonitor::Forget(IdentityId principal) {

@@ -51,6 +51,16 @@ class CoverageMonitor {
   /// max_escalation at max_coverage.
   double EscalationFactor(IdentityId principal, uint64_t n) const;
 
+  /// The pure escalation curve: multiplier for an exact `coverage`
+  /// fraction, independent of any sketch. Exposed separately because
+  /// the sketch's estimate carries ~1.6% standard error (precision
+  /// 12), so edge behavior (exactly AT free_coverage / max_coverage)
+  /// can only be pinned down on exact inputs. Always >= 1.0, even
+  /// under misconfigured max_escalation < 1; a degenerate
+  /// free_coverage == max_coverage config is a step function (1.0 at
+  /// the edge, max_escalation above it).
+  double EscalationForCoverage(double coverage) const;
+
   /// Drops a principal's history (e.g., session expiry).
   void Forget(IdentityId principal);
 

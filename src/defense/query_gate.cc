@@ -1,5 +1,8 @@
 #include "defense/query_gate.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace tarpit {
 
 QueryGate::QueryGate(ProtectedDatabase* db, QueryGateOptions options)
@@ -25,6 +28,15 @@ QueryGate::QueryGate(ProtectedDatabase* db, QueryGateOptions options)
                                   {{"reason", "registration"}});
     m_escalations_ =
         m->GetCounter("tarpit_gate_coverage_escalations_total");
+    m_rep_escalations_ = m->GetCounter(
+        "tarpit_reputation_escalations_total", {{"door", "serial"}});
+    obs::HistogramOptions permille;
+    permille.unit = "permille";
+    // Factor 1.0 records as 1000, so quantiles read directly as
+    // multipliers with 0.1% granularity.
+    m_rep_factor_permille_ = m->GetHistogram(
+        "tarpit_reputation_factor_permille", {{"door", "serial"}},
+        permille);
     obs::HistogramOptions ns;
     ns.sub_bits = 11;
     ns.unit = "ns";
@@ -111,6 +123,11 @@ Result<ProtectedResult> QueryGate::ExecuteSql(const Identity& identity,
     record.magnitude = subnet.RetryAfter(now);
     audit_log_.Record(record);
     if (m_denied_subnet_ != nullptr) m_denied_subnet_->Increment();
+    if (options_.reputation != nullptr) {
+      options_.reputation->RecordSignal(identity.id, identity.Subnet24(),
+                                        now,
+                                        ReputationSignal::kRateAnomaly);
+    }
     return Status::RateLimited(
         "subnet " + Ipv4ToString(identity.Subnet24()) +
         "/24 rate limit; retry in " +
@@ -121,6 +138,11 @@ Result<ProtectedResult> QueryGate::ExecuteSql(const Identity& identity,
     record.magnitude = user.bucket.RetryAfter(now);
     audit_log_.Record(record);
     if (m_denied_user_ != nullptr) m_denied_user_->Increment();
+    if (options_.reputation != nullptr) {
+      options_.reputation->RecordSignal(identity.id, identity.Subnet24(),
+                                        now,
+                                        ReputationSignal::kRateAnomaly);
+    }
     return Status::RateLimited(
         "identity " + std::to_string(identity.id) +
         " rate limit; retry in " +
@@ -136,6 +158,14 @@ Result<ProtectedResult> QueryGate::ExecuteSql(const Identity& identity,
   if (options_.coverage_escalation) {
     n = db_->access_tracker()->universe_size();
     escalation = coverage_monitor_.EscalationFactor(identity.id, n);
+  }
+  // Reputation uses the factor accrued before this query too: the
+  // penalty earned *by* this query lands on the next one.
+  double rep_factor = 1.0;
+  if (options_.reputation != nullptr) {
+    rep_factor = std::max(
+        1.0, options_.reputation->PenaltyFactor(
+                 identity.id, identity.Subnet24(), now));
   }
   Result<ProtectedResult> result = db_->ExecuteSql(sql);
   if (!result.ok()) return result;
@@ -157,12 +187,45 @@ Result<ProtectedResult> QueryGate::ExecuteSql(const Identity& identity,
       if (m_escalations_ != nullptr) m_escalations_->Increment();
     }
   }
-  // Per-class delay accounting: an identity the coverage monitor has
-  // escalated is "flagged"; everyone else is "legitimate". The split
-  // is what lets a dashboard confirm the defense's core promise --
-  // extraction-shaped traffic pays, normal traffic doesn't.
+  if (options_.reputation != nullptr) {
+    ReputationStore* rep = options_.reputation;
+    // Every served tuple feeds the store's breadth learning (HLL per
+    // identity AND per subnet -- the subnet sketch is what identity
+    // churn cannot shed).
+    const uint64_t universe = db_->access_tracker()->universe_size();
+    for (int64_t key : result->result.touched_keys) {
+      rep->ObserveAccess(identity.id, identity.Subnet24(), key, universe,
+                         now);
+    }
+    // A coverage-monitor escalation is itself an extraction signal.
+    if (escalation > 1.0) {
+      rep->RecordSignal(identity.id, identity.Subnet24(), now,
+                        ReputationSignal::kExternal);
+    }
+    if (m_rep_factor_permille_ != nullptr) {
+      m_rep_factor_permille_->Record(
+          static_cast<int64_t>(std::llround(rep_factor * 1000.0)));
+    }
+    if (rep_factor > 1.0 && result->delay_seconds > 0) {
+      const double extra = (rep_factor - 1.0) * result->delay_seconds;
+      if (!db_->options().defer_delay_sleep) {
+        db_->clock()->SleepForSeconds(extra);
+      }
+      result->delay_seconds += extra;
+      record.event = AuditEvent::kReputationEscalated;
+      record.magnitude = rep_factor;
+      audit_log_.Record(record);
+      if (m_rep_escalations_ != nullptr) m_rep_escalations_->Increment();
+    }
+  }
+  // Per-class delay accounting: an identity the coverage monitor or
+  // reputation store has escalated is "flagged"; everyone else is
+  // "legitimate". The split is what lets a dashboard confirm the
+  // defense's core promise -- extraction-shaped traffic pays, normal
+  // traffic doesn't.
   obs::Histogram* delay_hist =
-      escalation > 1.0 ? m_delay_flagged_ns_ : m_delay_legit_ns_;
+      (escalation > 1.0 || rep_factor > 1.0) ? m_delay_flagged_ns_
+                                             : m_delay_legit_ns_;
   if (delay_hist != nullptr) {
     delay_hist->Record(obs::NanosFromSeconds(result->delay_seconds));
   }

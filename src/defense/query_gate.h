@@ -14,6 +14,7 @@
 #include "defense/coverage_monitor.h"
 #include "defense/identity.h"
 #include "defense/registration_limiter.h"
+#include "defense/reputation.h"
 #include "defense/token_bucket.h"
 
 namespace tarpit {
@@ -38,6 +39,17 @@ struct QueryGateOptions {
   /// have their delays multiplied.
   bool coverage_escalation = false;
   CoverageMonitorOptions coverage;
+  /// Reputation-escalating delay (ROADMAP open item 2). Not owned and
+  /// deliberately external: one store can back several gates and the
+  /// concurrent front door at once, and -- because it is keyed by
+  /// identity/subnet, not session -- its penalties survive
+  /// SessionManager eviction and gate re-creation. The gate feeds it
+  /// rate-limit denials and coverage escalations as signals, feeds
+  /// every served tuple as a breadth observation, and multiplies each
+  /// query's charged delay by the principal's penalty factor accrued
+  /// *before* the query (same no-retroactive-penalty rule as coverage
+  /// escalation). Null disables reputation entirely.
+  ReputationStore* reputation = nullptr;
   /// When non-null the gate publishes admission/denial counters and
   /// the delay-charged histograms (split legitimate vs flagged by the
   /// coverage monitor) here. Must outlive the gate.
@@ -112,6 +124,8 @@ class QueryGate {
   obs::Counter* m_registrations_ = nullptr;
   obs::Counter* m_reg_denied_ = nullptr;
   obs::Counter* m_escalations_ = nullptr;
+  obs::Counter* m_rep_escalations_ = nullptr;
+  obs::Histogram* m_rep_factor_permille_ = nullptr;
   obs::Histogram* m_delay_legit_ns_ = nullptr;
   obs::Histogram* m_delay_flagged_ns_ = nullptr;
 };

@@ -1,0 +1,305 @@
+#include "sim/adversary_zoo.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/random.h"
+
+namespace tarpit {
+
+namespace {
+
+/// Advances `clock` to `target_seconds` (no-op if already past).
+void AdvanceTo(VirtualClock* clock, double target_seconds) {
+  clock->AdvanceToMicros(static_cast<int64_t>(target_seconds * 1e6));
+}
+
+/// Registers one identity from `ipv4`, waiting out the registration
+/// limiter on the shared timeline. Returns nullopt-like invalid
+/// Identity (id 0) on deadline.
+bool RegisterWaiting(QueryGate* gate, VirtualClock* clock, uint32_t ipv4,
+                     double deadline, Identity* out) {
+  while (clock->NowSeconds() < deadline) {
+    Result<Identity> id = gate->RegisterUser(ipv4);
+    if (id.ok()) {
+      *out = *id;
+      return true;
+    }
+    const double wait =
+        gate->registration_limiter()->RetryAfter(clock->NowSeconds());
+    clock->SleepForMicros(
+        static_cast<int64_t>(std::max(wait, 1e-3) * 1e6));
+  }
+  return false;
+}
+
+}  // namespace
+
+// --- Slow-and-low. --------------------------------------------------
+
+SlowLowReport RunSlowLowExtraction(QueryGate* gate, VirtualClock* clock,
+                                   const SlowLowConfig& config) {
+  SlowLowReport report;
+  Rng rng(config.seed);
+  const double start = clock->NowSeconds();
+  const double deadline = start + config.give_up_after_seconds;
+
+  Identity identity;
+  if (!RegisterWaiting(gate, clock, config.ipv4, deadline, &identity)) {
+    report.attack_seconds = clock->NowSeconds() - start;
+    return report;
+  }
+
+  // Pace at a fixed fraction of the gate's sustained per-user rate:
+  // the bucket refills faster than it drains, so the throttle never
+  // fires and the only cost left is the per-tuple delay itself.
+  const double rate = gate->options().per_user_queries_per_second *
+                      std::clamp(config.rate_headroom, 1e-3, 1.0);
+  const double gap = rate > 0 ? 1.0 / rate : 1.0;
+
+  const std::string prefix = "SELECT * FROM " + config.table +
+                             " WHERE " + config.pk_column + " = ";
+  double next_issue = clock->NowSeconds();
+  double busy_until = clock->NowSeconds();
+  for (uint64_t key = 1; key <= config.n;) {
+    // Issue no sooner than the pacing schedule allows AND no sooner
+    // than the previous stall ends (one patient connection).
+    const double jitter =
+        1.0 + config.pacing_jitter * (2.0 * rng.NextDouble() - 1.0);
+    const double at = std::max(next_issue, busy_until);
+    if (at >= deadline) break;
+    AdvanceTo(clock, at);
+    const double now = clock->NowSeconds();
+
+    Result<ProtectedResult> r =
+        gate->ExecuteSql(identity, prefix + std::to_string(key));
+    ++report.queries_issued;
+    if (r.ok()) {
+      ++report.tuples_obtained;
+      report.total_delay_seconds += r->delay_seconds;
+      busy_until = now + r->delay_seconds;
+      next_issue = now + gap * jitter;
+      ++key;
+      continue;
+    }
+    if (r.status().IsRateLimited()) {
+      // Should not happen at headroom < 1; pace down and retry.
+      ++report.rate_limited;
+      next_issue =
+          now + std::max(gate->RetryAfter(identity), gap * jitter);
+      continue;
+    }
+    break;  // Lifetime cap or hard failure: one identity, game over.
+  }
+  AdvanceTo(clock, busy_until);
+  report.attack_seconds = clock->NowSeconds() - start;
+  report.completed = report.tuples_obtained == config.n;
+  return report;
+}
+
+// --- Sybil churn. ---------------------------------------------------
+
+SybilChurnReport RunSybilChurnExtraction(QueryGate* gate,
+                                         VirtualClock* clock,
+                                         const SybilChurnConfig& config) {
+  SybilChurnReport report;
+  Rng rng(config.seed);
+  const double start = clock->NowSeconds();
+  const double deadline = start + config.give_up_after_seconds;
+  const uint64_t fleet = std::max<uint64_t>(1, config.fleet_size);
+  const uint64_t pool = std::max<uint64_t>(1, config.subnet_pool);
+  const uint64_t per_id = std::max<uint64_t>(1, config.queries_per_identity);
+
+  uint64_t next_subnet = 0;
+  auto fresh_ip = [&]() {
+    // Round-robin across the /24 pool; random host octet so churned
+    // identities do not reuse an address.
+    const uint32_t subnet =
+        (config.base_ipv4 & 0xFFFFFF00u) +
+        static_cast<uint32_t>((next_subnet++ % pool) << 8);
+    return subnet | static_cast<uint32_t>(1 + rng.Uniform(254));
+  };
+
+  struct Worker {
+    Identity identity;
+    double next_free = 0;
+    uint64_t used = 0;
+    bool needs_rebirth = false;
+  };
+  std::vector<Worker> workers;
+
+  // Initial fleet, waiting out the registration limiter serially.
+  for (uint64_t i = 0; i < fleet; ++i) {
+    Identity id;
+    if (!RegisterWaiting(gate, clock, fresh_ip(), deadline, &id)) break;
+    ++report.identities_registered;
+    workers.push_back(Worker{id, clock->NowSeconds(), 0, false});
+  }
+  if (workers.empty()) {
+    report.attack_seconds = clock->NowSeconds() - start;
+    return report;
+  }
+
+  // Shared work stack: keys in descending order so pop_back ascends.
+  std::vector<int64_t> pending;
+  pending.reserve(config.n);
+  for (uint64_t key = config.n; key >= 1; --key) {
+    pending.push_back(static_cast<int64_t>(key));
+  }
+
+  const std::string prefix = "SELECT * FROM " + config.table +
+                             " WHERE " + config.pk_column + " = ";
+  double completion = clock->NowSeconds();
+  while (!pending.empty()) {
+    Worker* next = nullptr;
+    for (Worker& w : workers) {
+      if (next == nullptr || w.next_free < next->next_free) next = &w;
+    }
+    if (next == nullptr || next->next_free >= deadline) break;
+    AdvanceTo(clock, next->next_free);
+    const double now = clock->NowSeconds();
+
+    if (next->needs_rebirth || next->used >= per_id) {
+      // Churn: abandon the identity (with any penalty it accrued) and
+      // register a replacement in the next subnet of the pool.
+      next->needs_rebirth = true;
+      Result<Identity> id = gate->RegisterUser(fresh_ip());
+      if (id.ok()) {
+        next->identity = *id;
+        next->used = 0;
+        next->needs_rebirth = false;
+        ++report.identities_registered;
+      } else {
+        next->next_free =
+            now + std::max(gate->registration_limiter()->RetryAfter(now),
+                           1e-3);
+      }
+      continue;
+    }
+
+    const int64_t key = pending.back();
+    Result<ProtectedResult> r =
+        gate->ExecuteSql(next->identity, prefix + std::to_string(key));
+    ++report.queries_issued;
+    ++next->used;
+    if (r.ok()) {
+      pending.pop_back();
+      ++report.tuples_obtained;
+      report.total_delay_seconds += r->delay_seconds;
+      next->next_free = now + r->delay_seconds;
+      completion = std::max(completion, next->next_free);
+      continue;
+    }
+    if (r.status().IsRateLimited()) {
+      ++report.rate_limited;
+      next->next_free =
+          now + std::max(gate->RetryAfter(next->identity), 1e-3);
+      continue;
+    }
+    // Lifetime cap: churn immediately.
+    next->needs_rebirth = true;
+  }
+  AdvanceTo(clock, completion);
+  report.attack_seconds = clock->NowSeconds() - start;
+  report.completed = report.tuples_obtained == config.n;
+  return report;
+}
+
+// --- Volume inference. ----------------------------------------------
+
+VolumeInferenceReport RunVolumeInference(
+    QueryGate* gate, VirtualClock* clock,
+    const VolumeInferenceConfig& config) {
+  VolumeInferenceReport report;
+  Rng rng(config.seed);
+  const double start = clock->NowSeconds();
+  const double deadline = start + config.give_up_after_seconds;
+
+  Identity identity;
+  if (!RegisterWaiting(gate, clock, config.ipv4, deadline, &identity)) {
+    report.attack_seconds = clock->NowSeconds() - start;
+    return report;
+  }
+
+  struct Range {
+    int64_t lo, hi;
+  };
+  std::vector<Range> frontier;
+  if (config.domain_max >= 1) frontier.push_back({1, config.domain_max});
+
+  double busy_until = clock->NowSeconds();
+  bool gave_up = false;
+  while (!frontier.empty()) {
+    if (busy_until >= deadline) {
+      gave_up = true;
+      break;
+    }
+    AdvanceTo(clock, busy_until);
+    const double now = clock->NowSeconds();
+    const Range range = frontier.back();
+
+    const std::string sql =
+        "SELECT COUNT(*) FROM " + config.table + " WHERE " +
+        config.pk_column + " >= " + std::to_string(range.lo) + " AND " +
+        config.pk_column + " <= " + std::to_string(range.hi);
+    Result<ProtectedResult> r = gate->ExecuteSql(identity, sql);
+    ++report.queries_issued;
+    if (!r.ok()) {
+      if (r.status().IsRateLimited()) {
+        ++report.rate_limited;
+        busy_until = now + std::max(gate->RetryAfter(identity), 1e-3);
+        continue;
+      }
+      gave_up = true;  // Lifetime cap: reconstruction incomplete.
+      break;
+    }
+    frontier.pop_back();
+    report.total_delay_seconds += r->delay_seconds;
+    busy_until = now + r->delay_seconds;
+
+    const int64_t span = range.hi - range.lo + 1;
+    const int64_t count = (!r->result.rows.empty() &&
+                           !r->result.rows[0].empty() &&
+                           r->result.rows[0][0].is_int())
+                              ? r->result.rows[0][0].AsInt()
+                              : 0;
+    if (count == 0) continue;  // Empty: pruned.
+    if (count == span) {       // Dense: resolved wholesale.
+      report.present_ranges.emplace_back(range.lo, range.hi);
+      continue;
+    }
+    // Mixed: split. Seed decides which half the adversary explores
+    // first (the reconstruction is exact either way).
+    const int64_t mid = range.lo + (range.hi - range.lo) / 2;
+    const Range left{range.lo, mid};
+    const Range right{mid + 1, range.hi};
+    if (rng.Bernoulli(0.5)) {
+      frontier.push_back(left);
+      frontier.push_back(right);
+    } else {
+      frontier.push_back(right);
+      frontier.push_back(left);
+    }
+  }
+  AdvanceTo(clock, busy_until);
+
+  // Canonical form: sorted, adjacent ranges merged.
+  std::sort(report.present_ranges.begin(), report.present_ranges.end());
+  std::vector<std::pair<int64_t, int64_t>> merged;
+  for (const auto& range : report.present_ranges) {
+    if (!merged.empty() && range.first == merged.back().second + 1) {
+      merged.back().second = range.second;
+    } else {
+      merged.push_back(range);
+    }
+  }
+  report.present_ranges = std::move(merged);
+  for (const auto& [lo, hi] : report.present_ranges) {
+    report.keys_identified += static_cast<uint64_t>(hi - lo + 1);
+  }
+  report.attack_seconds = clock->NowSeconds() - start;
+  report.completed = !gave_up;
+  return report;
+}
+
+}  // namespace tarpit

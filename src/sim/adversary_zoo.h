@@ -1,0 +1,144 @@
+#ifndef TARPIT_SIM_ADVERSARY_ZOO_H_
+#define TARPIT_SIM_ADVERSARY_ZOO_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "defense/query_gate.h"
+
+namespace tarpit {
+
+/// Three extraction strategies beyond the brute-force sybil sweep in
+/// gate_attack.h, each engineered to slip past a DIFFERENT layer of
+/// the defense stack. All run through the full QueryGate perimeter on
+/// a VirtualClock with an explicit seed: same seed, same gate config
+/// -> bit-identical replay (the attack-regression suite depends on
+/// this; no hidden entropy anywhere in sim).
+///
+///   slow-and-low       beats token buckets   (paces under the rate)
+///   sybil churn        beats identity state  (sheds penalized ids)
+///   volume inference   beats per-tuple delay (reads counts, not rows)
+
+// --- Slow-and-low extractor. ---------------------------------------
+
+/// One patient identity pacing itself UNDER the per-user token-bucket
+/// rate, so the throttle never fires and per-tuple popularity delays
+/// are the only per-query cost. Defeated by breadth: coverage still
+/// accumulates, so the coverage monitor and the reputation store see
+/// it anyway.
+struct SlowLowConfig {
+  /// Keys [1, n] to extract.
+  uint64_t n = 0;
+  std::string table = "items";
+  std::string pk_column = "id";
+  uint32_t ipv4 = 0x0A000001;  // 10.0.0.1.
+  /// Fraction of the gate's sustained per-user rate to consume; < 1
+  /// keeps the bucket's steady state positive so no denial ever fires.
+  double rate_headroom = 0.8;
+  /// +/- uniform jitter applied to each pacing gap (fraction of the
+  /// gap), so the stream does not look metronomic.
+  double pacing_jitter = 0.1;
+  double give_up_after_seconds = 1e9;
+  uint64_t seed = 1001;
+};
+
+struct SlowLowReport {
+  double attack_seconds = 0;
+  uint64_t tuples_obtained = 0;
+  uint64_t queries_issued = 0;
+  uint64_t rate_limited = 0;
+  /// Sum of charged delays over served queries (for the serial oracle
+  /// in the regression suite).
+  double total_delay_seconds = 0;
+  bool completed = false;
+};
+
+SlowLowReport RunSlowLowExtraction(QueryGate* gate, VirtualClock* clock,
+                                   const SlowLowConfig& config);
+
+// --- Sybil fleet with identity churn. ------------------------------
+
+/// A fleet that retires each identity after a fixed number of queries
+/// and registers a replacement, rotating its IPs across a pool of /24
+/// subnets -- shedding any per-identity penalty the defense has
+/// accrued. Per-identity reputation resets with each churn; the
+/// per-subnet penalty (and the subnet-aggregate token bucket) is what
+/// the fleet cannot shed, which is exactly the reputation store's
+/// counter-design.
+struct SybilChurnConfig {
+  uint64_t n = 0;
+  std::string table = "items";
+  std::string pk_column = "id";
+  /// Concurrently active identities.
+  uint64_t fleet_size = 4;
+  /// Queries an identity issues before it is abandoned and replaced.
+  uint64_t queries_per_identity = 50;
+  /// Base IP of the first /24; subnet i is base + i * 256. Fresh
+  /// identities rotate round-robin across the pool (seed-jittered
+  /// host octet).
+  uint32_t base_ipv4 = 0x0A000001;
+  uint64_t subnet_pool = 8;
+  double give_up_after_seconds = 1e9;
+  uint64_t seed = 2002;
+};
+
+struct SybilChurnReport {
+  double attack_seconds = 0;
+  uint64_t tuples_obtained = 0;
+  uint64_t queries_issued = 0;
+  uint64_t rate_limited = 0;
+  /// Total identities registered across all churn generations.
+  uint64_t identities_registered = 0;
+  double total_delay_seconds = 0;
+  bool completed = false;
+};
+
+SybilChurnReport RunSybilChurnExtraction(QueryGate* gate,
+                                         VirtualClock* clock,
+                                         const SybilChurnConfig& config);
+
+// --- Volume-inference reconstructor. -------------------------------
+
+/// Learns which keys EXIST from result-set volumes alone: recursive
+/// binary splitting of [1, domain_max] with COUNT(*) range queries
+/// (modeled on the SQLite volume-reconstruction attack, Shahverdi et
+/// al.). An empty range is pruned; a full range is resolved wholesale;
+/// anything else splits. Never fetches a tuple, so per-tuple delay
+/// only reaches it through the keys each COUNT aggregates over -- and
+/// through the reputation surcharge once its probes look
+/// extraction-shaped.
+struct VolumeInferenceConfig {
+  /// Key domain [1, domain_max] to reconstruct over. The table's
+  /// actual keys may be any subset (gaps are what make inference
+  /// nontrivial).
+  int64_t domain_max = 0;
+  std::string table = "items";
+  std::string pk_column = "id";
+  uint32_t ipv4 = 0x0A000001;
+  double give_up_after_seconds = 1e9;
+  /// Explore subranges in seed-determined order (the reconstruction
+  /// is exact either way; the ORDER the adversary learns in varies).
+  uint64_t seed = 3003;
+};
+
+struct VolumeInferenceReport {
+  double attack_seconds = 0;
+  uint64_t queries_issued = 0;
+  uint64_t rate_limited = 0;
+  /// Keys proven present, as sorted disjoint dense ranges [lo, hi].
+  std::vector<std::pair<int64_t, int64_t>> present_ranges;
+  uint64_t keys_identified = 0;
+  double total_delay_seconds = 0;
+  bool completed = false;
+};
+
+VolumeInferenceReport RunVolumeInference(
+    QueryGate* gate, VirtualClock* clock,
+    const VolumeInferenceConfig& config);
+
+}  // namespace tarpit
+
+#endif  // TARPIT_SIM_ADVERSARY_ZOO_H_

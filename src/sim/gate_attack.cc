@@ -4,6 +4,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/random.h"
+
 namespace tarpit {
 
 GateAttackReport RunGateExtraction(QueryGate* gate, VirtualClock* clock,
@@ -57,6 +59,15 @@ GateAttackReport RunGateExtraction(QueryGate* gate, VirtualClock* clock,
   for (uint64_t key = config.n; key >= 1; --key) {
     workers[(key - 1) % workers.size()].keys.push_back(
         static_cast<int64_t>(key));
+  }
+  if (config.shuffle_keys) {
+    // Seeded Fisher-Yates per partition: reproducible, not clever.
+    Rng rng(config.seed);
+    for (Worker& w : workers) {
+      for (size_t i = w.keys.size(); i > 1; --i) {
+        std::swap(w.keys[i - 1], w.keys[rng.Uniform(i)]);
+      }
+    }
   }
 
   const std::string prefix = "SELECT * FROM " + config.table +

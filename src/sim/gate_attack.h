@@ -28,6 +28,11 @@ struct GateAttackConfig {
   bool spread_subnets = false;
   /// Give up if the attack exceeds this much virtual time.
   double give_up_after_seconds = 1e9;
+  /// Extract each identity's partition in a seed-determined random
+  /// order instead of descending key order. Same seed -> bit-identical
+  /// replay (no hidden entropy anywhere in sim).
+  bool shuffle_keys = false;
+  uint64_t seed = 7;
 };
 
 struct GateAttackReport {

@@ -1,4 +1,5 @@
 #include <atomic>
+#include <cmath>
 #include <filesystem>
 #include <memory>
 
@@ -6,6 +7,7 @@
 
 #include "common/clock.h"
 #include "defense/audit_log.h"
+#include "defense/coverage_monitor.h"
 #include "defense/identity.h"
 #include "defense/query_gate.h"
 #include "defense/registration_limiter.h"
@@ -400,6 +402,98 @@ TEST_F(QueryGateTest, GateDecisionsAreAudited) {
   EXPECT_EQ(log->CountOf(AuditEvent::kQueryServed), 2u);
   EXPECT_EQ(log->CountOf(AuditEvent::kRateLimitedUser), 1u);
   EXPECT_GE(log->CountForIdentity(user->id), 3u);
+}
+
+// ---------- CoverageMonitor boundary behavior ----------
+
+TEST(CoverageBoundaryTest, ExactEdgesOfTheEscalationCurve) {
+  CoverageMonitorOptions opts;
+  opts.free_coverage = 0.01;
+  opts.max_coverage = 0.25;
+  opts.max_escalation = 100.0;
+  CoverageMonitor monitor(opts);
+  // Exactly AT the free edge is free; the first epsilon past it is not.
+  EXPECT_DOUBLE_EQ(monitor.EscalationForCoverage(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(monitor.EscalationForCoverage(0.01), 1.0);
+  EXPECT_GT(monitor.EscalationForCoverage(0.01 + 1e-12), 1.0);
+  // Exactly AT the max edge is full escalation, as is anything above.
+  EXPECT_DOUBLE_EQ(monitor.EscalationForCoverage(0.25), 100.0);
+  EXPECT_DOUBLE_EQ(monitor.EscalationForCoverage(1.0), 100.0);
+  // Midpoint of the linear ramp.
+  EXPECT_NEAR(monitor.EscalationForCoverage(0.13), 50.5, 1e-9);
+}
+
+TEST(CoverageBoundaryTest, DegenerateFreeEqualsMaxIsAStep) {
+  CoverageMonitorOptions opts;
+  opts.free_coverage = 0.1;
+  opts.max_coverage = 0.1;  // Zero-width ramp.
+  opts.max_escalation = 40.0;
+  CoverageMonitor monitor(opts);
+  EXPECT_DOUBLE_EQ(monitor.EscalationForCoverage(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(monitor.EscalationForCoverage(0.1 + 1e-12), 40.0);
+}
+
+TEST(CoverageBoundaryTest, MisconfiguredMaxEscalationClampsToOne) {
+  CoverageMonitorOptions opts;
+  opts.free_coverage = 0.0;
+  opts.max_coverage = 0.5;
+  opts.max_escalation = 0.25;  // Nonsense: escalation must never
+                               // DISCOUNT the base delay.
+  CoverageMonitor monitor(opts);
+  for (double c = 0.0; c <= 1.0; c += 0.05) {
+    EXPECT_GE(monitor.EscalationForCoverage(c), 1.0) << c;
+  }
+}
+
+TEST(CoverageBoundaryTest, SketchEstimateStaysInsideHllErrorBand) {
+  // Precision 12 => standard error ~1.04/sqrt(4096) ~ 1.63%. The
+  // sketch's estimate of an exactly known distinct count must land
+  // well inside a 5-sigma band, so EscalationFactor's edge behavior is
+  // only ever off by that band, never by a gross margin.
+  CoverageMonitorOptions opts;
+  opts.hll_precision = 12;
+  CoverageMonitor monitor(opts);
+  const double sigma = 1.04 / std::sqrt(4096.0);
+  for (int64_t exact : {100, 1'000, 10'000, 50'000}) {
+    monitor.Forget(9);
+    for (int64_t k = 0; k < exact; ++k) monitor.RecordAccess(9, k);
+    const double est = monitor.DistinctTuples(9);
+    EXPECT_NEAR(est, static_cast<double>(exact),
+                5.0 * sigma * static_cast<double>(exact))
+        << exact;
+  }
+}
+
+TEST(CoverageBoundaryTest, SubnetKeyingSeesWhatIdentityKeyingCannot) {
+  // A Sybil fleet: 10 identities in one /24, each touching a DISJOINT
+  // 3% slice. Keyed per identity, nobody crosses the 5% free line.
+  // Keyed per subnet (principal = Subnet24 value), the same accesses
+  // aggregate to 30% and hit full escalation -- the whole point of
+  // subnet-scoped coverage.
+  CoverageMonitorOptions opts;
+  opts.free_coverage = 0.05;
+  opts.max_coverage = 0.25;
+  opts.max_escalation = 100.0;
+  CoverageMonitor by_identity(opts);
+  CoverageMonitor by_subnet(opts);
+  const uint64_t n = 10'000;
+  Identity member;
+  member.ipv4 = Ipv4FromString("10.1.2.3");
+  const IdentityId subnet_principal = member.Subnet24();
+  for (uint64_t sybil = 0; sybil < 10; ++sybil) {
+    const IdentityId identity = 100 + sybil;
+    const int64_t lo = static_cast<int64_t>(sybil * 300);
+    for (int64_t k = lo; k < lo + 300; ++k) {
+      by_identity.RecordAccess(identity, k);
+      by_subnet.RecordAccess(subnet_principal, k);
+    }
+  }
+  for (uint64_t sybil = 0; sybil < 10; ++sybil) {
+    EXPECT_DOUBLE_EQ(by_identity.EscalationFactor(100 + sybil, n), 1.0)
+        << sybil;
+  }
+  EXPECT_DOUBLE_EQ(by_subnet.EscalationFactor(subnet_principal, n),
+                   100.0);
 }
 
 }  // namespace

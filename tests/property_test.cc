@@ -19,6 +19,7 @@
 #include "common/random.h"
 #include "common/zipf.h"
 #include "core/analytic_zipf_delay.h"
+#include "defense/reputation.h"
 #include "core/popularity_delay.h"
 #include "sim/adversary.h"
 #include "stats/count_tracker.h"
@@ -485,6 +486,107 @@ TEST(ConvergenceTest, SimulatedExtractionMatchesClosedForm) {
   EXPECT_NEAR(report.total_delay_seconds, closed_form,
               closed_form * 1e-3);
 }
+
+// ---------- Reputation store properties ----------
+
+class ReputationPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ReputationPropertyTest, ComposedDelayNeverBelowBaseForAnyHistory) {
+  // Against random signal/decay/access histories, for every (key,
+  // principal, time) probe: ReputationDelayPolicy::Compose(d) >= d and
+  // PenaltyFactor >= 1.
+  Rng rng(GetParam());
+  ReputationOptions opts;
+  opts.growth = 1.0 + rng.NextDouble() * 3.0;
+  opts.subnet_growth = 1.0 + rng.NextDouble() * 2.0;
+  opts.half_life_seconds = 1.0 + rng.NextDouble() * 100.0;
+  opts.breadth_free_fraction = rng.NextDouble() * 0.1;
+  ReputationStore store(opts);
+  ReputationDelayPolicy policy(nullptr, &store);
+
+  double now = 0.0;
+  for (int step = 0; step < 2000; ++step) {
+    now += rng.Exponential(1.0);
+    const uint64_t identity = rng.Uniform(8);
+    const uint32_t subnet = static_cast<uint32_t>(rng.Uniform(4)) << 8;
+    switch (rng.Uniform(3)) {
+      case 0:
+        store.RecordSignal(identity, subnet, now,
+                           ReputationSignal::kExternal,
+                           rng.NextDouble() * 2.0);
+        break;
+      case 1:
+        store.ObserveAccess(identity, subnet,
+                            static_cast<int64_t>(rng.Uniform(500)),
+                            500, now);
+        break;
+      case 2:
+        store.RecordBenign(identity, subnet, now);
+        break;
+    }
+    const double base = rng.NextDouble() * 10.0;
+    const double composed = policy.Compose(base, identity, subnet, now);
+    ASSERT_GE(composed, base) << "step " << step;
+    ASSERT_GE(store.PenaltyFactor(identity, subnet, now), 1.0)
+        << "step " << step;
+  }
+}
+
+TEST_P(ReputationPropertyTest, MonotoneGrowthAndFullDecay) {
+  // Sustained extraction-shaped signals grow the factor monotonically
+  // (decay between signals never outruns growth at dt=0), and any
+  // history decays all the way back to EXACTLY baseline.
+  Rng rng(GetParam());
+  ReputationOptions opts;
+  opts.growth = 2.0;
+  opts.half_life_seconds = 50.0;
+  opts.max_penalty = 1e6;
+  ReputationStore store(opts);
+
+  double prev = 1.0;
+  const int signals = 5 + static_cast<int>(rng.Uniform(20));
+  for (int i = 0; i < signals; ++i) {
+    store.RecordSignal(1, 0x0A000000, 0.0, ReputationSignal::kExternal,
+                       0.1 + rng.NextDouble());
+    const double factor = store.PenaltyFactor(1, 0x0A000000, 0.0);
+    ASSERT_GT(factor, prev) << i;
+    prev = factor;
+  }
+  // log-penalty halves every half-life and snaps to zero inside
+  // baseline_epsilon; 60 half-lives is past the snap for any capped
+  // penalty.
+  const double quiet = 60.0 * opts.half_life_seconds;
+  EXPECT_DOUBLE_EQ(store.PenaltyFactor(1, 0x0A000000, quiet), 1.0);
+}
+
+TEST_P(ReputationPropertyTest, ChurnedIdentitiesCannotShedSubnetPenalty) {
+  // However the fleet churns identities, the subnet factor is
+  // non-decreasing at a fixed instant: rebirth sheds only the identity
+  // component.
+  Rng rng(GetParam());
+  ReputationOptions opts;
+  opts.subnet_growth = 1.5;
+  opts.max_subnet_penalty = 1e9;
+  ReputationStore store(opts);
+  const uint32_t subnet = 0x0A000000;
+
+  double floor = 1.0;
+  for (int gen = 0; gen < 50; ++gen) {
+    const uint64_t identity = 1000 + gen;
+    store.RecordSignal(identity, subnet, 0.0,
+                       ReputationSignal::kExternal);
+    if (rng.Bernoulli(0.5)) store.ForgetIdentity(identity);  // Churn.
+    const uint64_t fresh = 100000 + gen;
+    const double inherited = store.PenaltyFactor(fresh, subnet, 0.0);
+    ASSERT_GE(inherited, floor) << gen;
+    floor = inherited;
+  }
+  EXPECT_GT(floor, 100.0);  // 1.5^50 capped by max_subnet_penalty.
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReputationPropertyTest,
+                         ::testing::Values(11u, 23u, 37u));
 
 }  // namespace
 }  // namespace tarpit
