@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <condition_variable>
+#include <thread>
 #include <utility>
 
 #include "sql/parser.h"
@@ -34,6 +35,31 @@ class InFlightMark {
 
 bool IsMutatingStatement(const Statement& stmt) {
   return stmt.kind != Statement::Kind::kSelect;
+}
+
+/// Matches `pk = <int literal>` (either operand order). Anything else
+/// -- ranges, AND chains, other columns, non-integer literals -- is
+/// not a single-key write and stays on the exclusive fallback.
+bool PkEqLiteral(const Expr* where, const std::string& pk_name,
+                 int64_t* key) {
+  if (where == nullptr || where->kind != Expr::Kind::kBinary ||
+      where->op != BinaryOp::kEq) {
+    return false;
+  }
+  const Expr* col = where->lhs.get();
+  const Expr* lit = where->rhs.get();
+  if (col == nullptr || lit == nullptr) return false;
+  if (col->kind == Expr::Kind::kLiteral &&
+      lit->kind == Expr::Kind::kColumn) {
+    std::swap(col, lit);
+  }
+  if (col->kind != Expr::Kind::kColumn ||
+      lit->kind != Expr::Kind::kLiteral) {
+    return false;
+  }
+  if (col->column != pk_name || !lit->literal.is_int()) return false;
+  *key = lit->literal.AsInt();
+  return true;
 }
 
 /// Accumulates wall (or virtual) time into a trace's phase buckets
@@ -68,10 +94,20 @@ ConcurrentProtectedDatabase::ConcurrentProtectedDatabase(
   if (concurrent_options_.num_shards == 0) {
     concurrent_options_.num_shards = 1;
   }
+  const DelayMode mode = inner_->options().mode;
+  reads_need_update_stats_ =
+      mode == DelayMode::kUpdateRate || mode == DelayMode::kCombinedMax;
+  // Rank (and f_max) enter the delay formula only through the
+  // popularity term's rank^beta; with beta == 0 (or a rank-free mode)
+  // reads can skip the rank index -- flush and lookup -- entirely.
+  reads_need_rank_ = (mode == DelayMode::kAccessPopularity ||
+                      mode == DelayMode::kCombinedMax) &&
+                     inner_->options().popularity.beta != 0.0;
   if (concurrent_options_.mode == ConcurrencyMode::kSharded) {
     ConcurrentCountTrackerOptions topts;
     topts.num_shards = concurrent_options_.stats_shards;
     topts.epoch_batch = concurrent_options_.epoch_batch;
+    topts.rank_reads = reads_need_rank_;
     stats_tracker_ = std::make_unique<ConcurrentCountTracker>(
         inner_->access_tracker(), topts);
     if (inner_->count_cache() != nullptr) {
@@ -98,6 +134,16 @@ ConcurrentProtectedDatabase::ConcurrentProtectedDatabase(
       row_stripes_.push_back(std::make_unique<RowStripe>());
       acct_stripes_.push_back(std::make_unique<AcctStripe>());
     }
+    if (concurrent_options_.mvcc_writes) {
+      epoch_mgr_ = std::make_unique<EpochManager>();
+      version_store_ = std::make_unique<VersionStore>(
+          concurrent_options_.version_store_stripes);
+      if (inner_->table() != nullptr) {
+        logical_rows_.store(inner_->table()->NumRows(),
+                            std::memory_order_relaxed);
+      }
+      last_reclaim_micros_ = inner_->clock()->NowMicros();
+    }
   }
   if (concurrent_options_.metrics != nullptr) {
     obs::MetricRegistry* m = concurrent_options_.metrics;
@@ -120,6 +166,24 @@ ConcurrentProtectedDatabase::ConcurrentProtectedDatabase(
     // The scheduler reads its registry from its own options; thread it
     // through so callers set one pointer, not two.
     concurrent_options_.scheduler.metrics = m;
+    if (epoch_mgr_ != nullptr) {
+      m_mvcc_installed_ =
+          m->GetCounter("tarpit_mvcc_versions_installed_total");
+      m_mvcc_applied_ = m->GetCounter("tarpit_mvcc_versions_applied_total");
+      m_mvcc_reclaimed_ =
+          m->GetCounter("tarpit_mvcc_versions_reclaimed_total");
+      m_mvcc_reclaim_passes_ =
+          m->GetCounter("tarpit_mvcc_reclaim_passes_total");
+      m_mvcc_pins_ = m->GetCounter("tarpit_mvcc_snapshot_pins_total");
+      m_write_batches_ = m->GetCounter("tarpit_write_batches_total");
+      m_ddl_fences_ = m->GetCounter("tarpit_mvcc_ddl_fences_total");
+      m_mvcc_live_versions_ = m->GetGauge("tarpit_mvcc_live_versions");
+      m_mvcc_commit_epoch_ = m->GetGauge("tarpit_mvcc_commit_epoch");
+      m_mvcc_min_active_ = m->GetGauge("tarpit_mvcc_min_active_epoch");
+      obs::HistogramOptions ops;
+      ops.unit = "ops";
+      m_write_batch_ops_ = m->GetHistogram("tarpit_write_batch_ops", {}, ops);
+    }
   }
   sink_ = concurrent_options_.trace_sink;
   if (concurrent_options_.async_stalls) {
@@ -342,6 +406,424 @@ void ConcurrentProtectedDatabase::InvalidateRowCaches() {
   }
 }
 
+void ConcurrentProtectedDatabase::EraseCachedRow(int64_t key) {
+  if (row_stripes_.empty()) return;
+  RowStripe& stripe = *row_stripes_[RowStripeFor(key)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.rows.erase(key);
+}
+
+void ConcurrentProtectedDatabase::RefillCachedRow(int64_t key,
+                                                  const Row& row) {
+  const size_t cap = concurrent_options_.row_cache_capacity_per_shard;
+  if (row_stripes_.empty() || cap == 0) return;
+  RowStripe& stripe = *row_stripes_[RowStripeFor(key)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.rows.find(key);
+  if (it != stripe.rows.end()) {
+    it->second = row;  // Overwrite: the entry may hold the pre-apply image.
+    return;
+  }
+  if (stripe.rows.size() >= cap) stripe.rows.clear();
+  stripe.rows.emplace(key, row);
+}
+
+// --- MVCC write path. ----------------------------------------------------
+
+bool ConcurrentProtectedDatabase::CanLowerDml(const Statement& stmt) const {
+  if (epoch_mgr_ == nullptr || stmt.explain) return false;
+  Table* table = inner_->table();
+  if (table == nullptr) return false;
+  const std::string& name = table->name();
+  const std::string& pk_name =
+      table->schema().column(table->pk_column()).name;
+  int64_t key = 0;
+  switch (stmt.kind) {
+    case Statement::Kind::kInsert:
+      // Column-mapping/arity/duplicate errors reproduce serial
+      // semantics on the MVCC path itself, so every protected-table
+      // INSERT is eligible.
+      return stmt.insert.table == name;
+    case Statement::Kind::kUpdate:
+      return stmt.update.table == name &&
+             PkEqLiteral(stmt.update.where.get(), pk_name, &key);
+    case Statement::Kind::kDelete:
+      return stmt.del.table == name &&
+             PkEqLiteral(stmt.del.where.get(), pk_name, &key);
+    default:
+      return false;
+  }
+}
+
+Result<ProtectedResult> ConcurrentProtectedDatabase::SubmitWrite(
+    const Statement& stmt) {
+  WriteOp op;
+  op.stmt = &stmt;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    batch_queue_.push_back(&op);
+    if (!batch_leader_active_) {
+      batch_leader_active_ = true;
+      leader = true;
+    }
+  }
+  if (!leader) {
+    // Yield-spin before parking: a batch executes in microseconds, so
+    // the common case (especially on few cores, where the scheduler
+    // hands the slice straight to the leader) is that the result is
+    // ready within a few yields -- skipping the futex sleep/wake pair
+    // that otherwise dominates a follower's cost.
+    for (int spin = 0; spin < 64; ++spin) {
+      if (op.done.load(std::memory_order_acquire)) {
+        return std::move(op.result);
+      }
+      std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(batch_mu_);
+    batch_cv_.wait(lock, [&] {
+      return op.done.load(std::memory_order_acquire);
+    });
+    return std::move(op.result);
+  }
+  // Leader: optionally let a burst accumulate (the write-path
+  // equivalent of the WAL's group-commit window, on the same injected
+  // clock), then drain the queue until it runs dry -- each queued
+  // statement is one commit epoch, and followers that arrived while a
+  // batch executed ride the next pass instead of waiting for a lock.
+  if (concurrent_options_.write_batch_window_micros > 0) {
+    inner_->clock()->SleepForMicros(
+        concurrent_options_.write_batch_window_micros);
+  }
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  while (true) {
+    std::vector<WriteOp*> batch;
+    {
+      std::lock_guard<std::mutex> lock(batch_mu_);
+      while (!batch_queue_.empty()) {
+        batch.push_back(batch_queue_.front());
+        batch_queue_.pop_front();
+      }
+      if (batch.empty()) {
+        batch_leader_active_ = false;
+        break;
+      }
+    }
+    write_batches_.fetch_add(1, std::memory_order_relaxed);
+    if (m_write_batches_ != nullptr) m_write_batches_->Increment();
+    if (m_write_batch_ops_ != nullptr) {
+      m_write_batch_ops_->Record(static_cast<int64_t>(batch.size()));
+    }
+    for (WriteOp* w : batch) {
+      w->result = ExecuteMvccStatement(*w->stmt);
+    }
+    {
+      std::lock_guard<std::mutex> lock(batch_mu_);
+      for (WriteOp* w : batch) {
+        w->done.store(true, std::memory_order_release);
+      }
+    }
+    batch_cv_.notify_all();
+  }
+  MaybeReclaim();
+  return std::move(op.result);
+}
+
+Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteMvccStatement(
+    const Statement& stmt) {
+  Table* table = inner_->table();
+  if (table == nullptr) {
+    return Status::FailedPrecondition("protected table not created yet");
+  }
+  const Schema& schema = table->schema();
+  const size_t pk = table->pk_column();
+  const std::string& pk_name = schema.column(pk).name;
+
+  // Every version this statement writes commits under ONE new epoch,
+  // published after the last install -- even when the statement errors
+  // mid-way, so a partially applied multi-row INSERT exposes exactly
+  // the prefix the serial executor would have persisted.
+  const uint64_t epoch = epoch_mgr_->current() + 1;
+  size_t installed = 0;
+  auto install = [&](int64_t key, bool tombstone, Row row) {
+    version_store_->Install(key, epoch, tombstone, std::move(row));
+    ++installed;
+    if (m_mvcc_installed_ != nullptr) m_mvcc_installed_->Increment();
+    // Commit-time precision invalidation: the cached image is now
+    // stale for any snapshot that will see this epoch.
+    EraseCachedRow(key);
+  };
+  // Read-your-writes resolution for the leader: chain head first, row
+  // cache second, base third (base is stable -- only the reclaimer
+  // writes it, and we hold writer_mu_). Returns false when the key
+  // does not exist.
+  auto resolve = [&](int64_t key, Row* out) -> Result<bool> {
+    switch (version_store_->Head(key, out)) {
+      case VersionLookup::kRow:
+        return true;
+      case VersionLookup::kTombstone:
+        return false;
+      case VersionLookup::kMiss:
+        break;
+    }
+    // Chain empty for this key, so any cached image equals base: the
+    // only writers besides this leader are pin-guarded read fills
+    // (which copy the current base image -- the pin forbids a reclaim
+    // from changing base underneath them) and the reclaimer itself
+    // (serialized out by writer_mu_), and every commit erases the
+    // key's entry at install. A cache-resident key therefore skips
+    // the base read entirely -- the hot-write fast path.
+    if (!row_stripes_.empty()) {
+      RowStripe& stripe = *row_stripes_[RowStripeFor(key)];
+      std::lock_guard<std::mutex> cache_lock(stripe.mu);
+      auto it = stripe.rows.find(key);
+      if (it != stripe.rows.end()) {
+        if (out != nullptr) *out = it->second;
+        return true;
+      }
+    }
+    std::shared_lock<std::shared_mutex> lock(storage_mu_);
+    Result<Row> existing = table->GetByKey(key);
+    if (existing.ok()) {
+      if (out != nullptr) *out = std::move(*existing);
+      return true;
+    }
+    if (existing.status().IsNotFound()) return false;
+    return existing.status();
+  };
+
+  QueryResult qr;
+  auto run = [&]() -> Status {
+    switch (stmt.kind) {
+      case Statement::Kind::kInsert: {
+        // Mirrors Executor::ExecuteInsert + Table::Insert: same
+        // errors, same ordering, same partial-prefix persistence.
+        const InsertStatement& ins = stmt.insert;
+        std::vector<size_t> positions;
+        if (ins.columns.empty()) {
+          positions.resize(schema.num_columns());
+          for (size_t i = 0; i < schema.num_columns(); ++i) {
+            positions[i] = i;
+          }
+        } else {
+          for (const std::string& name : ins.columns) {
+            TARPIT_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
+            positions.push_back(idx);
+          }
+        }
+        for (const Row& values : ins.rows) {
+          if (values.size() != positions.size()) {
+            return Status::InvalidArgument(
+                "INSERT arity mismatch: " + std::to_string(values.size()) +
+                " values for " + std::to_string(positions.size()) +
+                " columns");
+          }
+          Row row(schema.num_columns(), Value::Null());
+          for (size_t i = 0; i < positions.size(); ++i) {
+            row[positions[i]] = values[i];
+          }
+          TARPIT_RETURN_IF_ERROR(schema.Validate(row));
+          if (pk >= row.size() || !row[pk].is_int()) {
+            return Status::InvalidArgument(
+                "row lacks integer primary key");
+          }
+          const int64_t key = row[pk].AsInt();
+          TARPIT_ASSIGN_OR_RETURN(bool exists, resolve(key, nullptr));
+          if (exists) {
+            return Status::AlreadyExists("duplicate key " +
+                                         std::to_string(key));
+          }
+          TARPIT_RETURN_IF_ERROR(table->LogInsert(row));
+          install(key, /*tombstone=*/false, std::move(row));
+          logical_rows_.fetch_add(1, std::memory_order_relaxed);
+          qr.touched_keys.push_back(key);
+          ++qr.affected;
+        }
+        return Status::OK();
+      }
+      case Statement::Kind::kUpdate: {
+        const UpdateStatement& upd = stmt.update;
+        std::vector<std::pair<size_t, Value>> assignments;
+        for (const auto& [name, value] : upd.assignments) {
+          TARPIT_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
+          if (idx == pk) {
+            return Status::InvalidArgument(
+                "updating the primary key is not supported; "
+                "DELETE then INSERT instead");
+          }
+          assignments.emplace_back(idx, value);
+        }
+        int64_t key = 0;
+        PkEqLiteral(upd.where.get(), pk_name, &key);  // Eligible shape.
+        qr.plan.kind = AccessPathKind::kPointLookup;
+        qr.plan.point_key = key;
+        qr.plan.fully_absorbed = true;
+        Row row;
+        TARPIT_ASSIGN_OR_RETURN(bool found, resolve(key, &row));
+        if (!found) return Status::OK();  // No match: affected = 0.
+        for (const auto& [idx, value] : assignments) row[idx] = value;
+        TARPIT_RETURN_IF_ERROR(schema.Validate(row));
+        TARPIT_RETURN_IF_ERROR(table->LogUpdate(row));
+        install(key, /*tombstone=*/false, std::move(row));
+        qr.touched_keys.push_back(key);
+        ++qr.affected;
+        return Status::OK();
+      }
+      case Statement::Kind::kDelete: {
+        const DeleteStatement& del = stmt.del;
+        int64_t key = 0;
+        PkEqLiteral(del.where.get(), pk_name, &key);  // Eligible shape.
+        qr.plan.kind = AccessPathKind::kPointLookup;
+        qr.plan.point_key = key;
+        qr.plan.fully_absorbed = true;
+        TARPIT_ASSIGN_OR_RETURN(bool found, resolve(key, nullptr));
+        if (!found) return Status::OK();
+        TARPIT_RETURN_IF_ERROR(table->LogDelete(key));
+        install(key, /*tombstone=*/true, Row());
+        logical_rows_.fetch_sub(1, std::memory_order_relaxed);
+        qr.touched_keys.push_back(key);
+        ++qr.affected;
+        return Status::OK();
+      }
+      default:
+        return Status::Internal("statement is not MVCC-lowerable");
+    }
+  };
+  Status st = run();
+  if (installed > 0) {
+    epoch_mgr_->Publish(epoch);
+    mvcc_commits_.fetch_add(1, std::memory_order_relaxed);
+    ++commits_since_reclaim_;
+    if (m_mvcc_commit_epoch_ != nullptr) {
+      m_mvcc_commit_epoch_->Set(static_cast<int64_t>(epoch));
+    }
+    if (m_mvcc_live_versions_ != nullptr) {
+      m_mvcc_live_versions_->Set(
+          static_cast<int64_t>(version_store_->live_versions()));
+    }
+  }
+  TARPIT_RETURN_IF_ERROR(st);
+
+  // Bookkeeping mirrors the serial ExecuteStatement switch (and like
+  // it, runs only on success): the access-tracker side goes through
+  // the thread-safe spine, the update-tracker side through the inner
+  // seam under update_stats_mu_.
+  const uint64_t logical = logical_rows_.load(std::memory_order_relaxed);
+  switch (stmt.kind) {
+    case Statement::Kind::kInsert:
+      stats_tracker_->set_universe_size(logical);
+      break;
+    case Statement::Kind::kDelete:
+      stats_tracker_->set_universe_size(std::max<uint64_t>(1, logical));
+      break;
+    default:
+      break;
+  }
+  {
+    std::unique_lock<std::shared_mutex> us(update_stats_mu_);
+    inner_->RecordWriteForConcurrent(stmt.kind, logical, qr.touched_keys);
+  }
+  ProtectedResult out;
+  out.result = std::move(qr);  // Writes charge no delay (serial parity).
+  return out;
+}
+
+Status ConcurrentProtectedDatabase::ReclaimVersions(uint64_t boundary) {
+  Table* table = inner_->table();
+  if (table == nullptr) return Status::OK();
+  if (m_mvcc_reclaim_passes_ != nullptr) {
+    m_mvcc_reclaim_passes_->Increment();
+  }
+  if (m_mvcc_min_active_ != nullptr) {
+    m_mvcc_min_active_->Set(static_cast<int64_t>(boundary));
+  }
+  Status st = version_store_->Reclaim(
+      boundary,
+      [&](int64_t key, bool tombstone, const Row& row) -> Status {
+        {
+          // Base writes ride the per-page latches; storage_mu_ SHARED
+          // only keeps the count-cache flush hook (exclusive) out.
+          // writer_mu_ already serializes us against every other base
+          // writer.
+          std::shared_lock<std::shared_mutex> lock(storage_mu_);
+          TARPIT_RETURN_IF_ERROR(tombstone
+                                     ? table->ApplyDeleteUnlogged(key)
+                                     : table->ApplyUpsertUnlogged(row));
+        }
+        if (m_mvcc_applied_ != nullptr) m_mvcc_applied_->Increment();
+        // apply -> cache refresh -> unlink: a fill that cached the
+        // pre-apply base image is replaced here, before the chain
+        // entry that shadowed it disappears. Refilling (rather than
+        // erasing) is sound because every active pin is >= boundary
+        // >= this version's begin -- no snapshot that could legally
+        // see an older image exists -- and it keeps the cache warm,
+        // so neither readers nor the commit leader pay a base read
+        // for a just-reclaimed key.
+        if (tombstone) {
+          EraseCachedRow(key);
+        } else {
+          RefillCachedRow(key, row);
+        }
+        return Status::OK();
+      });
+  const uint64_t total = version_store_->reclaimed_total();
+  if (m_mvcc_reclaimed_ != nullptr && total > reclaimed_seen_) {
+    m_mvcc_reclaimed_->Increment(
+        static_cast<int64_t>(total - reclaimed_seen_));
+  }
+  reclaimed_seen_ = total;
+  if (m_mvcc_live_versions_ != nullptr) {
+    m_mvcc_live_versions_->Set(
+        static_cast<int64_t>(version_store_->live_versions()));
+  }
+  return st;
+}
+
+void ConcurrentProtectedDatabase::MaybeReclaim() {
+  bool due = false;
+  if (concurrent_options_.mvcc_reclaim_every_commits > 0 &&
+      commits_since_reclaim_ >=
+          concurrent_options_.mvcc_reclaim_every_commits) {
+    due = true;
+  }
+  if (concurrent_options_.mvcc_reclaim_interval_micros > 0 &&
+      inner_->clock()->NowMicros() - last_reclaim_micros_ >=
+          concurrent_options_.mvcc_reclaim_interval_micros) {
+    due = true;
+  }
+  if (!due) return;
+  if (version_store_->live_versions() == 0) {
+    commits_since_reclaim_ = 0;
+    last_reclaim_micros_ = inner_->clock()->NowMicros();
+    return;
+  }
+  const uint64_t boundary = epoch_mgr_->MinActiveLowerBound();
+  if (boundary == 0) return;  // A pin mid-publication; next pass.
+  Status st = ReclaimVersions(boundary);
+  if (!st.ok() && deferred_mvcc_status_.ok()) deferred_mvcc_status_ = st;
+  commits_since_reclaim_ = 0;
+  last_reclaim_micros_ = inner_->clock()->NowMicros();
+}
+
+Status ConcurrentProtectedDatabase::DrainVersions() {
+  if (version_store_ == nullptr ||
+      version_store_->live_versions() == 0) {
+    return Status::OK();
+  }
+  // No commit can publish while we hold writer_mu_, so waiting out
+  // snapshots older than the newest epoch terminates: pins cover one
+  // row resolution (never a stall) and new pins land at the current
+  // epoch.
+  const uint64_t target = epoch_mgr_->current();
+  while (epoch_mgr_->MinActiveLowerBound() < target) {
+    std::this_thread::yield();
+  }
+  Status st = ReclaimVersions(target);
+  commits_since_reclaim_ = 0;
+  last_reclaim_micros_ = inner_->clock()->NowMicros();
+  return st;
+}
+
 void ConcurrentProtectedDatabase::QuiesceStats() {
   if (stats_tracker_ != nullptr) stats_tracker_->FlushAll();
 }
@@ -351,6 +833,15 @@ ProtectedDatabase* ConcurrentProtectedDatabase::unsafe_inner() {
          "unsafe_inner() while queries are in flight -- the inner "
          "database is single-threaded");
   QuiesceStats();
+  if (epoch_mgr_ != nullptr) {
+    // Fold pending versions into base so inner inspections (NumRows,
+    // table scans, tracker state) are exact.
+    std::lock_guard<std::mutex> writer(writer_mu_);
+    Status st = DrainVersions();
+    if (!st.ok() && deferred_mvcc_status_.ok()) {
+      deferred_mvcc_status_ = st;
+    }
+  }
   return inner_.get();
 }
 
@@ -412,43 +903,84 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKeySharded(
       return Status::FailedPrecondition("protected table not created yet");
     }
 
-    // 1. Resolve the row through the lock-striped read-through cache.
+    // 1. Resolve the row: version chains under a pinned snapshot
+    //    epoch, then the lock-striped read-through cache, then base
+    //    storage. The pin is HELD across the base read and the cache
+    //    fill: while any snapshot older than an in-flight commit is
+    //    pinned, the reclaimer cannot apply that commit's versions to
+    //    base, and both commit and reclaim erase the key's cache entry
+    //    after writing -- so an image cached here can never outlive
+    //    the state it reflects.
     const size_t stripe_idx = RowStripeFor(key);
     RowStripe& stripe = *row_stripes_[stripe_idx];
     Row row;
-    bool hit = false;
-    {
-      std::lock_guard<std::mutex> lock(stripe.mu);
-      auto it = stripe.rows.find(key);
-      if (it != stripe.rows.end()) {
-        row = it->second;
-        hit = true;
+    bool resolved = false;
+    EpochManager::Snapshot snap;
+    if (epoch_mgr_ != nullptr) {
+      snap = epoch_mgr_->Pin();
+      if (m_mvcc_pins_ != nullptr) m_mvcc_pins_->Increment();
+      // Empty-store fast path: the pin's acquire edge means a chain
+      // lookup can only find versions installed before the pinned
+      // epoch's publish, and every such install incremented
+      // live_versions first -- reading 0 here proves the probe would
+      // miss. (The pin itself stays: it is what keeps the reclaimer
+      // from folding a newer commit into base mid-read below.)
+      switch (version_store_->live_versions() == 0
+                  ? VersionLookup::kMiss
+                  : version_store_->Lookup(key, snap.epoch(), &row)) {
+        case VersionLookup::kRow:
+          resolved = true;
+          break;
+        case VersionLookup::kTombstone:
+          // Deleted as of this snapshot. Like the serial path's base
+          // miss, nothing is recorded and nothing is charged.
+          return Status::NotFound("key not found: " +
+                                  std::to_string(key));
+        case VersionLookup::kMiss:
+          break;
       }
     }
-    if (hit) {
-      row_cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      if (m_row_hits_ != nullptr) m_row_hits_->Increment();
-    } else {
-      Result<Row> fetched = Status::Internal("unset");
+    if (!resolved) {
+      bool hit = false;
       {
-        // Read-only storage access is thread-safe (sharded buffer
-        // pool, crabbing B+tree descent): misses proceed in parallel
-        // under a shared lock, excluded only from in-region storage
-        // writers (count-cache flush hook).
-        std::shared_lock<std::shared_mutex> lock(storage_mu_);
-        fetched = table->GetByKey(key);
-      }
-      if (!fetched.ok()) return fetched.status();
-      row = std::move(*fetched);
-      row_cache_misses_.fetch_add(1, std::memory_order_relaxed);
-      if (m_row_misses_ != nullptr) m_row_misses_->Increment();
-      const size_t cap = concurrent_options_.row_cache_capacity_per_shard;
-      if (cap > 0) {
         std::lock_guard<std::mutex> lock(stripe.mu);
-        if (stripe.rows.size() >= cap) stripe.rows.clear();
-        stripe.rows.emplace(key, row);
+        auto it = stripe.rows.find(key);
+        if (it != stripe.rows.end()) {
+          row = it->second;
+          hit = true;
+        }
+      }
+      if (hit) {
+        row_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (m_row_hits_ != nullptr) m_row_hits_->Increment();
+      } else {
+        Result<Row> fetched = Status::Internal("unset");
+        {
+          // Read-only storage access is thread-safe (sharded buffer
+          // pool, per-page latches, latch-crabbing B+tree descent):
+          // misses proceed in parallel under a shared lock, excluded
+          // only from in-region storage writers (count-cache flush
+          // hook).
+          std::shared_lock<std::shared_mutex> lock(storage_mu_);
+          fetched = table->GetByKey(key);
+        }
+        if (!fetched.ok()) return fetched.status();
+        row = std::move(*fetched);
+        row_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+        if (m_row_misses_ != nullptr) m_row_misses_->Increment();
+        const size_t cap =
+            concurrent_options_.row_cache_capacity_per_shard;
+        if (cap > 0) {
+          std::lock_guard<std::mutex> lock(stripe.mu);
+          if (stripe.rows.size() >= cap) stripe.rows.clear();
+          stripe.rows.emplace(key, row);
+        }
       }
     }
+    // The row (and any cache fill) is consistent with the pinned
+    // epoch; release the pin before the stats/delay work so reclaim
+    // drains are not held up by spine contention.
+    snap.Release();
 
     pm.Mark(obs::TracePhase::kAdmit);
 
@@ -457,9 +989,19 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKeySharded(
     //    computed from a read-mostly snapshot, never by mutating
     //    shared policy state. RecordAndStats fuses both into a single
     //    spine/stripe acquisition.
-    const PopularityStats stats = stats_tracker_->RecordAndStats(key);
+    const PopularityStats stats =
+        stats_tracker_->RecordAndStats(key, reads_need_rank_);
     pm.Mark(obs::TracePhase::kStatsLookup);
-    out.delay_seconds = inner_->DelayForAccessStats(stats, key);
+    {
+      // Update-rate-based modes read the inner update tracker/policy,
+      // which the commit leader and SELECTs write exclusively. Access-
+      // only modes compute purely from `stats` + immutable params, so
+      // they skip the (global, contended) lock entirely.
+      std::shared_lock<std::shared_mutex> us(update_stats_mu_,
+                                             std::defer_lock);
+      if (reads_need_update_stats_) us.lock();
+      out.delay_seconds = inner_->DelayForAccessStats(stats, key);
+    }
 
     // 2b. Reputation: escalate before the stripe accounting records
     //     the charge, so accounting matches what the caller is
@@ -506,6 +1048,7 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSqlSharded(
   std::shared_ptr<const PreparedStatement> prep;
   Statement fallback_stmt;
   const Statement* stmt = nullptr;
+  bool lower = false;
   {
     std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
     if (inner_->plan_cache() != nullptr) {
@@ -515,18 +1058,54 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSqlSharded(
       TARPIT_ASSIGN_OR_RETURN(fallback_stmt, Parser::Parse(sql));
       stmt = &fallback_stmt;
     }
+    // MVCC eligibility needs the table's schema, so decide it here
+    // under the same shared DDL lock as the classification.
+    lower = IsMutatingStatement(*stmt) && CanLowerDml(*stmt);
   }
   Result<ProtectedResult> result = Status::Internal("unset");
-  if (IsMutatingStatement(*stmt)) {
+  if (lower) {
+    InFlightMark mark(&in_flight_);
+    // MVCC write path: runs under the SHARED DDL lock -- point reads
+    // keep flowing while the batch leader commits into the version
+    // store. Per-key cache invalidation happens at install time.
+    std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
+    result = SubmitWrite(*stmt);
+  } else if (IsMutatingStatement(*stmt)) {
     InFlightMark mark(&in_flight_);
     // Writer/DDL path: exclusive against all readers. The inner
     // database (executor, trackers, universe sizes) can be touched
     // freely; row caches are invalidated because UPDATE/DELETE/DDL
     // change what GetByKey must observe.
     std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+    if (epoch_mgr_ != nullptr) {
+      // DDL fence: with ddl_mu_ exclusive no snapshot can be pinned,
+      // so the store drains completely and the fallback executes
+      // against exact base state -- CREATE INDEX builds see every
+      // committed row and the plan cache's schema-version stamping
+      // stays fail-closed.
+      std::lock_guard<std::mutex> writer(writer_mu_);
+      TARPIT_RETURN_IF_ERROR(DrainVersions());
+      ddl_fences_.fetch_add(1, std::memory_order_relaxed);
+      if (m_ddl_fences_ != nullptr) m_ddl_fences_->Increment();
+    }
     result = prep != nullptr ? inner_->ExecutePrepared(*prep)
                              : inner_->ExecuteStatement(*stmt);
+    // The serial executor Recorded into the plain inner trackers;
+    // fold their deferred rank-index work while ddl X still excludes
+    // every shared reader (readers flush lazily and must never find
+    // pending work concurrently).
+    if (inner_->access_tracker() != nullptr) {
+      inner_->access_tracker()->SyncRankIndex();
+    }
+    if (inner_->update_tracker() != nullptr) {
+      inner_->update_tracker()->SyncRankIndex();
+    }
     InvalidateRowCaches();
+    if (epoch_mgr_ != nullptr && inner_->table() != nullptr) {
+      // The store is drained, so NumRows() is exact again.
+      logical_rows_.store(inner_->table()->NumRows(),
+                          std::memory_order_relaxed);
+    }
   } else {
     InFlightMark mark(&in_flight_);
     std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
@@ -535,7 +1114,17 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::ExecuteSqlSharded(
     // held SHARED -- the scan itself is safe alongside GetByKey misses;
     // the spine's exclusivity already excludes the count-cache flush
     // hook's storage writes. Spine -> storage is the global lock order.
+    // With MVCC on, the scan reads base storage, which cannot see
+    // unreclaimed versions: drain first and hold writer_mu_ across the
+    // scan so no commit slips in between. Writes may wait on a long
+    // SELECT; point readers never wait on either.
+    std::unique_lock<std::mutex> writer(writer_mu_, std::defer_lock);
+    if (epoch_mgr_ != nullptr) {
+      writer.lock();
+      TARPIT_RETURN_IF_ERROR(DrainVersions());
+    }
     stats_tracker_->WithExclusive([&](CountTracker*) {
+      std::unique_lock<std::shared_mutex> us(update_stats_mu_);
       std::shared_lock<std::shared_mutex> lock(storage_mu_);
       result = prep != nullptr ? inner_->ExecutePrepared(*prep)
                                : inner_->ExecuteStatement(*stmt);
@@ -655,7 +1244,17 @@ Status ConcurrentProtectedDatabase::BulkLoadRow(const Row& row) {
     return inner_->BulkLoadRow(row);
   }
   std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+  if (epoch_mgr_ != nullptr) {
+    // Bulk loads write base storage directly; fence them behind a
+    // drain so they cannot be shadowed by (or race) pending versions.
+    std::lock_guard<std::mutex> writer(writer_mu_);
+    TARPIT_RETURN_IF_ERROR(DrainVersions());
+  }
   Status s = inner_->BulkLoadRow(row);
+  if (s.ok() && epoch_mgr_ != nullptr && inner_->table() != nullptr) {
+    logical_rows_.store(inner_->table()->NumRows(),
+                        std::memory_order_relaxed);
+  }
   if (s.ok() && !row_stripes_.empty() && inner_->table() != nullptr) {
     // Defensive: drop any cached row under the same key (e.g. a reload
     // after out-of-band changes through unsafe_inner()).
@@ -676,6 +1275,14 @@ Status ConcurrentProtectedDatabase::Checkpoint() {
     return inner_->Checkpoint();
   }
   std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+  if (epoch_mgr_ != nullptr) {
+    // Fold every pending version into base BEFORE the inner checkpoint
+    // truncates the WAL -- commit-time WAL records are the only
+    // durable form of unreclaimed versions.
+    std::lock_guard<std::mutex> writer(writer_mu_);
+    TARPIT_RETURN_IF_ERROR(DrainVersions());
+    if (!deferred_mvcc_status_.ok()) return deferred_mvcc_status_;
+  }
   // Merge outstanding epoch deltas (also pushes them into the count
   // cache via the flush hook) before flushing storage.
   QuiesceStats();
@@ -699,6 +1306,7 @@ ProtectedDatabaseMetrics ConcurrentProtectedDatabase::Metrics() {
   std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
   ProtectedDatabaseMetrics m;
   stats_tracker_->WithExclusive([&](CountTracker*) {
+    std::shared_lock<std::shared_mutex> us(update_stats_mu_);
     std::lock_guard<std::shared_mutex> lock(storage_mu_);
     m = inner_->Metrics();
   });

@@ -2,6 +2,8 @@
 #define TARPIT_CORE_CONCURRENT_DB_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -17,6 +19,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/concurrent_count_tracker.h"
+#include "storage/mvcc.h"
 #include "storage/value.h"
 
 namespace tarpit {
@@ -64,6 +67,38 @@ struct ConcurrentDatabaseOptions {
   /// When false, delays are computed and accounted but not slept --
   /// for benches/simulations that measure rather than stall.
   bool serve_delays = true;
+  /// MVCC write path (kSharded only): eligible single-table DML
+  /// (INSERT, and primary-key-equality UPDATE/DELETE against the
+  /// protected table) lowers to group-committed version-store writes
+  /// under a SHARED DDL lock instead of excluding every reader.
+  /// Readers pin a snapshot epoch and resolve rows through the version
+  /// chains, so in steady state they never block on writers; a
+  /// reclaimer folds versions into base storage once no pinned
+  /// snapshot can still see older state. Ineligible statements (DDL,
+  /// range-predicate DML, EXPLAIN) fall back to the exclusive path
+  /// behind a version-store fence, which keeps the plan cache's
+  /// schema-version stamping and CREATE INDEX builds exact.
+  bool mvcc_writes = true;
+  /// Group-commit accumulation window for the write batcher: the
+  /// batch leader sleeps this long (on the injected clock, so virtual
+  /// time in simulations) before draining the queue, letting a burst
+  /// of concurrent writers share one leader pass -- the same idea as
+  /// the WAL's wal_group_commit_window_micros one layer up. 0 = drain
+  /// whatever queued while the previous batch executed.
+  int64_t write_batch_window_micros = 0;
+  /// Reclaim cadence: fold reclaimable versions into base storage
+  /// every N published commits (0 disables the commit trigger)...
+  size_t mvcc_reclaim_every_commits = 64;
+  /// ...and/or whenever this much injected-clock time has passed since
+  /// the last pass (0 disables the time trigger). Both zero = versions
+  /// are folded only at drain points (SELECT barriers, checkpoints,
+  /// DDL fences). Driven by the injected Clock, never the wall clock,
+  /// so VirtualClock tests reclaim deterministically.
+  int64_t mvcc_reclaim_interval_micros = 0;
+  /// Lock stripes in the version store (chain map shards). Sized like
+  /// num_shards: every GetByKey probes a stripe, so striping must
+  /// scale with the read side, not the (single-leader) write side.
+  size_t version_store_stripes = 64;
   /// Async stall scheduling: stalls park on a DelayScheduler (timer
   /// wheel + dispatcher pool) instead of blocking the calling thread,
   /// so a fixed thread budget carries tens of thousands of
@@ -97,28 +132,42 @@ struct ConcurrentDatabaseOptions {
 
 /// Thread-safe front door over a ProtectedDatabase.
 ///
-/// Locking model (lock order: ddl -> stats spine -> storage; stripe
-/// locks are leaves):
+/// Locking model (lock order: ddl -> writer -> stats spine ->
+/// update-stats -> storage; stripe locks and page latches are leaves):
 ///  * GetByKey (the extraction-critical path) holds `ddl_mu_` SHARED,
-///    resolves the row through a lock-striped read-through row cache
-///    (misses take `storage_mu_` SHARED: the sharded buffer pool and
-///    lock-crabbing B+tree descent make concurrent read-only storage
-///    access safe, so misses no longer serialize), records the access
-///    in a ConcurrentCountTracker, computes its delay from a
-///    read-mostly PopularityStats snapshot, and serves the stall
-///    OUTSIDE every lock -- concurrent sessions stall in parallel, the
-///    paper's section 2.4 parallel-attack semantics.
-///  * SELECT statements hold `ddl_mu_` shared and `storage_mu_` shared
-///    (reads run alongside GetByKey misses) but still serialize on the
-///    stats spine (the inner tracker and delay engine are
-///    single-threaded). Statement texts resolve through the inner
-///    plan cache, so the classification parse is the only parse and
-///    repeats skip compilation entirely.
+///    pins a snapshot epoch and resolves the row through the MVCC
+///    version chains, then a lock-striped read-through row cache, then
+///    base storage (`storage_mu_` SHARED: the sharded buffer pool and
+///    per-page latches make concurrent read-only storage access safe),
+///    records the access in a ConcurrentCountTracker, computes its
+///    delay from a read-mostly PopularityStats snapshot, and serves
+///    the stall OUTSIDE every lock -- concurrent sessions stall in
+///    parallel, the paper's section 2.4 parallel-attack semantics.
+///    Readers never take `writer_mu_`: in steady state they never
+///    block on writers.
+///  * Eligible DML (INSERT, pk-equality UPDATE/DELETE on the protected
+///    table) holds `ddl_mu_` SHARED and funnels through a write
+///    batcher: one leader at a time holds `writer_mu_`, executes the
+///    queued statements as version-store commits (WAL record at commit
+///    time, base image deferred to the reclaimer), publishes each
+///    commit epoch, and mirrors the serial path's tracker bookkeeping
+///    under the spine / `update_stats_mu_`.
+///  * SELECT statements hold `ddl_mu_` shared plus `writer_mu_` (a
+///    base-storage scan cannot see unreclaimed versions, so the
+///    version store is drained first and held empty across the scan)
+///    and still serialize on the stats spine (the inner tracker and
+///    delay engine are single-threaded). Statement texts resolve
+///    through the inner plan cache, so the classification parse is the
+///    only parse and repeats skip compilation entirely.
 ///  * Storage WRITERS inside the shared-lock region (the stats flush
 ///    hook pushing merged deltas into the persistent count cache) take
-///    `storage_mu_` EXCLUSIVE.
-///  * Mutating/DDL statements, bulk loads and checkpoints hold
-///    `ddl_mu_` EXCLUSIVE and invalidate the row caches.
+///    `storage_mu_` EXCLUSIVE. The MVCC reclaimer writes base pages
+///    under `storage_mu_` SHARED plus per-page latches (serialized
+///    against other base writers by `writer_mu_`).
+///  * Ineligible mutating statements (DDL, range DML), bulk loads and
+///    checkpoints hold `ddl_mu_` EXCLUSIVE -- which guarantees no
+///    snapshot is pinned -- drain the version store (the DDL fence),
+///    then run against exact base state and invalidate the row caches.
 ///
 /// Use a RealClock: VirtualClock is not synchronized and only makes
 /// sense on a single timeline anyway.
@@ -234,6 +283,28 @@ class ConcurrentProtectedDatabase {
     return stats_tracker_.get();
   }
 
+  /// MVCC observability (null when the write path is off).
+  EpochManager* epoch_manager() { return epoch_mgr_.get(); }
+  VersionStore* version_store() { return version_store_.get(); }
+  /// Published version-store commits (one per lowered DML statement).
+  uint64_t mvcc_commits() const {
+    return mvcc_commits_.load(std::memory_order_relaxed);
+  }
+  /// Leader passes through the write batcher.
+  uint64_t write_batches() const {
+    return write_batches_.load(std::memory_order_relaxed);
+  }
+  /// Version-store drains forced by exclusive-path statements.
+  uint64_t ddl_fences() const {
+    return ddl_fences_.load(std::memory_order_relaxed);
+  }
+  /// Logical row count of the protected table: base rows plus the
+  /// unreclaimed version-store effects (NumRows() alone goes stale
+  /// between a commit and its reclaim).
+  uint64_t logical_rows() const {
+    return logical_rows_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct RowStripe {
     std::mutex mu;
@@ -249,6 +320,18 @@ class ConcurrentProtectedDatabase {
     double total_delay = 0.0;
     uint64_t charges = 0;
     BoundedQuantileSketch sketch;
+  };
+
+  /// One queued write awaiting the batch leader. Lives on the
+  /// submitting thread's stack; the submitter blocks until `done`, so
+  /// the pointed-to statement outlives the op.
+  struct WriteOp {
+    const Statement* stmt = nullptr;
+    Result<ProtectedResult> result = Status::Internal("unset");
+    // Atomic so followers can poll it without batch_mu_; the leader
+    // still stores it under batch_mu_ (then notifies) so the cv
+    // fallback has no missed-wakeup window.
+    std::atomic<bool> done{false};
   };
 
   ConcurrentProtectedDatabase(std::unique_ptr<ProtectedDatabase> inner,
@@ -292,6 +375,40 @@ class ConcurrentProtectedDatabase {
   /// were charged.
   double ApplyReputation(ProtectedResult* r, double factor);
   void InvalidateRowCaches();
+  /// Drops the cached row for `key` (commit precision invalidation;
+  /// whole-cache invalidation stays on the DDL path).
+  void EraseCachedRow(int64_t key);
+  /// Installs (overwriting) the freshly reclaimed base image for
+  /// `key`, keeping the cache warm across a reclaim pass. Only legal
+  /// when no active snapshot could see an older image -- i.e. from
+  /// the reclaimer, whose boundary already proves that.
+  void RefillCachedRow(int64_t key, const Row& row);
+  /// True when `stmt` can run on the MVCC write path: a non-EXPLAIN
+  /// INSERT into the protected table, or an UPDATE/DELETE on it whose
+  /// WHERE clause is a pk-equality against an integer literal.
+  /// Everything else takes the exclusive fallback. Call under at least
+  /// a shared `ddl_mu_` (reads the table's schema).
+  bool CanLowerDml(const Statement& stmt) const;
+  /// Group commit: queues the statement and either leads (drains the
+  /// queue under `writer_mu_`, one commit epoch per statement, then
+  /// runs the reclaim cadence) or waits for a leader to execute it.
+  Result<ProtectedResult> SubmitWrite(const Statement& stmt);
+  /// Executes one lowered DML statement as one version-store commit.
+  /// Requires `writer_mu_`. Mirrors the serial executor exactly: same
+  /// errors, same partial-prefix INSERT persistence, same tracker
+  /// bookkeeping (skipped on error), no charged delay for writes.
+  Result<ProtectedResult> ExecuteMvccStatement(const Statement& stmt);
+  /// Folds versions with begin <= `boundary` into base storage.
+  /// Requires `writer_mu_`.
+  Status ReclaimVersions(uint64_t boundary);
+  /// Runs the commit-count / injected-clock reclaim cadence. Requires
+  /// `writer_mu_`; failures park in `deferred_mvcc_status_`.
+  void MaybeReclaim();
+  /// Empties the version store completely: waits until every pinned
+  /// snapshot has caught up to the newest epoch (pins are short-lived
+  /// -- they cover one row resolution, never a stall), then reclaims
+  /// at the current epoch. Requires `writer_mu_`.
+  Status DrainVersions();
   /// Starts a trace span for one request. Returns null (tracing off)
   /// or `tr` initialized with a fresh id and start stamp.
   obs::RequestTrace* BeginTrace(obs::RequestTrace* tr, const char* op,
@@ -326,6 +443,39 @@ class ConcurrentProtectedDatabase {
   // excludes everything via ddl_mu_ and needs no storage lock.
   std::shared_mutex ddl_mu_;
   std::shared_mutex storage_mu_;
+  /// Serializes version-store commits, reclamation and drains against
+  /// each other, and (held across the scan) pins SELECTs to a drained
+  /// store. Order: ddl_mu_ -> writer_mu_ -> spine -> update_stats_mu_
+  /// -> storage_mu_. GetByKey never takes it.
+  std::mutex writer_mu_;
+  /// Guards the inner update tracker / update policy: the commit
+  /// leader and SELECTs write them exclusively, GetByKey's
+  /// DelayForAccessStats reads them shared -- but only in the modes
+  /// that consult update stats at all (cached in the flag below), so
+  /// access-only reads never touch this (global) lock.
+  std::shared_mutex update_stats_mu_;
+  bool reads_need_update_stats_ = false;
+  /// True iff the configured policy's delay actually consumes
+  /// popularity rank (rank^beta with beta != 0): when false, the
+  /// sharded read path asks the stats spine for a rank-free snapshot
+  /// and the treap never appears on the read path.
+  bool reads_need_rank_ = true;
+  std::unique_ptr<EpochManager> epoch_mgr_;
+  std::unique_ptr<VersionStore> version_store_;
+  std::atomic<uint64_t> logical_rows_{0};
+  std::atomic<uint64_t> mvcc_commits_{0};
+  std::atomic<uint64_t> write_batches_{0};
+  std::atomic<uint64_t> ddl_fences_{0};
+  // Reclaim cadence + deferred-failure state. Guarded by writer_mu_.
+  uint64_t commits_since_reclaim_ = 0;
+  int64_t last_reclaim_micros_ = 0;
+  uint64_t reclaimed_seen_ = 0;
+  Status deferred_mvcc_status_ = Status::OK();
+  // Write batcher (leader/follower combining). Guarded by batch_mu_.
+  std::mutex batch_mu_;
+  std::condition_variable batch_cv_;
+  std::deque<WriteOp*> batch_queue_;
+  bool batch_leader_active_ = false;
   std::unique_ptr<ConcurrentCountTracker> stats_tracker_;
   std::vector<std::unique_ptr<RowStripe>> row_stripes_;
   std::vector<std::unique_ptr<AcctStripe>> acct_stripes_;
@@ -342,6 +492,18 @@ class ConcurrentProtectedDatabase {
   obs::Counter* m_row_misses_ = nullptr;
   obs::Counter* m_rep_escalated_ = nullptr;
   obs::Histogram* m_delay_charged_ns_ = nullptr;
+  // MVCC / write-path instruments (null when metrics or MVCC are off).
+  obs::Counter* m_mvcc_installed_ = nullptr;
+  obs::Counter* m_mvcc_applied_ = nullptr;
+  obs::Counter* m_mvcc_reclaimed_ = nullptr;
+  obs::Counter* m_mvcc_reclaim_passes_ = nullptr;
+  obs::Counter* m_mvcc_pins_ = nullptr;
+  obs::Counter* m_write_batches_ = nullptr;
+  obs::Counter* m_ddl_fences_ = nullptr;
+  obs::Gauge* m_mvcc_live_versions_ = nullptr;
+  obs::Gauge* m_mvcc_commit_epoch_ = nullptr;
+  obs::Gauge* m_mvcc_min_active_ = nullptr;
+  obs::Histogram* m_write_batch_ops_ = nullptr;
   // First error from the flush hook pushing merged deltas into the
   // persistent count cache; surfaced at Checkpoint. Guarded by
   // storage_mu_ (the hook holds it).

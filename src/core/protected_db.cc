@@ -258,6 +258,34 @@ Result<ProtectedResult> ProtectedDatabase::ExecuteStatement(
   return out;
 }
 
+void ProtectedDatabase::RecordWriteForConcurrent(
+    Statement::Kind kind, uint64_t logical_rows,
+    const std::vector<int64_t>& touched_keys) {
+  // Mirrors the per-kind switch in ExecuteStatement (including the
+  // delete path's unclamped set_n), with the caller's logical row
+  // count standing in for table_->NumRows().
+  switch (kind) {
+    case Statement::Kind::kInsert: {
+      update_tracker_->set_universe_size(logical_rows);
+      if (update_policy_ != nullptr) update_policy_->set_n(logical_rows);
+      for (int64_t key : touched_keys) update_tracker_->Record(key);
+      break;
+    }
+    case Statement::Kind::kUpdate: {
+      for (int64_t key : touched_keys) update_tracker_->Record(key);
+      break;
+    }
+    case Statement::Kind::kDelete: {
+      update_tracker_->set_universe_size(
+          std::max<uint64_t>(1, logical_rows));
+      if (update_policy_ != nullptr) update_policy_->set_n(logical_rows);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
 double ProtectedDatabase::DelayForAccessStats(const PopularityStats& stats,
                                               int64_t key) const {
   switch (options_.mode) {

@@ -138,6 +138,17 @@ class ProtectedDatabase {
   double DelayForAccessStats(const PopularityStats& stats,
                              int64_t key) const;
 
+  /// Concurrent-write seam: the update-rate side of the bookkeeping
+  /// that ExecuteStatement performs after a committed mutation (the
+  /// access-tracker side goes through the concurrent wrapper's spine).
+  /// `logical_rows` is the caller-maintained row count — the version
+  /// store makes NumRows() stale between commits — and `touched_keys`
+  /// are Record()ed exactly as the serial path would. The caller must
+  /// exclude concurrent readers of the update tracker / policy.
+  void RecordWriteForConcurrent(Statement::Kind kind,
+                                uint64_t logical_rows,
+                                const std::vector<int64_t>& touched_keys);
+
   /// Point-in-time operational metrics.
   ProtectedDatabaseMetrics Metrics() const;
 

@@ -49,7 +49,8 @@ void ConcurrentCountTracker::Record(int64_t key) {
   if (need_flush) FlushStripe(i);
 }
 
-PopularityStats ConcurrentCountTracker::RecordAndStats(int64_t key) {
+PopularityStats ConcurrentCountTracker::RecordAndStats(int64_t key,
+                                                       bool need_rank) {
   const uint64_t total =
       total_requests_.fetch_add(1, std::memory_order_relaxed) + 1;
   const size_t i = StripeFor(key);
@@ -61,8 +62,17 @@ PopularityStats ConcurrentCountTracker::RecordAndStats(int64_t key) {
     // Spine shared first, then the stripe: same spine->stripe order as
     // the merge and Stats(), so the consistency argument is unchanged
     // (while the spine is held shared, this key's delta is in exactly
-    // one of {stripe, inner}).
-    std::shared_lock<std::shared_mutex> spine(spine_mu_);
+    // one of {stripe, inner}). On a rank-free spine a rank-bearing
+    // read must fold deferred index work, so it goes exclusive (cold:
+    // doors whose policy reads ranks configure rank_reads = true).
+    std::shared_lock<std::shared_mutex> shared(spine_mu_, std::defer_lock);
+    std::unique_lock<std::shared_mutex> exclusive(spine_mu_,
+                                                  std::defer_lock);
+    if (need_rank && !options_.rank_reads) {
+      exclusive.lock();
+    } else {
+      shared.lock();
+    }
     {
       std::lock_guard<std::mutex> lock(s.mu);
       uint64_t& p = s.pending[key];
@@ -71,7 +81,11 @@ PopularityStats ConcurrentCountTracker::RecordAndStats(int64_t key) {
       ++s.pending_total;
       need_flush = s.pending_total >= options_.epoch_batch;
     }
-    stats = inner_->Stats(key);
+    // need_rank == true under the SHARED spine (rank_reads spines) is
+    // still safe: every exclusive mutation leaves the inner tracker
+    // with no pending index work, so the flush inside Stats() is a
+    // no-op there and never mutates under a shared lock.
+    stats = inner_->Stats(key, need_rank);
   }
   if (need_flush) FlushStripe(i);
   stats.total_requests = total;
@@ -98,6 +112,11 @@ void ConcurrentCountTracker::FlushStripe(size_t i) {
   // epoch-level nondeterminism).
   std::sort(batch.begin(), batch.end());
   for (const auto& [key, n] : batch) inner_->RecordMany(key, n);
+  // Fold the deferred rank repositions while the spine is still held
+  // exclusively: shared-mode readers (Stats/RecordAndStats) must never
+  // observe -- or race on -- pending index work. Rank-free spines skip
+  // the fold; their rank-bearing readers go exclusive instead.
+  if (options_.rank_reads) inner_->SyncRankIndex();
   if (flush_hook_) flush_hook_(batch);
   epoch_flushes_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -110,8 +129,18 @@ PopularityStats ConcurrentCountTracker::Stats(int64_t key) const {
   const Stripe& s = *stripes_[StripeFor(key)];
   // Shared spine first: merges (which move pending deltas into the
   // inner tracker) need the spine exclusively, so while we hold it in
-  // shared mode a delta is in exactly one of {stripe, inner}.
-  std::shared_lock<std::shared_mutex> spine(spine_mu_);
+  // shared mode a delta is in exactly one of {stripe, inner}. A
+  // rank-free spine defers index repositions past the merge, so this
+  // rank-bearing snapshot must fold them -- which mutates the index
+  // and therefore needs the spine exclusively.
+  std::shared_lock<std::shared_mutex> shared(spine_mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> exclusive(spine_mu_,
+                                                std::defer_lock);
+  if (options_.rank_reads) {
+    shared.lock();
+  } else {
+    exclusive.lock();
+  }
   PopularityStats stats = inner_->Stats(key);
   uint64_t pend = 0;
   {
@@ -145,12 +174,14 @@ double ConcurrentCountTracker::Count(int64_t key) const {
 void ConcurrentCountTracker::Seed(int64_t key, double count) {
   std::unique_lock<std::shared_mutex> spine(spine_mu_);
   inner_->Seed(key, count);
+  inner_->SyncRankIndex();  // Shared readers must see no pending work.
 }
 
 void ConcurrentCountTracker::ApplyDecayFactor(double factor) {
   FlushAll();
   std::unique_lock<std::shared_mutex> spine(spine_mu_);
   inner_->ApplyDecayFactor(factor);
+  inner_->SyncRankIndex();  // Shared readers must see no pending work.
 }
 
 void ConcurrentCountTracker::set_universe_size(uint64_t n) {
@@ -181,6 +212,7 @@ void ConcurrentCountTracker::WithExclusive(
     const std::function<void(CountTracker*)>& fn) {
   std::unique_lock<std::shared_mutex> spine(spine_mu_);
   fn(inner_);
+  inner_->SyncRankIndex();  // Shared readers must see no pending work.
 }
 
 void ConcurrentCountTracker::WithShared(

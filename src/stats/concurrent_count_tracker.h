@@ -26,6 +26,13 @@ struct ConcurrentCountTrackerOptions {
   /// rank index (and therefore rank / f_max / distinct_seen) is stale
   /// by at most `num_shards * epoch_batch` requests.
   size_t epoch_batch = 64;
+  /// True when the owning door issues rank-bearing per-request reads
+  /// (its delay formula consumes rank^beta). When false, epoch merges
+  /// leave the inner tracker's rank repositions deferred -- the treap
+  /// disappears from the merge path too -- and the rare rank-bearing
+  /// Stats() call takes the spine exclusively so the deferred work can
+  /// be folded without racing shared readers.
+  bool rank_reads = true;
 };
 
 /// Thread-safe wrapper around a single-threaded CountTracker.
@@ -74,7 +81,11 @@ class ConcurrentCountTracker {
   /// acquisition -- the protected front door's per-request hot path
   /// (learn, then charge from the post-record snapshot). Equivalent to
   /// calling Record(key) then Stats(key) with no interleaved writer.
-  PopularityStats RecordAndStats(int64_t key);
+  /// `need_rank == false` skips the rank index entirely (rank and
+  /// max_count come back 0 for seen keys) -- safe under the shared
+  /// spine because it neither reads nor flushes deferred index work;
+  /// doors whose delay policy ignores rank pass false.
+  PopularityStats RecordAndStats(int64_t key, bool need_rank = true);
 
   /// Popularity snapshot for `key`: `count` and `total_requests` are
   /// exact w.r.t. this thread's completed records; `rank`, `max_count`,

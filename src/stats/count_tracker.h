@@ -69,7 +69,22 @@ class CountTracker {
   void ApplyDecayFactor(double factor);
 
   /// Popularity snapshot for `key` (works for never-seen keys too).
-  PopularityStats Stats(int64_t key) const;
+  /// With `need_rank == false` the rank index is neither flushed nor
+  /// consulted: `rank` (for seen keys) and `max_count` come back 0,
+  /// and only the count-derived fields are filled. Callers whose
+  /// delay policy ignores rank (beta == 0, update-rate, none) use
+  /// this to keep the treap entirely off their read path.
+  PopularityStats Stats(int64_t key, bool need_rank = true) const;
+
+  /// Folds deferred rank-index repositions in. Record() queues the
+  /// reposition instead of paying the O(log n) treap surgery eagerly;
+  /// rank-reading accessors (Stats) flush automatically, so write-only
+  /// phases -- e.g. the update tracker under an access-popularity
+  /// policy, whose ranks nothing ever reads -- skip the index work
+  /// entirely. Wrappers that serve Stats() under a shared lock must
+  /// call this at the end of every exclusive mutation so shared
+  /// readers never observe (and never race on) pending work.
+  void SyncRankIndex() const;
 
   /// Normalized decayed count for `key` (0 if never seen).
   double Count(int64_t key) const;
@@ -86,10 +101,17 @@ class CountTracker {
 
  private:
   void RenormalizeIfNeeded();
+  void DeferRankUpdate(int64_t key, double old_raw, bool was_tracked);
 
   uint64_t universe_size_;
   double decay_per_request_;
   std::unique_ptr<RankIndex> index_;
+
+  // Deferred rank-index work: key -> (raw count when first deferred,
+  // whether the index tracked the key then). Values live on the
+  // tracker's current raw scale -- renormalization rescales them
+  // alongside counts_. Mutable because rank reads flush lazily.
+  mutable std::unordered_map<int64_t, std::pair<double, bool>> pending_;
 
   // Raw (inflated-scale) counts; normalized count = raw / weight_.
   std::unordered_map<int64_t, double> counts_;

@@ -127,7 +127,54 @@ struct Node {
     }
     return lo;
   }
+
+  bool full() const {
+    return count() >= (is_leaf() ? kLeafCapacity : kInternalCapacity);
+  }
 };
+
+// Splits a full leaf in `leftg` into left + right halves (left keeps
+// the lower half, leaf chain spliced) and returns the separator key
+// (right's first key). Both guards must be exclusively latched.
+int64_t SplitLeafPage(PageGuard& leftg, PageGuard& rightg) {
+  Node left{leftg.data()};
+  Node right{rightg.data()};
+  right.set_is_leaf(true);
+  const int total = left.count();
+  const int keep = total / 2;
+  right.set_count(total - keep);
+  std::memcpy(right.leaf_entry(0), left.leaf_entry(keep),
+              (total - keep) * kLeafEntrySize);
+  left.set_count(keep);
+  right.set_next(left.next());
+  left.set_next(rightg.page_id());
+  leftg.MarkDirty();
+  rightg.MarkDirty();
+  return right.leaf_key(0);
+}
+
+// Splits a full internal node in `leftg`, promoting (and returning)
+// the middle key; the right half takes the children above it.
+int64_t SplitInternalPage(PageGuard& leftg, PageGuard& rightg) {
+  Node left{leftg.data()};
+  Node right{rightg.data()};
+  right.set_is_leaf(false);
+  right.set_next(kInvalidPageId);
+  const int total = left.count();
+  const int mid = total / 2;
+  const int64_t promote = left.internal_key(mid);
+  const int right_count = total - mid - 1;
+  right.set_count(right_count);
+  right.set_child0(left.child(mid + 1));
+  for (int i = 0; i < right_count; ++i) {
+    right.set_internal(i, left.internal_key(mid + 1 + i),
+                       left.child(mid + 2 + i));
+  }
+  left.set_count(mid);
+  leftg.MarkDirty();
+  rightg.MarkDirty();
+  return promote;
+}
 
 }  // namespace
 
@@ -144,49 +191,70 @@ Status BTree::Open() {
     StoreU32(meta.data(), kBTreeMagic);
     StoreU32(meta.data() + 4, rootp.page_id());
     meta.MarkDirty();
+    height_.store(1, std::memory_order_relaxed);
     return Status::OK();
   }
   TARPIT_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(0));
   if (LoadU32(meta.data()) != kBTreeMagic) {
     return Status::Corruption("not a btree file");
   }
+  // Derive the cached height (exact from here on: root splits bump it
+  // under the meta page's exclusive latch). Open runs single-threaded.
+  PageId cur = LoadU32(meta.data() + 4);
+  int h = 1;
+  while (true) {
+    TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+    Node node{guard.data()};
+    if (node.is_leaf()) break;
+    cur = node.child(0);
+    ++h;
+  }
+  height_.store(h, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Result<PageId> BTree::root() const {
+Result<PageGuard> BTree::DescendToLeaf(int64_t key,
+                                       bool exclusive_leaf) const {
   TARPIT_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(0));
-  return LoadU32(meta.data() + 4);
-}
-
-Status BTree::SetRoot(PageId root) {
-  TARPIT_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(0));
-  StoreU32(meta.data() + 4, root);
-  meta.MarkDirty();
-  return Status::OK();
-}
-
-Result<PageGuard> BTree::FindLeafGuard(int64_t key,
-                                       std::vector<PathEntry>* path) const {
-  TARPIT_ASSIGN_OR_RETURN(PageId root_id, root());
+  meta.LatchShared();
+  const PageId root_id = LoadU32(meta.data() + 4);
+  // Read under the meta latch, so it is consistent with root_id: the
+  // leaf level is known before any node is latched, which is what lets
+  // a writer take shared latches on internals and exclusive only on
+  // the leaf.
+  const int leaf_level = height_.load(std::memory_order_relaxed);
   TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(root_id));
+  if (exclusive_leaf && leaf_level == 1) {
+    guard.LatchExclusive();
+  } else {
+    guard.LatchShared();
+  }
+  meta.Release();
+  int level = 1;
   while (true) {
     Node node{guard.data()};
     if (node.is_leaf()) return std::move(guard);
     int idx = node.internal_descend_index(key);
-    if (path != nullptr) path->push_back({guard.page_id(), idx});
     PageId child = node.child(idx);
-    // Crab: pin the child before the parent's pin drops (the move
-    // assignment below releases the parent only after FetchPage
-    // returned), so eviction can never recycle a node we are standing
-    // on.
+    // Crab: latch + pin the child before the parent's latch and pin
+    // drop (the move assignment releases the parent only after the
+    // child guard is fully acquired), so neither eviction nor a
+    // concurrent split can touch a node we are standing on.
     TARPIT_ASSIGN_OR_RETURN(PageGuard child_guard,
                             pool_->FetchPage(child));
+    ++level;
+    if (exclusive_leaf && level == leaf_level) {
+      child_guard.LatchExclusive();
+    } else {
+      child_guard.LatchShared();
+    }
     guard = std::move(child_guard);
   }
 }
 
 Result<RecordId> BTree::Search(int64_t key) const {
-  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, FindLeafGuard(key, nullptr));
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard,
+                          DescendToLeaf(key, /*exclusive_leaf=*/false));
   Node leaf{guard.data()};
   int i = leaf.leaf_lower_bound(key);
   if (i < leaf.count() && leaf.leaf_key(i) == key) {
@@ -196,12 +264,11 @@ Result<RecordId> BTree::Search(int64_t key) const {
 }
 
 Status BTree::Insert(int64_t key, RecordId rid) {
-  std::vector<PathEntry> path;
-  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, FindLeafGuard(key, &path));
-
-  int64_t sep_key = 0;
-  PageId new_right = kInvalidPageId;
   {
+    // Optimistic descent: shared latches on internals, exclusive on
+    // the leaf. Wins whenever the leaf has room (the common case).
+    TARPIT_ASSIGN_OR_RETURN(PageGuard guard,
+                            DescendToLeaf(key, /*exclusive_leaf=*/true));
     Node leaf{guard.data()};
     int i = leaf.leaf_lower_bound(key);
     if (i < leaf.count() && leaf.leaf_key(i) == key) {
@@ -214,108 +281,87 @@ Status BTree::Insert(int64_t key, RecordId rid) {
       guard.MarkDirty();
       return Status::OK();
     }
-    // Split the leaf: left keeps the lower half.
-    TARPIT_ASSIGN_OR_RETURN(PageGuard rightg, pool_->NewPage());
-    Node right{rightg.data()};
-    right.set_is_leaf(true);
-    const int total = leaf.count();
-    const int keep = total / 2;
-    right.set_count(total - keep);
-    std::memcpy(right.leaf_entry(0), leaf.leaf_entry(keep),
-                (total - keep) * kLeafEntrySize);
-    leaf.set_count(keep);
-    right.set_next(leaf.next());
-    leaf.set_next(rightg.page_id());
-
-    // Insert the new key into the proper half.
-    Node* target = (i <= keep) ? &leaf : &right;
-    int pos = (i <= keep) ? i : i - keep;
-    // A boundary insert at i == keep belongs to the left node only if
-    // key < right's first key; leaf_lower_bound already guarantees that.
-    target->leaf_shift_right(pos);
-    target->set_leaf(pos, key, rid);
-    target->set_count(target->count() + 1);
-
-    sep_key = right.leaf_key(0);
-    new_right = rightg.page_id();
-    guard.MarkDirty();
-    rightg.MarkDirty();
   }
-  guard.Release();
-  return InsertIntoParent(&path, sep_key, new_right);
+  // Leaf full: restart with exclusive latches and preemptive splits.
+  write_restarts_.fetch_add(1, std::memory_order_relaxed);
+  if (m_write_restarts_ != nullptr) m_write_restarts_->Increment();
+  return InsertPessimistic(key, rid);
 }
 
-Status BTree::InsertIntoParent(std::vector<PathEntry>* path,
-                               int64_t sep_key, PageId right_child) {
-  while (true) {
-    if (path->empty()) {
-      // Split reached the root: grow the tree by one level.
-      TARPIT_ASSIGN_OR_RETURN(PageId old_root, root());
-      TARPIT_ASSIGN_OR_RETURN(PageGuard rootg, pool_->NewPage());
-      Node newroot{rootg.data()};
-      newroot.set_is_leaf(false);
-      newroot.set_count(1);
-      newroot.set_next(kInvalidPageId);
-      newroot.set_child0(old_root);
-      newroot.set_internal(0, sep_key, right_child);
-      rootg.MarkDirty();
-      return SetRoot(rootg.page_id());
+Status BTree::InsertPessimistic(int64_t key, RecordId rid) {
+  TARPIT_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(0));
+  meta.LatchExclusive();
+  const PageId root_id = LoadU32(meta.data() + 4);
+  TARPIT_ASSIGN_OR_RETURN(PageGuard cur, pool_->FetchPage(root_id));
+  cur.LatchExclusive();
+  if (Node{cur.data()}.full()) {
+    // Preemptive root split: grow the tree by one level while the meta
+    // latch holds every other descent at the door.
+    TARPIT_ASSIGN_OR_RETURN(PageGuard rightg, pool_->NewPage());
+    rightg.LatchExclusive();
+    const bool was_leaf = Node{cur.data()}.is_leaf();
+    const int64_t sep = was_leaf ? SplitLeafPage(cur, rightg)
+                                 : SplitInternalPage(cur, rightg);
+    TARPIT_ASSIGN_OR_RETURN(PageGuard newrootg, pool_->NewPage());
+    Node newroot{newrootg.data()};
+    newroot.set_is_leaf(false);
+    newroot.set_count(1);
+    newroot.set_next(kInvalidPageId);
+    newroot.set_child0(root_id);
+    newroot.set_internal(0, sep, rightg.page_id());
+    newrootg.MarkDirty();
+    StoreU32(meta.data() + 4, newrootg.page_id());
+    meta.MarkDirty();
+    height_.fetch_add(1, std::memory_order_relaxed);
+    if (key < sep) {
+      rightg.Release();
+    } else {
+      cur = std::move(rightg);
     }
-    PathEntry pe = path->back();
-    path->pop_back();
-    TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(pe.page_id));
-    Node node{guard.data()};
-    if (node.count() < kInternalCapacity) {
-      node.internal_shift_right(pe.child_index);
-      node.set_internal(pe.child_index, sep_key, right_child);
+  }
+  meta.Release();
+  // Invariant from here down: `cur` is exclusively latched and not
+  // full, so a child split always has room to push its separator up.
+  while (true) {
+    Node node{cur.data()};
+    if (node.is_leaf()) {
+      int i = node.leaf_lower_bound(key);
+      if (i < node.count() && node.leaf_key(i) == key) {
+        return Status::AlreadyExists("key " + std::to_string(key));
+      }
+      node.leaf_shift_right(i);
+      node.set_leaf(i, key, rid);
       node.set_count(node.count() + 1);
-      guard.MarkDirty();
+      cur.MarkDirty();
       return Status::OK();
     }
-    // Split the internal node. Gather entries (+1 new) then redistribute
-    // with the middle key promoted.
-    const int total = node.count();
-    std::vector<int64_t> keys;
-    std::vector<PageId> children;
-    keys.reserve(total + 1);
-    children.reserve(total + 2);
-    children.push_back(node.child(0));
-    for (int i = 0; i < total; ++i) {
-      keys.push_back(node.internal_key(i));
-      children.push_back(node.child(i + 1));
+    int idx = node.internal_descend_index(key);
+    TARPIT_ASSIGN_OR_RETURN(PageGuard child,
+                            pool_->FetchPage(node.child(idx)));
+    child.LatchExclusive();
+    if (Node{child.data()}.full()) {
+      TARPIT_ASSIGN_OR_RETURN(PageGuard rightg, pool_->NewPage());
+      rightg.LatchExclusive();
+      const bool child_leaf = Node{child.data()}.is_leaf();
+      const int64_t sep = child_leaf ? SplitLeafPage(child, rightg)
+                                     : SplitInternalPage(child, rightg);
+      node.internal_shift_right(idx);
+      node.set_internal(idx, sep, rightg.page_id());
+      node.set_count(node.count() + 1);
+      cur.MarkDirty();
+      if (key < sep) {
+        rightg.Release();
+      } else {
+        child = std::move(rightg);
+      }
     }
-    keys.insert(keys.begin() + pe.child_index, sep_key);
-    children.insert(children.begin() + pe.child_index + 1, right_child);
-
-    const int mid = static_cast<int>(keys.size()) / 2;
-    const int64_t promote = keys[mid];
-
-    node.set_count(mid);
-    node.set_child0(children[0]);
-    for (int i = 0; i < mid; ++i) {
-      node.set_internal(i, keys[i], children[i + 1]);
-    }
-    guard.MarkDirty();
-
-    TARPIT_ASSIGN_OR_RETURN(PageGuard rightg, pool_->NewPage());
-    Node right{rightg.data()};
-    right.set_is_leaf(false);
-    right.set_next(kInvalidPageId);
-    const int right_count = static_cast<int>(keys.size()) - mid - 1;
-    right.set_count(right_count);
-    right.set_child0(children[mid + 1]);
-    for (int i = 0; i < right_count; ++i) {
-      right.set_internal(i, keys[mid + 1 + i], children[mid + 2 + i]);
-    }
-    rightg.MarkDirty();
-
-    sep_key = promote;
-    right_child = rightg.page_id();
+    cur = std::move(child);
   }
 }
 
 Status BTree::UpdateRid(int64_t key, RecordId rid) {
-  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, FindLeafGuard(key, nullptr));
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard,
+                          DescendToLeaf(key, /*exclusive_leaf=*/true));
   Node leaf{guard.data()};
   int i = leaf.leaf_lower_bound(key);
   if (i >= leaf.count() || leaf.leaf_key(i) != key) {
@@ -327,7 +373,10 @@ Status BTree::UpdateRid(int64_t key, RecordId rid) {
 }
 
 Status BTree::Delete(int64_t key) {
-  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, FindLeafGuard(key, nullptr));
+  // Deletes never merge or rebalance, so an exclusive leaf latch is
+  // the whole footprint.
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard,
+                          DescendToLeaf(key, /*exclusive_leaf=*/true));
   Node leaf{guard.data()};
   int i = leaf.leaf_lower_bound(key);
   if (i >= leaf.count() || leaf.leaf_key(i) != key) {
@@ -344,7 +393,8 @@ Status BTree::RangeScanBatched(
     const std::function<Status(const std::vector<BTreeEntry>&)>& fn)
     const {
   if (lo > hi || max_entries == 0) return Status::OK();
-  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, FindLeafGuard(lo, nullptr));
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard,
+                          DescendToLeaf(lo, /*exclusive_leaf=*/false));
   std::vector<BTreeEntry> batch;
   batch.reserve(kLeafCapacity);
   uint64_t remaining = max_entries;
@@ -365,12 +415,16 @@ Status BTree::RangeScanBatched(
       }
     }
     PageId next = leaf.next();
-    // Single pin per leaf: drop it before user code runs so callbacks
-    // that fetch heap pages never stack pins against tiny pools.
+    // Single pin + shared latch per leaf: drop both before user code
+    // runs so callbacks that fetch heap pages never stack pins against
+    // tiny pools. A hop after the latch drops is still safe: if the
+    // next leaf splits before we arrive, we land on its left half and
+    // follow the spliced chain through the new right sibling.
     guard.Release();
     if (!batch.empty()) TARPIT_RETURN_IF_ERROR(fn(batch));
     if (done || next == kInvalidPageId) return Status::OK();
     TARPIT_ASSIGN_OR_RETURN(guard, pool_->FetchPage(next));
+    guard.LatchShared();
   }
 }
 
@@ -388,7 +442,8 @@ Status BTree::RangeScan(
 }
 
 Result<BTree::Cursor> BTree::SeekGE(int64_t key) const {
-  TARPIT_ASSIGN_OR_RETURN(PageGuard guard, FindLeafGuard(key, nullptr));
+  TARPIT_ASSIGN_OR_RETURN(PageGuard guard,
+                          DescendToLeaf(key, /*exclusive_leaf=*/false));
   Node leaf{guard.data()};
   Cursor cursor(this, guard.page_id(), leaf.leaf_lower_bound(key));
   guard.Release();
@@ -402,6 +457,7 @@ Status BTree::Cursor::LoadCurrent() {
   int index = index_;
   while (page != kInvalidPageId) {
     TARPIT_ASSIGN_OR_RETURN(PageGuard guard, tree_->pool_->FetchPage(page));
+    guard.LatchShared();
     Node leaf{guard.data()};
     if (index < leaf.count()) {
       leaf_ = page;
@@ -435,15 +491,8 @@ Result<uint64_t> BTree::CountEntries() const {
 }
 
 Result<int> BTree::Height() const {
-  TARPIT_ASSIGN_OR_RETURN(PageId cur, root());
-  int h = 1;
-  while (true) {
-    TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
-    Node node{guard.data()};
-    if (node.is_leaf()) return h;
-    cur = node.child(0);
-    ++h;
-  }
+  // The cached height is exact (see header); no descent needed.
+  return height_.load(std::memory_order_relaxed);
 }
 
 }  // namespace tarpit

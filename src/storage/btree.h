@@ -1,12 +1,14 @@
 #ifndef TARPIT_STORAGE_BTREE_H_
 #define TARPIT_STORAGE_BTREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
 
@@ -23,6 +25,22 @@ struct BTreeEntry {
 /// entries without rebalancing (underfull nodes are tolerated, as in
 /// several production engines); the paper's workloads never shrink
 /// tables, so space reclamation is not on the critical path.
+///
+/// Concurrency: every descent latch-couples ("crabs") per-page
+/// reader/writer latches top-down — meta, then root, then each child
+/// is latched before the parent latch drops. Readers take shared
+/// latches throughout. Writers take shared latches on internal nodes
+/// and an exclusive latch on the target leaf (optimistic descent); an
+/// insert that finds its leaf full restarts pessimistically with
+/// exclusive latches and *preemptive* splits (any full node met on the
+/// way down is split while its guaranteed-non-full parent is still
+/// held), so no writer ever needs to re-ascend. Readers therefore run
+/// concurrently with writers page-wise instead of behind a tree-wide
+/// exclusive lock. Concurrent *writers* must still be serialized
+/// externally (the engine's write path funnels them through a single
+/// group-commit leader): leaves carry no fence keys, so two racing
+/// optimistic inserts could not re-validate leaf boundaries after a
+/// concurrent split.
 class BTree {
  public:
   explicit BTree(BufferPool* pool) : pool_(pool) {}
@@ -103,24 +121,39 @@ class BTree {
   /// Positions a cursor at the first entry with key >= `key`.
   Result<Cursor> SeekGE(int64_t key) const;
 
- private:
-  struct PathEntry {
-    PageId page_id;
-    int child_index;  // Which child we descended into.
-  };
+  /// Mirrors the optimistic-insert restart count into a registry
+  /// counter (may be null; must outlive the tree).
+  void BindMetrics(obs::Counter* write_restarts) {
+    m_write_restarts_ = write_restarts;
+  }
 
-  /// Descends to the leaf that owns `key` and returns it pinned.
-  /// Lock-crabbing-lite: the parent's pin is held until the child is
-  /// pinned, so a concurrent eviction can never repurpose a node
+  /// Optimistic writer descents that found their leaf full and
+  /// restarted with exclusive latches + preemptive splits.
+  uint64_t write_restarts() const {
+    return write_restarts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Descends to the leaf that owns `key`, latch-coupling top-down,
+  /// and returns it pinned and latched (shared, or exclusive when
+  /// `exclusive_leaf` — the cached height says which level is the leaf
+  /// level before the leaf is ever latched). The parent's latch and
+  /// pin are held until the child is latched and pinned, so neither a
+  /// concurrent eviction nor a concurrent split can repurpose a node
   /// mid-descent.
-  Result<PageGuard> FindLeafGuard(int64_t key,
-                                  std::vector<PathEntry>* path) const;
-  Status InsertIntoParent(std::vector<PathEntry>* path, int64_t sep_key,
-                          PageId right_child);
-  Result<PageId> root() const;
-  Status SetRoot(PageId root);
+  Result<PageGuard> DescendToLeaf(int64_t key, bool exclusive_leaf) const;
+
+  /// Exclusive-latched descent that preemptively splits every full
+  /// node encountered (classic top-down crabbing insert).
+  Status InsertPessimistic(int64_t key, RecordId rid);
 
   BufferPool* pool_;
+  /// Levels from root to leaf (1 = root is a leaf). Exact: read under
+  /// the meta page's shared latch, written only by root splits holding
+  /// the meta page's exclusive latch.
+  std::atomic<int> height_{1};
+  std::atomic<uint64_t> write_restarts_{0};
+  obs::Counter* m_write_restarts_ = nullptr;
 };
 
 }  // namespace tarpit

@@ -12,8 +12,10 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
     Release();
     pool_ = other.pool_;
     page_ = other.page_;
+    latch_ = other.latch_;
     other.pool_ = nullptr;
     other.page_ = nullptr;
+    other.latch_ = PageLatchMode::kNone;
   }
   return *this;
 }
@@ -23,8 +25,36 @@ void PageGuard::MarkDirty() {
   page_->is_dirty_.store(true, std::memory_order_release);
 }
 
+void PageGuard::LatchShared() {
+  assert(page_ != nullptr && latch_ == PageLatchMode::kNone);
+  page_->latch_.lock_shared();
+  latch_ = PageLatchMode::kShared;
+}
+
+void PageGuard::LatchExclusive() {
+  assert(page_ != nullptr && latch_ == PageLatchMode::kNone);
+  page_->latch_.lock();
+  latch_ = PageLatchMode::kExclusive;
+}
+
+void PageGuard::Unlatch() {
+  if (page_ == nullptr) return;
+  switch (latch_) {
+    case PageLatchMode::kNone:
+      break;
+    case PageLatchMode::kShared:
+      page_->latch_.unlock_shared();
+      break;
+    case PageLatchMode::kExclusive:
+      page_->latch_.unlock();
+      break;
+  }
+  latch_ = PageLatchMode::kNone;
+}
+
 void PageGuard::Release() {
   if (page_ != nullptr) {
+    Unlatch();
     pool_->Unpin(page_);
     page_ = nullptr;
     pool_ = nullptr;

@@ -19,11 +19,18 @@ namespace tarpit {
 
 class BufferPool;
 
+/// Latch mode a PageGuard currently holds on its page image.
+enum class PageLatchMode : uint8_t { kNone, kShared, kExclusive };
+
 /// RAII pin on a buffer-pool page. Unpins on destruction; call
 /// MarkDirty() after mutating the page image.
 ///
 /// Guards are safe to hold and release from any thread: release is a
-/// single atomic decrement on the frame's pin count.
+/// single atomic decrement on the frame's pin count. A guard may also
+/// hold the page's image latch (LatchShared / LatchExclusive); the
+/// latch travels with the guard on move and is dropped before the pin
+/// on Release, so latch-coupled descents ("crab" by move-assigning the
+/// child guard over the parent) release parent latches in order.
 class PageGuard {
  public:
   PageGuard() = default;
@@ -41,12 +48,21 @@ class PageGuard {
   const char* data() const { return page_->data(); }
   void MarkDirty();
 
-  /// Explicit early release (idempotent).
+  /// Acquires the page image latch (blocking). Requires a valid pin
+  /// and no latch already held by this guard.
+  void LatchShared();
+  void LatchExclusive();
+  /// Drops the held latch, if any (idempotent).
+  void Unlatch();
+  PageLatchMode latch_mode() const { return latch_; }
+
+  /// Explicit early release (idempotent): unlatch, then unpin.
   void Release();
 
  private:
   BufferPool* pool_ = nullptr;
   Page* page_ = nullptr;
+  PageLatchMode latch_ = PageLatchMode::kNone;
 };
 
 /// Fixed-capacity page cache over one DiskManager, safe for concurrent

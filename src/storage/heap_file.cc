@@ -64,6 +64,7 @@ Result<RecordId> HeapFile::Insert(std::string_view record) {
   if (candidate == kInvalidPageId) candidate = last_page_;
   {
     TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(candidate));
+    guard.LatchExclusive();
     SlottedPage sp(guard.data());
     Result<uint16_t> slot = sp.Insert(record);
     if (slot.ok()) {
@@ -76,6 +77,7 @@ Result<RecordId> HeapFile::Insert(std::string_view record) {
     NoteFreeSpace(guard.page_id(), sp.ReclaimableSpace());
   }
   TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage());
+  guard.LatchExclusive();
   SlottedPage sp(guard.data());
   sp.Init();
   TARPIT_ASSIGN_OR_RETURN(uint16_t slot, sp.Insert(record));
@@ -94,6 +96,7 @@ Result<std::string> HeapFile::Get(RecordId rid) const {
 
 Status HeapFile::GetTo(RecordId rid, std::string* out) const {
   TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page_id));
+  guard.LatchShared();
   SlottedPage sp(guard.data());
   TARPIT_ASSIGN_OR_RETURN(std::string_view rec, sp.Get(rid.slot));
   out->assign(rec.data(), rec.size());
@@ -103,6 +106,7 @@ Status HeapFile::GetTo(RecordId rid, std::string* out) const {
 Result<RecordId> HeapFile::Update(RecordId rid, std::string_view record) {
   {
     TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page_id));
+    guard.LatchExclusive();
     SlottedPage sp(guard.data());
     Status st = sp.Update(rid.slot, record);
     if (st.ok()) {
@@ -122,6 +126,7 @@ Result<RecordId> HeapFile::Update(RecordId rid, std::string_view record) {
 
 Status HeapFile::Delete(RecordId rid) {
   TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page_id));
+  guard.LatchExclusive();
   SlottedPage sp(guard.data());
   TARPIT_RETURN_IF_ERROR(sp.Delete(rid.slot));
   guard.MarkDirty();
@@ -135,6 +140,7 @@ Status HeapFile::Scan(
   const uint32_t pages = pool_->disk()->PageCount();
   for (PageId pid = 0; pid < pages; ++pid) {
     TARPIT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(pid));
+    guard.LatchShared();
     SlottedPage sp(guard.data());
     const uint16_t slots = sp.slot_count();
     for (uint16_t s = 0; s < slots; ++s) {

@@ -1,6 +1,7 @@
 #ifndef TARPIT_STORAGE_HEAP_FILE_H_
 #define TARPIT_STORAGE_HEAP_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -23,6 +24,13 @@ namespace tarpit {
 /// in-memory free-space map (rebuilt on Open) and steers inserts into
 /// the fullest page that still fits the record, so churning workloads
 /// do not grow the file unboundedly.
+///
+/// Concurrency: record reads take the page's shared latch and record
+/// mutations the exclusive latch, so readers can run against a single
+/// concurrent writer page-wise. The free-space map and tail-page hint
+/// are NOT latched — mutators must be serialized externally (the
+/// engine's write path funnels every base-heap writer through one
+/// group-commit leader / the DDL-exclusive fallback).
 class HeapFile {
  public:
   explicit HeapFile(BufferPool* pool) : pool_(pool) {}
@@ -56,7 +64,10 @@ class HeapFile {
       const std::function<Status(RecordId, std::string_view)>& fn) const;
 
   /// Number of live records (maintained in memory; recomputed on Open).
-  uint64_t live_records() const { return live_records_; }
+  /// Safe to read concurrently with a writer.
+  uint64_t live_records() const {
+    return live_records_.load(std::memory_order_relaxed);
+  }
 
   uint32_t PageCount() const { return pool_->disk()->PageCount(); }
 
@@ -69,7 +80,7 @@ class HeapFile {
 
   BufferPool* pool_;
   PageId last_page_ = kInvalidPageId;
-  uint64_t live_records_ = 0;
+  std::atomic<uint64_t> live_records_{0};
   // page -> approximate free bytes; only pages with meaningful space.
   std::map<PageId, uint16_t> free_space_;
 };

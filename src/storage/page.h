@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <shared_mutex>
 
 namespace tarpit {
 
@@ -32,15 +33,22 @@ struct RecordId {
 /// In-memory image of one disk page, held in a buffer-pool frame.
 ///
 /// Pin count and dirty bit are atomics so concurrent readers can pin,
-/// unpin and flush without a frame lock; the page *image* itself is
-/// only written by callers that are otherwise serialized (the storage
-/// engine's writer paths run under an exclusive lock above the pool).
+/// unpin and flush without a frame lock. The page *image* is protected
+/// by a per-page reader/writer latch: readers decode under a shared
+/// latch, image writers mutate under the exclusive latch (B+tree
+/// crabbing and heap record ops go through PageGuard::LatchShared /
+/// LatchExclusive). Latch holders always hold a pin, so eviction
+/// (which requires pin == 0 under the shard lock) never races a
+/// latched image; pool-level flush paths run only from quiesced
+/// contexts (checkpoint under the DDL exclusive lock, destruction).
 class Page {
  public:
   Page() { Reset(); }
 
   char* data() { return data_; }
   const char* data() const { return data_; }
+
+  std::shared_mutex& latch() { return latch_; }
 
   PageId page_id() const {
     return page_id_.load(std::memory_order_acquire);
@@ -69,6 +77,9 @@ class Page {
   std::atomic<PageId> page_id_{kInvalidPageId};
   std::atomic<bool> is_dirty_{false};
   std::atomic<int> pin_count_{0};
+  // Never held across frame recycling: holders keep a pin, and a frame
+  // is only reclaimed once its pin count is observed at zero.
+  std::shared_mutex latch_;
 };
 
 }  // namespace tarpit

@@ -80,6 +80,8 @@ Status Table::OpenStorage(const std::string& dir, bool create) {
     rows.unit = "records";
     m_scan_batch_ = m->GetHistogram("tarpit_scan_batch_rows",
                                     {{"table", name_}}, rows);
+    index_->BindMetrics(m->GetCounter("tarpit_btree_write_restarts_total",
+                                      {{"table", name_}}));
   }
   if (options_.wal_enabled) {
     TARPIT_RETURN_IF_ERROR(wal_.Open(base + ".wal"));
@@ -165,6 +167,38 @@ Status Table::ApplyInsert(const Row& row, bool idempotent) {
     sec.Insert(row[col], rid);
   }
   return Status::OK();
+}
+
+Status Table::LogInsert(const Row& row) {
+  TARPIT_RETURN_IF_ERROR(schema_.Validate(row));
+  if (!options_.wal_enabled) return Status::OK();
+  std::string payload;
+  TARPIT_RETURN_IF_ERROR(schema_.EncodeRow(row, &payload));
+  return wal_.Append(WalRecordType::kInsert, payload, options_.wal_sync);
+}
+
+Status Table::LogUpdate(const Row& row) {
+  TARPIT_RETURN_IF_ERROR(schema_.Validate(row));
+  if (!options_.wal_enabled) return Status::OK();
+  std::string payload;
+  TARPIT_RETURN_IF_ERROR(schema_.EncodeRow(row, &payload));
+  return wal_.Append(WalRecordType::kUpdate, payload, options_.wal_sync);
+}
+
+Status Table::LogDelete(int64_t key) {
+  if (!options_.wal_enabled) return Status::OK();
+  char payload[8];
+  std::memcpy(payload, &key, 8);
+  return wal_.Append(WalRecordType::kDelete, std::string_view(payload, 8),
+                     options_.wal_sync);
+}
+
+Status Table::ApplyUpsertUnlogged(const Row& row) {
+  return ApplyInsert(row, /*idempotent=*/true);
+}
+
+Status Table::ApplyDeleteUnlogged(int64_t key) {
+  return ApplyDelete(key, /*idempotent=*/true);
 }
 
 Result<Row> Table::GetByKey(int64_t key) const {

@@ -74,6 +74,21 @@ class Table {
   Status UpdateByKey(int64_t key, const Row& row);
   Status DeleteByKey(int64_t key);
 
+  /// MVCC write-front seams. The versioned write path splits a
+  /// mutation in two: at commit time the leader appends the logical
+  /// WAL record only (Log*), keeping durability ordering, while the
+  /// base heap/index image is written later by the version-store
+  /// reclaimer via the unlogged appliers (idempotent, so crash
+  /// recovery — which replays the commit-time WAL records over a base
+  /// reflecting an arbitrary reclaim prefix — converges).
+  Status LogInsert(const Row& row);
+  Status LogUpdate(const Row& row);
+  Status LogDelete(int64_t key);
+  /// Insert-or-replace the row image in base storage, without logging.
+  Status ApplyUpsertUnlogged(const Row& row);
+  /// Delete from base storage if present, without logging.
+  Status ApplyDeleteUnlogged(int64_t key);
+
   /// Builds an in-memory secondary index on `column` (any non-PK
   /// column). Rebuilt automatically when the table reopens if the
   /// catalog remembers it (see Database::CreateIndex).

@@ -213,6 +213,73 @@ TEST_F(ConcurrencyTest, OverlappingHotKeysLoseNoUpdates) {
   }
 }
 
+// A rank-free spine (rank_reads = false) defers all treap repositions
+// past the epoch merge: rank-free reads return count-exact snapshots
+// with rank/max_count unset, and rank-bearing Stats() calls take the
+// spine exclusively to fold the deferred work. The threaded phase
+// races rank-free RecordAndStats against a rank-bearing reader -- the
+// TSan matrix for the lock-kind branch -- and the final state must
+// match a serial oracle exactly (decay 1.0 makes the replay
+// order-independent, including ranks).
+TEST_F(ConcurrencyTest, RankFreeSpineDefersTreapWorkSafely) {
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 64;
+  const int iters = StressIters(2000);
+
+  CountTracker inner(kKeys, 1.0);
+  ConcurrentCountTrackerOptions topts;
+  topts.num_shards = 8;
+  topts.epoch_batch = 32;
+  topts.rank_reads = false;
+  ConcurrentCountTracker tracker(&inner, topts);
+
+  std::atomic<bool> stop{false};
+  std::thread rank_reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Exclusive-spine path: folds deferred index work mid-run.
+      const PopularityStats s = tracker.Stats(7);
+      EXPECT_GE(s.rank, 1u);  // Seen => treap rank; unseen => universe.
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&, t] {
+      for (int i = 0; i < iters; ++i) {
+        // Final counts tie across keys, which is fine: Rank is a pure
+        // function of the final (count, key) multiset, so the oracle
+        // comparison below is exact regardless of interleaving.
+        const int64_t key = 1 + (i * kThreads + t) % kKeys;
+        const PopularityStats s = tracker.RecordAndStats(key, false);
+        EXPECT_GT(s.count, 0.0);
+      }
+    });
+  }
+  for (auto& th : recorders) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  rank_reader.join();
+  tracker.FlushAll();
+
+  const uint64_t total = static_cast<uint64_t>(kThreads) * iters;
+  EXPECT_EQ(tracker.total_requests(), total);
+  EXPECT_EQ(tracker.pending_records(), 0u);
+
+  // Serial oracle over the same multiset (order-independent at
+  // decay 1.0, so any interleaving must land on these exact values).
+  CountTracker oracle(kKeys, 1.0);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < iters; ++i) {
+      oracle.Record(1 + (i * kThreads + t) % kKeys);
+    }
+  }
+  for (int k = 1; k <= kKeys; ++k) {
+    EXPECT_DOUBLE_EQ(tracker.Count(k), oracle.Count(k)) << "key " << k;
+    // Rank-bearing read on the rank-free spine: deferred repositions
+    // fold here and must reproduce the serial treap's answer.
+    EXPECT_EQ(tracker.Stats(k).rank, oracle.Stats(k).rank) << "key " << k;
+  }
+}
+
 // Destroying the database while sessions were just stalling must not
 // deadlock: stalls are served outside every lock, so shutdown only has
 // to wait for in-flight computation, never for sleeps it cannot cancel.

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "common/clock.h"
+#include "core/concurrent_db.h"
 #include "core/protected_db.h"
 #include "sql/plan_cache.h"
 #include "storage/database.h"
@@ -279,6 +280,78 @@ TEST_F(ProtectedPlanCacheTest, RepeatedLookupsHitAndStayCorrect) {
   // 10 distinct texts -> 10 misses, 10 hits.
   EXPECT_EQ(pdb_->plan_cache()->misses() - base_misses, 10u);
   EXPECT_EQ(pdb_->plan_cache()->hits() - base_hits, 10u);
+}
+
+// Regression for the MVCC/DDL interaction: a CREATE INDEX taking the
+// exclusive fallback must fence (drain) the version store first, so
+// the index build and every subsequent cached secondary-lookup plan
+// see the committed-but-unreclaimed writes. Without the fence the
+// index would be built from stale base images and the fail-closed
+// schema-version recompile would faithfully serve wrong results.
+TEST(ConcurrentPlanCacheTest, CreateIndexFencesPendingMvccWrites) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("tarpit_cdb_cache_fence_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  RealClock clock;
+  ProtectedDatabaseOptions opts;
+  opts.mode = DelayMode::kNone;
+  ConcurrentDatabaseOptions copts;
+  copts.mode = ConcurrencyMode::kSharded;
+  copts.serve_delays = false;
+  copts.mvcc_reclaim_every_commits = 0;  // Keep versions pending until
+  copts.mvcc_reclaim_interval_micros = 0;  // something fences.
+  auto opened = ConcurrentProtectedDatabase::Open(dir.string(), "items",
+                                                  &clock, opts, copts);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto cdb = std::move(*opened);
+  ASSERT_TRUE(cdb->ExecuteSql("CREATE TABLE items (id INT PRIMARY KEY, "
+                              "name TEXT, v DOUBLE)")
+                  .ok());
+  for (int i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(cdb->BulkLoadRow({Value(static_cast<int64_t>(i)),
+                                  Value("n" + std::to_string(i)),
+                                  Value(i * 1.5)})
+                    .ok());
+  }
+
+  // Committed but unreclaimed: an updated name, a new row, a delete.
+  ASSERT_TRUE(
+      cdb->ExecuteSql("UPDATE items SET name = 'zz' WHERE id = 3").ok());
+  ASSERT_TRUE(
+      cdb->ExecuteSql("INSERT INTO items VALUES (100, 'zz', 7.0)").ok());
+  ASSERT_TRUE(cdb->ExecuteSql("DELETE FROM items WHERE id = 5").ok());
+  ASSERT_GE(cdb->version_store()->live_versions(), 3u);
+
+  const uint64_t fences_before = cdb->ddl_fences();
+  ASSERT_TRUE(cdb->ExecuteSql("CREATE INDEX idx ON items (name)").ok());
+  EXPECT_GT(cdb->ddl_fences(), fences_before);
+  EXPECT_EQ(cdb->version_store()->live_versions(), 0u);
+
+  // The (recompiled, secondary-lookup) plan finds exactly the two
+  // post-write 'zz' rows; the deleted row's old name finds nothing.
+  auto zz = cdb->ExecuteSql("SELECT * FROM items WHERE name = 'zz'");
+  ASSERT_TRUE(zz.ok()) << zz.status().ToString();
+  EXPECT_EQ(zz->result.plan.kind, AccessPathKind::kSecondaryLookup);
+  ASSERT_EQ(zz->result.rows.size(), 2u);
+  auto stale = cdb->ExecuteSql("SELECT * FROM items WHERE name = 'n3'");
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale->result.rows.size(), 0u);
+  auto deleted = cdb->ExecuteSql("SELECT * FROM items WHERE name = 'n5'");
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(deleted->result.rows.size(), 0u);
+
+  // Post-DDL MVCC writes keep working against the new schema version.
+  ASSERT_TRUE(
+      cdb->ExecuteSql("UPDATE items SET name = 'qq' WHERE id = 7").ok());
+  auto get = cdb->GetByKey(7);
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(get->result.rows.at(0).at(1).AsString(), "qq");
+
+  cdb.reset();
+  fs::remove_all(dir);
 }
 
 }  // namespace
