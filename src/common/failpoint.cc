@@ -1,0 +1,109 @@
+#include "common/failpoint.h"
+
+namespace tarpit {
+namespace {
+
+/// splitmix64: tiny, stateless-friendly PRNG. Good enough bit mixing
+/// for Bernoulli trials and fully determined by the spec's seed, which
+/// is what torture-test replay needs.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::atomic<int> FailPoints::active_{0};
+
+FailPoints& FailPoints::Instance() {
+  static FailPoints* instance = new FailPoints();
+  return *instance;
+}
+
+void FailPoints::Enable(std::string_view name, FailPointSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    Point p;
+    p.spec = spec;
+    p.rng_state = spec.seed;
+    points_.emplace(std::string(name), p);
+    active_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Re-enabling resets trigger state so tests can re-arm a point.
+    it->second.spec = spec;
+    it->second.hit_count = 0;
+    it->second.fire_count = 0;
+    it->second.rng_state = spec.seed;
+  }
+}
+
+void FailPoints::Disable(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it != points_.end()) {
+    points_.erase(it);
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoints::DisableAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.fetch_sub(static_cast<int>(points_.size()),
+                    std::memory_order_relaxed);
+  points_.clear();
+}
+
+std::optional<int64_t> FailPoints::Fire(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) return std::nullopt;
+
+  Point& p = it->second;
+  ++p.hit_count;
+
+  uint64_t fire_cap = p.spec.max_fires;
+  bool fires = false;
+  switch (p.spec.trigger) {
+    case FailPointSpec::Trigger::kAlways:
+      fires = true;
+      break;
+    case FailPointSpec::Trigger::kNthHit:
+      fires = p.hit_count == p.spec.nth;
+      if (fire_cap == 0) fire_cap = 1;
+      break;
+    case FailPointSpec::Trigger::kProbability: {
+      uint64_t r = SplitMix64(p.rng_state);
+      double u =
+          static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+      fires = u < p.spec.probability;
+      break;
+    }
+  }
+  if (fires && fire_cap != 0 && p.fire_count >= fire_cap) fires = false;
+  if (fires) ++p.fire_count;
+  if (observer_) observer_(name, fires);
+  if (!fires) return std::nullopt;
+  return p.spec.arg;
+}
+
+uint64_t FailPoints::hits(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hit_count;
+}
+
+uint64_t FailPoints::fires(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fire_count;
+}
+
+void FailPoints::SetObserver(Observer observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observer_ = std::move(observer);
+}
+
+}  // namespace tarpit

@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kCancelled,
+  kOverloaded,
 };
 
 /// Returns a stable human-readable name for a status code, e.g. "NotFound".
@@ -80,6 +81,14 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  /// The engine shed this request to protect itself: a resource budget
+  /// (parked stalls, WAL backlog, version-store size) is exhausted.
+  /// Distinct from kRateLimited (per-principal throttling) — overload is
+  /// a whole-engine condition, and any delay charge computed before the
+  /// shed decision is kept (the stall is owed even if never parked).
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -91,6 +100,9 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -273,7 +273,12 @@ void ConcurrentProtectedDatabase::EndRequest(
     obs::RequestTrace* tr, const Result<ProtectedResult>& r,
     bool cancelled) {
   if (cancelled && m_cancelled_ != nullptr) m_cancelled_->Increment();
-  if (r.ok() && !cancelled && m_delay_charged_ns_ != nullptr) {
+  if (r.ok() && m_delay_charged_ns_ != nullptr) {
+    // Cancelled (session-evicted or shutdown-drained) stalls were
+    // still CHARGED: accounting happens in the compute phase, and
+    // cancellation cuts the serving short, not the bill -- the
+    // keep-the-charge invariant. The histogram must match what the
+    // accounting stripes recorded, so cancelled charges count too.
     m_delay_charged_ns_->Record(
         obs::NanosFromSeconds(r->delay_seconds));
   }
@@ -322,8 +327,22 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::FinishBlocking(
     bool done = false;
     bool cancelled = false;
   };
+  ResourceGovernor* gov = concurrent_options_.governor;
+  if (gov != nullptr) {
+    Status admit = gov->AdmitStall(0);
+    if (!admit.ok()) {
+      // Shed before park: the delay charge is already on the books
+      // (recorded in the compute phase), so an extraction suspect
+      // still pays — it just doesn't get to occupy a wheel slot.
+      EndRequest(tr, r, /*cancelled=*/false);
+      return admit;
+    }
+  }
   auto w = std::make_shared<Waiter>();
-  scheduler_->Submit(delay, [w](bool cancelled) {
+  scheduler_->Submit(delay, [w, gov](bool cancelled) {
+    // Release first: expiry, cancellation and shutdown-drain all end
+    // the parked state, whatever the completion outcome.
+    if (gov != nullptr) gov->ReleaseStall(0);
     std::lock_guard<std::mutex> lock(w->m);
     w->done = true;
     w->cancelled = cancelled;
@@ -364,6 +383,16 @@ void ConcurrentProtectedDatabase::FinishAsync(Result<ProtectedResult> r,
     done(std::move(r));
     return;
   }
+  ResourceGovernor* gov = concurrent_options_.governor;
+  if (gov != nullptr) {
+    Status admit = gov->AdmitStall(0);
+    if (!admit.ok()) {
+      // Same keep-the-charge shed as FinishBlocking, completed inline.
+      EndRequest(tr, r, /*cancelled=*/false);
+      done(std::move(admit));
+      return;
+    }
+  }
   auto shared = std::make_shared<Result<ProtectedResult>>(std::move(r));
   // The submitting thread's stack frame is gone when the stall
   // expires, so the trace rides the closure by value.
@@ -375,7 +404,8 @@ void ConcurrentProtectedDatabase::FinishAsync(Result<ProtectedResult> r,
   scheduler_->Submit(
       delay,
       [this, shared, done = std::move(done), trace_copy, traced,
-       park_start](bool cancelled) mutable {
+       park_start, gov](bool cancelled) mutable {
+        if (gov != nullptr) gov->ReleaseStall(0);
         obs::RequestTrace* t = traced ? &trace_copy : nullptr;
         if (t != nullptr) {
           t->phase_micros[static_cast<int>(obs::TracePhase::kPark)] +=
@@ -457,6 +487,15 @@ bool ConcurrentProtectedDatabase::CanLowerDml(const Statement& stmt) const {
 
 Result<ProtectedResult> ConcurrentProtectedDatabase::SubmitWrite(
     const Statement& stmt) {
+  if (concurrent_options_.governor != nullptr) {
+    // Shed-before-collapse on the write side: refuse at submit time
+    // while the WAL backlog / version store are over budget, instead
+    // of queueing into a batch that only grows them further.
+    Table* table = inner_->table();
+    TARPIT_RETURN_IF_ERROR(concurrent_options_.governor->CheckWrite(
+        table != nullptr ? table->WalBacklogBytes() : 0,
+        version_store_ != nullptr ? version_store_->live_versions() : 0));
+  }
   WriteOp op;
   op.stmt = &stmt;
   bool leader = false;
@@ -1272,7 +1311,12 @@ Status ConcurrentProtectedDatabase::BulkLoadRow(const Row& row) {
 Status ConcurrentProtectedDatabase::Checkpoint() {
   if (concurrent_options_.mode == ConcurrencyMode::kGlobalLock) {
     std::lock_guard<std::mutex> lock(mutex_);
-    return inner_->Checkpoint();
+    TARPIT_RETURN_IF_ERROR(inner_->Checkpoint());
+    // Reputation surcharges bypass the inner engine's accounting;
+    // re-snapshot the ledger with them folded in (snapshots are
+    // absolute, so the later, fuller record wins on recovery).
+    return inner_->SnapshotDelayLedger(global_rep_extra_delay_, 0,
+                                       /*sync=*/true);
   }
   std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
   if (epoch_mgr_ != nullptr) {
@@ -1292,7 +1336,20 @@ Status ConcurrentProtectedDatabase::Checkpoint() {
       return deferred_count_cache_status_;
     }
   }
-  return inner_->Checkpoint();
+  TARPIT_RETURN_IF_ERROR(inner_->Checkpoint());
+  // The sharded path charges delays through the accounting stripes,
+  // bypassing the inner DelayEngine; fold them into a final synced
+  // ledger snapshot so the recovered debt matches what callers were
+  // actually charged.
+  double sharded_delay = 0.0;
+  uint64_t sharded_charges = 0;
+  for (auto& acct : acct_stripes_) {
+    std::lock_guard<std::mutex> lock(acct->mu);
+    sharded_delay += acct->total_delay;
+    sharded_charges += acct->charges;
+  }
+  return inner_->SnapshotDelayLedger(sharded_delay, sharded_charges,
+                                     /*sync=*/true);
 }
 
 ProtectedDatabaseMetrics ConcurrentProtectedDatabase::Metrics() {

@@ -16,6 +16,7 @@
 #include "common/stats.h"
 #include "core/delay_scheduler.h"
 #include "core/protected_db.h"
+#include "core/resource_governor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/concurrent_count_tracker.h"
@@ -118,6 +119,16 @@ struct ConcurrentDatabaseOptions {
   /// phase, before FinishBlocking/FinishAsync serves or parks the
   /// stall, so the async park path parks the post-escalation delay.
   PrincipalPenalty* reputation = nullptr;
+  /// Overload governor (shed-before-collapse), typically shared with
+  /// the QueryGate. When set, a stall is admitted against the
+  /// parked-stall budgets before it reaches the wheel; refusals
+  /// complete with Status::Overloaded AFTER the delay charge was
+  /// recorded in the compute phase, so shed extraction-suspects still
+  /// pay their accounting/reputation penalty. The MVCC write path
+  /// additionally consults CheckWrite against the WAL-backlog and
+  /// live-version budgets at submit time. Not owned; must outlive the
+  /// database. Null disables governing (seed behavior).
+  ResourceGovernor* governor = nullptr;
   /// When non-null the front door publishes request/cancellation
   /// counters, row-cache counters, and the per-policy delay-charged
   /// histogram here, and propagates the registry down to the inner

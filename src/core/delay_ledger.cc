@@ -1,0 +1,139 @@
+#include "core/delay_ledger.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/checksum.h"
+
+namespace tarpit {
+
+namespace {
+
+constexpr uint8_t kSnapshotKind = 1;
+constexpr size_t kRecordSize = 1 + 8 + 8 + 4;
+
+void EncodeRecord(double total, uint64_t charges, char* out) {
+  out[0] = static_cast<char>(kSnapshotKind);
+  std::memcpy(out + 1, &total, 8);
+  std::memcpy(out + 9, &charges, 8);
+  uint32_t crc = Crc32(out, kRecordSize - 4);
+  std::memcpy(out + kRecordSize - 4, &crc, 4);
+}
+
+bool DecodeRecord(const char* in, double* total, uint64_t* charges) {
+  if (static_cast<uint8_t>(in[0]) != kSnapshotKind) return false;
+  uint32_t stored;
+  std::memcpy(&stored, in + kRecordSize - 4, 4);
+  if (stored != Crc32(in, kRecordSize - 4)) return false;
+  std::memcpy(total, in + 1, 8);
+  std::memcpy(charges, in + 9, 8);
+  return true;
+}
+
+std::string ErrnoContext(const char* op, const std::string& what, int err) {
+  return std::string(op) + " " + what + ": " + std::strerror(err) +
+         " (errno " + std::to_string(err) + ")";
+}
+
+}  // namespace
+
+DelayLedger::~DelayLedger() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status DelayLedger::Open(const std::string& path) {
+  if (fd_ >= 0) return Status::FailedPrecondition("ledger already open");
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Status::IOError(ErrnoContext("open ledger", path, errno));
+  }
+  path_ = path;
+  recovered_total_delay_ = 0;
+  recovered_charges_ = 0;
+  truncated_bytes_ = 0;
+  appends_ = 0;
+
+  // Last intact record wins; stop at the first torn/corrupt one.
+  uint64_t pos = 0;
+  char rec[kRecordSize];
+  while (true) {
+    ssize_t n = ::pread(fd_, rec, kRecordSize, static_cast<off_t>(pos));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      return Status::IOError(ErrnoContext("pread ledger", path, err));
+    }
+    if (n < static_cast<ssize_t>(kRecordSize)) break;  // Clean/torn end.
+    double total;
+    uint64_t charges;
+    if (!DecodeRecord(rec, &total, &charges)) break;  // Corrupt tail.
+    recovered_total_delay_ = total;
+    recovered_charges_ = charges;
+    pos += kRecordSize;
+  }
+  off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) {
+    int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    return Status::IOError(ErrnoContext("lseek ledger", path, err));
+  }
+  if (static_cast<uint64_t>(end) > pos) {
+    if (::ftruncate(fd_, static_cast<off_t>(pos)) != 0) {
+      int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      return Status::IOError(ErrnoContext("ftruncate ledger", path, err));
+    }
+    truncated_bytes_ = static_cast<uint64_t>(end) - pos;
+  }
+  return Status::OK();
+}
+
+Status DelayLedger::Close() {
+  if (fd_ < 0) return Status::OK();
+  if (::close(fd_) != 0) {
+    int err = errno;
+    fd_ = -1;
+    return Status::IOError(ErrnoContext("close ledger", path_, err));
+  }
+  fd_ = -1;
+  return Status::OK();
+}
+
+Status DelayLedger::Append(double total_delay_seconds, uint64_t charges,
+                           bool sync) {
+  if (fd_ < 0) return Status::FailedPrecondition("ledger not open");
+  char rec[kRecordSize];
+  EncodeRecord(total_delay_seconds, charges, rec);
+  size_t done = 0;
+  while (done < kRecordSize) {
+    ssize_t w = ::write(fd_, rec + done, kRecordSize - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoContext("write ledger", path_, errno));
+    }
+    if (w == 0) {
+      return Status::IOError(ErrnoContext("write ledger", path_, EIO));
+    }
+    done += static_cast<size_t>(w);
+  }
+  ++appends_;
+  if (sync) return Sync();
+  return Status::OK();
+}
+
+Status DelayLedger::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("ledger not open");
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(ErrnoContext("fdatasync ledger", path_, errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace tarpit

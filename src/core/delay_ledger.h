@@ -1,0 +1,70 @@
+#ifndef TARPIT_CORE_DELAY_LEDGER_H_
+#define TARPIT_CORE_DELAY_LEDGER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tarpit {
+
+/// Durable record of the engine's cumulative charged delay.
+///
+/// The paper's defense is an accounting promise: every tuple retrieval
+/// owes a computed delay, and that debt must not evaporate in a crash —
+/// otherwise an extractor could reset its bill by killing the process.
+/// The ledger persists absolute snapshots (total_delay_seconds,
+/// delays_charged) in an append-only checksummed file:
+///
+///   record := [kind:u8 = 1][total_delay:f64][charges:u64][crc32:u32]
+///
+/// Snapshots are absolute, not deltas, so recovery is "last intact
+/// record wins" — idempotent from any crash point, no replay math.
+/// Open() scans the file, adopts the last intact record, and truncates
+/// any torn tail (same self-healing contract as the WAL). Appends are
+/// unsynced on the snapshot cadence (cheap, lost only with the last
+/// few seconds of accounting) and fdatasync'd at Checkpoint/Close, so
+/// the durable horizon is never behind the data's.
+class DelayLedger {
+ public:
+  DelayLedger() = default;
+  ~DelayLedger();
+
+  DelayLedger(const DelayLedger&) = delete;
+  DelayLedger& operator=(const DelayLedger&) = delete;
+
+  /// Opens (creating if needed) the ledger at `path`, recovers the
+  /// last intact snapshot, and truncates any torn tail.
+  Status Open(const std::string& path);
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends an absolute snapshot; fdatasyncs when `sync`.
+  Status Append(double total_delay_seconds, uint64_t charges, bool sync);
+
+  /// fdatasyncs the file now.
+  Status Sync();
+
+  /// Totals adopted by the last Open() — the delay debt carried across
+  /// the crash/restart boundary.
+  double recovered_total_delay() const { return recovered_total_delay_; }
+  uint64_t recovered_charges() const { return recovered_charges_; }
+  /// Torn-tail bytes discarded by the last Open().
+  uint64_t truncated_bytes() const { return truncated_bytes_; }
+  /// Records appended since Open().
+  uint64_t appends() const { return appends_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  double recovered_total_delay_ = 0;
+  uint64_t recovered_charges_ = 0;
+  uint64_t truncated_bytes_ = 0;
+  uint64_t appends_ = 0;
+};
+
+}  // namespace tarpit
+
+#endif  // TARPIT_CORE_DELAY_LEDGER_H_

@@ -1,0 +1,110 @@
+#include "core/resource_governor.h"
+
+namespace tarpit {
+
+ResourceGovernor::ResourceGovernor(ResourceGovernorOptions options)
+    : options_(options) {
+  if (options_.metrics != nullptr) {
+    obs::MetricRegistry* m = options_.metrics;
+    m_parked_stalls_ = m->GetGauge("tarpit_governor_parked_stalls");
+    m_parked_bytes_ = m->GetGauge("tarpit_governor_parked_bytes");
+    m_admitted_ = m->GetCounter("tarpit_governor_admitted_total");
+  }
+}
+
+void ResourceGovernor::CountShed(const char* reason) {
+  // mu_ held by callers.
+  ++shed_total_;
+  if (options_.metrics != nullptr) {
+    options_.metrics
+        ->GetCounter("tarpit_governor_shed_total", {{"reason", reason}})
+        ->Increment();
+  }
+}
+
+Status ResourceGovernor::AdmitStall(uint64_t bytes) {
+  const uint64_t b = EffectiveBytes(bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_parked_stalls != 0 &&
+      parked_stalls_ >= options_.max_parked_stalls) {
+    CountShed("parked_stalls");
+    return Status::Overloaded(
+        "parked-stall budget exhausted (" +
+        std::to_string(options_.max_parked_stalls) + " stalls)");
+  }
+  if (options_.max_parked_bytes != 0 &&
+      parked_bytes_ + b > options_.max_parked_bytes) {
+    CountShed("parked_bytes");
+    return Status::Overloaded(
+        "parked-stall memory budget exhausted (" +
+        std::to_string(options_.max_parked_bytes) + " bytes)");
+  }
+  ++parked_stalls_;
+  parked_bytes_ += b;
+  ++admitted_total_;
+  if (m_parked_stalls_ != nullptr) {
+    m_parked_stalls_->Set(static_cast<int64_t>(parked_stalls_));
+  }
+  if (m_parked_bytes_ != nullptr) {
+    m_parked_bytes_->Set(static_cast<int64_t>(parked_bytes_));
+  }
+  if (m_admitted_ != nullptr) m_admitted_->Increment();
+  return Status::OK();
+}
+
+void ResourceGovernor::ReleaseStall(uint64_t bytes) {
+  const uint64_t b = EffectiveBytes(bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  parked_stalls_ = parked_stalls_ > 0 ? parked_stalls_ - 1 : 0;
+  parked_bytes_ = parked_bytes_ > b ? parked_bytes_ - b : 0;
+  if (m_parked_stalls_ != nullptr) {
+    m_parked_stalls_->Set(static_cast<int64_t>(parked_stalls_));
+  }
+  if (m_parked_bytes_ != nullptr) {
+    m_parked_bytes_->Set(static_cast<int64_t>(parked_bytes_));
+  }
+}
+
+Status ResourceGovernor::CheckWrite(uint64_t wal_backlog_bytes,
+                                    uint64_t live_versions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_wal_backlog_bytes != 0 &&
+      wal_backlog_bytes > options_.max_wal_backlog_bytes) {
+    CountShed("wal_backlog");
+    return Status::Overloaded(
+        "wal backlog " + std::to_string(wal_backlog_bytes) +
+        " bytes over budget (" +
+        std::to_string(options_.max_wal_backlog_bytes) + ")");
+  }
+  if (options_.max_live_versions != 0 &&
+      live_versions > options_.max_live_versions) {
+    CountShed("live_versions");
+    return Status::Overloaded(
+        "version store " + std::to_string(live_versions) +
+        " live versions over budget (" +
+        std::to_string(options_.max_live_versions) + ")");
+  }
+  return Status::OK();
+}
+
+uint64_t ResourceGovernor::parked_stalls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return parked_stalls_;
+}
+
+uint64_t ResourceGovernor::parked_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return parked_bytes_;
+}
+
+uint64_t ResourceGovernor::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_total_;
+}
+
+uint64_t ResourceGovernor::shed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_total_;
+}
+
+}  // namespace tarpit

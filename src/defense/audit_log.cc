@@ -12,6 +12,7 @@ std::string AuditEventName(AuditEvent event) {
     case AuditEvent::kLifetimeCapHit: return "lifetime-cap";
     case AuditEvent::kCoverageEscalated: return "coverage-escalated";
     case AuditEvent::kReputationEscalated: return "reputation-escalated";
+    case AuditEvent::kOverloadShed: return "overload-shed";
   }
   return "unknown";
 }

@@ -23,6 +23,8 @@ QueryGate::QueryGate(ProtectedDatabase* db, QueryGateOptions options)
                                      {{"reason", "subnet-rate"}});
     m_denied_user_ = m->GetCounter("tarpit_gate_denials_total",
                                    {{"reason", "user-rate"}});
+    m_denied_overload_ = m->GetCounter("tarpit_gate_denials_total",
+                                       {{"reason", "overload"}});
     m_registrations_ = m->GetCounter("tarpit_gate_registrations_total");
     m_reg_denied_ = m->GetCounter("tarpit_gate_denials_total",
                                   {{"reason", "registration"}});
@@ -255,11 +257,31 @@ void QueryGate::ExecuteSqlAsync(const Identity& identity,
   // it. Otherwise the inner engine already slept and we owe nothing.
   const double park =
       db_->options().defer_delay_sleep ? result->delay_seconds : 0.0;
+  ResourceGovernor* gov = options_.governor;
+  if (gov != nullptr) {
+    Status admit = gov->AdmitStall(0);
+    if (!admit.ok()) {
+      // Shed before park. The delay -- including any coverage or
+      // reputation surcharge -- is already charged and the served
+      // tuples already fed breadth learning, so the suspect's penalty
+      // sticks; only the wheel slot (and the tuple) is refused.
+      AuditRecord record;
+      record.event = AuditEvent::kOverloadShed;
+      record.identity = identity.id;
+      record.ipv4 = identity.ipv4;
+      record.magnitude = result->delay_seconds;
+      audit_log_.Record(record);
+      if (m_denied_overload_ != nullptr) m_denied_overload_->Increment();
+      done(std::move(admit));
+      return;
+    }
+  }
   auto shared = std::make_shared<Result<ProtectedResult>>(
       std::move(result));
   scheduler->Submit(
       park,
-      [shared, done = std::move(done)](bool cancelled) {
+      [gov, shared, done = std::move(done)](bool cancelled) {
+        if (gov != nullptr) gov->ReleaseStall(0);
         if (cancelled) {
           done(Status::Cancelled(
               "stall cancelled before expiry (session evicted or "

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "core/delay_scheduler.h"
 #include "core/protected_db.h"
+#include "core/resource_governor.h"
 #include "defense/audit_log.h"
 #include "defense/coverage_monitor.h"
 #include "defense/identity.h"
@@ -50,6 +51,15 @@ struct QueryGateOptions {
   /// *before* the query (same no-retroactive-penalty rule as coverage
   /// escalation). Null disables reputation entirely.
   ReputationStore* reputation = nullptr;
+  /// Overload governor (shed-before-collapse), typically shared with
+  /// the concurrent front door. Consulted only by ExecuteSqlAsync
+  /// before the charged stall parks: when the parked-stall budgets are
+  /// exhausted the request completes with Status::Overloaded instead
+  /// of occupying the wheel. The delay (including any coverage /
+  /// reputation surcharge) was already charged -- the accounting and
+  /// reputation penalty stick, an extraction suspect cannot convert
+  /// overload into free tuples. Not owned; must outlive the gate.
+  ResourceGovernor* governor = nullptr;
   /// When non-null the gate publishes admission/denial counters and
   /// the delay-charged histograms (split legitimate vs flagged by the
   /// coverage monitor) here. Must outlive the gate.
@@ -121,6 +131,7 @@ class QueryGate {
   obs::Counter* m_denied_lifetime_ = nullptr;
   obs::Counter* m_denied_subnet_ = nullptr;
   obs::Counter* m_denied_user_ = nullptr;
+  obs::Counter* m_denied_overload_ = nullptr;
   obs::Counter* m_registrations_ = nullptr;
   obs::Counter* m_reg_denied_ = nullptr;
   obs::Counter* m_escalations_ = nullptr;

@@ -1,0 +1,30 @@
+#include "obs/failpoint_metrics.h"
+
+#include <string>
+#include <string_view>
+
+#include "common/failpoint.h"
+#include "obs/metrics.h"
+
+namespace tarpit {
+namespace obs {
+
+void BindFailPointMetrics(MetricRegistry* registry) {
+  if (registry == nullptr) {
+    FailPoints::Instance().SetObserver(nullptr);
+    return;
+  }
+  FailPoints::Instance().SetObserver(
+      [registry](std::string_view name, bool fired) {
+        Labels labels{{"point", std::string(name)}};
+        registry->GetCounter("tarpit_failpoint_hits_total", labels)
+            ->Increment();
+        if (fired) {
+          registry->GetCounter("tarpit_failpoint_fires_total", labels)
+              ->Increment();
+        }
+      });
+}
+
+}  // namespace obs
+}  // namespace tarpit

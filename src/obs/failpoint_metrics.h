@@ -1,0 +1,21 @@
+#ifndef TARPIT_OBS_FAILPOINT_METRICS_H_
+#define TARPIT_OBS_FAILPOINT_METRICS_H_
+
+namespace tarpit {
+namespace obs {
+
+class MetricRegistry;
+
+/// Installs a FailPoints observer that mirrors every enabled-point hit
+/// into `registry`:
+///   tarpit_failpoint_hits_total{point=<name>}   — hits on enabled points
+///   tarpit_failpoint_fires_total{point=<name>}  — hits whose trigger fired
+/// Passing nullptr uninstalls the observer. The hook only runs on the
+/// fail-point slow path (some point enabled), so binding metrics does
+/// not perturb the disabled-cost bar.
+void BindFailPointMetrics(MetricRegistry* registry);
+
+}  // namespace obs
+}  // namespace tarpit
+
+#endif  // TARPIT_OBS_FAILPOINT_METRICS_H_

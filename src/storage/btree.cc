@@ -13,16 +13,18 @@ constexpr uint32_t kBTreeMagic = 0x54425431;  // "TBT1"
 // Node header: [is_leaf:u8][pad:u8][count:u16][next:u32] = 8 bytes.
 constexpr size_t kNodeHeaderSize = 8;
 
-// Leaf entry: key:i64, page:u32, slot:u16 = 14 bytes.
+// Leaf entry: key:i64, page:u32, slot:u16 = 14 bytes. Nodes fit in
+// kPageUsableSize — the page's final 4 bytes are the DiskManager's
+// CRC32 trailer (page.h).
 constexpr size_t kLeafEntrySize = 14;
 constexpr int kLeafCapacity =
-    static_cast<int>((kPageSize - kNodeHeaderSize) / kLeafEntrySize);
+    static_cast<int>((kPageUsableSize - kNodeHeaderSize) / kLeafEntrySize);
 
 // Internal layout: child0:u32 at offset 8, then count x {key:i64,
 // child:u32} (12 bytes each).
 constexpr size_t kInternalEntrySize = 12;
 constexpr int kInternalCapacity = static_cast<int>(
-    (kPageSize - kNodeHeaderSize - 4) / kInternalEntrySize);
+    (kPageUsableSize - kNodeHeaderSize - 4) / kInternalEntrySize);
 
 uint16_t LoadU16(const char* p) {
   uint16_t v;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <string>
 
+#include "common/failpoint.h"
+
 namespace tarpit {
 
 PageGuard::~PageGuard() { Release(); }
@@ -119,6 +121,12 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
   TARPIT_ASSIGN_OR_RETURN(size_t idx, GetFreeFrame());
   Frame& f = *frames_[idx];
   Status read = disk_->ReadPage(id, f.page.data());
+  // `bufpool.fetch_corrupt`: pretend the verified read came back rotten,
+  // driving the fetch-time quarantine path without touching real disk.
+  if (read.ok() && TARPIT_FAILPOINT("bufpool.fetch_corrupt")) {
+    read = Status::Corruption("page " + std::to_string(id) +
+                              " failed checksum [injected]");
+  }
   if (!read.ok()) {
     ReleaseFrame(idx);
     return read;

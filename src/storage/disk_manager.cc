@@ -3,10 +3,75 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
+#include "common/checksum.h"
+#include "common/failpoint.h"
+
 namespace tarpit {
+namespace {
+
+std::string ErrnoContext(const char* op, const std::string& what, int err) {
+  return std::string(op) + " " + what + ": " + std::strerror(err) +
+         " (errno " + std::to_string(err) + ")";
+}
+
+/// pwrite all `n` bytes, retrying EINTR and continuing short writes.
+/// Returns 0 on success, the failing errno otherwise. A zero-byte
+/// pwrite return (possible only on weird devices) maps to EIO rather
+/// than looping forever.
+int PwriteFull(int fd, const char* buf, size_t n, off_t off) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::pwrite(fd, buf + done, n - done,
+                         off + static_cast<off_t>(done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return errno;
+    }
+    if (w == 0) return EIO;
+    done += static_cast<size_t>(w);
+  }
+  return 0;
+}
+
+/// pread all `n` bytes; same contract as PwriteFull. Hitting EOF
+/// mid-page maps to EIO (the caller bounds-checked against PageCount,
+/// so a short file is a truncated/torn page, not a caller bug).
+int PreadFull(int fd, char* buf, size_t n, off_t off) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd, buf + done, n - done,
+                        off + static_cast<off_t>(done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return errno;
+    }
+    if (r == 0) return EIO;
+    done += static_cast<size_t>(r);
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool DiskManager::VerifyPageImage(const char* page) {
+  uint32_t stored;
+  std::memcpy(&stored, page + kPageUsableSize, sizeof(stored));
+  if (stored == Crc32(page, kPageUsableSize)) return true;
+  // A hole (never-written page) reads as all zeroes, trailer included.
+  for (uint32_t i = 0; i < kPageSize; ++i) {
+    if (page[i] != 0) return false;
+  }
+  return true;
+}
+
+void DiskManager::SealPageImage(char* page) {
+  uint32_t crc = Crc32(page, kPageUsableSize);
+  std::memcpy(page + kPageUsableSize, &crc, sizeof(crc));
+}
 
 DiskManager::~DiskManager() {
   if (fd_ >= 0) ::close(fd_);
@@ -16,19 +81,28 @@ Status DiskManager::Open(const std::string& path) {
   if (fd_ >= 0) return Status::FailedPrecondition("already open");
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd_ < 0) {
-    return Status::IOError("open " + path + ": " + std::strerror(errno));
+    return Status::IOError(ErrnoContext("open", path, errno));
   }
   path_ = path;
   off_t size = ::lseek(fd_, 0, SEEK_END);
   if (size < 0) {
+    int err = errno;
     ::close(fd_);
     fd_ = -1;
-    return Status::IOError("lseek " + path);
+    return Status::IOError(ErrnoContext("lseek", path, err));
   }
   if (size % kPageSize != 0) {
-    ::close(fd_);
-    fd_ = -1;
-    return Status::Corruption(path + " size not page-aligned");
+    // A crash mid-pwrite can leave a ragged tail. The partial page was
+    // never acknowledged as written, so it is dropped the same way WAL
+    // recovery drops a torn record; its full-page predecessors stay.
+    off_t aligned = size - (size % kPageSize);
+    if (::ftruncate(fd_, aligned) != 0) {
+      int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      return Status::IOError(ErrnoContext("ftruncate", path, err));
+    }
+    size = aligned;
   }
   page_count_.store(static_cast<uint32_t>(size / kPageSize),
                     std::memory_order_release);
@@ -37,15 +111,19 @@ Status DiskManager::Open(const std::string& path) {
 
 Status DiskManager::Close() {
   if (fd_ < 0) return Status::OK();
-  if (::close(fd_) != 0) return Status::IOError("close " + path_);
+  if (::close(fd_) != 0) {
+    int err = errno;
+    fd_ = -1;
+    return Status::IOError(ErrnoContext("close", path_, err));
+  }
   fd_ = -1;
   return Status::OK();
 }
 
 Result<PageId> DiskManager::AllocatePage() {
-  if (fd_ < 0) return Status::FailedPrecondition("not open");
+  if (!is_open()) return Status::FailedPrecondition("not open");
   char zeros[kPageSize] = {};
-  PageId id = page_count_.load(std::memory_order_acquire);
+  PageId id = PageCount();
   TARPIT_RETURN_IF_ERROR(WritePage(id, zeros));
   return id;
 }
@@ -56,23 +134,61 @@ Status DiskManager::ReadPage(PageId id, char* out) const {
     return Status::InvalidArgument("read past end of file: page " +
                                    std::to_string(id));
   }
-  ssize_t n = ::pread(fd_, out, kPageSize,
-                      static_cast<off_t>(id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("pread page " + std::to_string(id));
+  if (TARPIT_FAILPOINT("disk.pread_eio")) {
+    return Status::IOError(
+        ErrnoContext("pread", "page " + std::to_string(id) + " of " + path_,
+                     EIO) +
+        " [injected]");
   }
-  reads_.fetch_add(1, std::memory_order_relaxed);
+  int err = PreadFull(fd_, out, kPageSize,
+                      static_cast<off_t>(id) * kPageSize);
+  if (err != 0) {
+    return Status::IOError(ErrnoContext(
+        "pread", "page " + std::to_string(id) + " of " + path_, err));
+  }
+  if (!VerifyPageImage(out)) {
+    CountChecksumFailure();
+    return Status::Corruption("page " + std::to_string(id) + " of " + path_ +
+                              " failed checksum");
+  }
+  CountRead();
   return Status::OK();
 }
 
 Status DiskManager::WritePage(PageId id, const char* data) {
   if (fd_ < 0) return Status::FailedPrecondition("not open");
-  ssize_t n = ::pwrite(fd_, data, kPageSize,
-                       static_cast<off_t>(id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("pwrite page " + std::to_string(id));
+  char sealed[kPageSize];
+  std::memcpy(sealed, data, kPageUsableSize);
+  SealPageImage(sealed);
+
+  if (TARPIT_FAILPOINT("disk.pwrite_enospc")) {
+    return Status::IOError(
+        ErrnoContext("pwrite", "page " + std::to_string(id) + " of " + path_,
+                     ENOSPC) +
+        " [injected]");
   }
-  writes_.fetch_add(1, std::memory_order_relaxed);
+  size_t to_write = kPageSize;
+  bool injected_torn = false;
+  if (auto arg = TARPIT_FAILPOINT("disk.pwrite_short")) {
+    // Persist only the first `arg` bytes, then fail: a torn page is on
+    // disk, exactly what a power cut mid-sector-train leaves behind.
+    to_write = static_cast<size_t>(
+        std::min<int64_t>(std::max<int64_t>(*arg, 0), kPageSize));
+    injected_torn = true;
+  }
+  int err = PwriteFull(fd_, sealed, to_write,
+                       static_cast<off_t>(id) * kPageSize);
+  if (err != 0) {
+    return Status::IOError(ErrnoContext(
+        "pwrite", "page " + std::to_string(id) + " of " + path_, err));
+  }
+  if (injected_torn) {
+    return Status::IOError(
+        ErrnoContext("pwrite", "page " + std::to_string(id) + " of " + path_,
+                     EIO) +
+        " [injected torn page, " + std::to_string(to_write) + " bytes hit]");
+  }
+  CountWrite();
   uint32_t count = page_count_.load(std::memory_order_acquire);
   while (id >= count &&
          !page_count_.compare_exchange_weak(count, id + 1,
@@ -83,7 +199,21 @@ Status DiskManager::WritePage(PageId id, const char* data) {
 
 Status DiskManager::Sync() {
   if (fd_ < 0) return Status::FailedPrecondition("not open");
-  if (::fsync(fd_) != 0) return Status::IOError("fsync " + path_);
+  if (TARPIT_FAILPOINT("disk.fsync_fail")) {
+    return Status::IOError(ErrnoContext("fsync", path_, EIO) + " [injected]");
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(ErrnoContext("fsync", path_, errno));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Truncate(uint32_t page_count) {
+  if (fd_ < 0) return Status::FailedPrecondition("not open");
+  if (::ftruncate(fd_, static_cast<off_t>(page_count) * kPageSize) != 0) {
+    return Status::IOError(ErrnoContext("ftruncate", path_, errno));
+  }
+  page_count_.store(page_count, std::memory_order_release);
   return Status::OK();
 }
 

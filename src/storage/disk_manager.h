@@ -14,36 +14,61 @@ namespace tarpit {
 /// Owns one data file and provides page-granular I/O. Pages are allocated
 /// append-only; freed pages are not recycled (acceptable for this
 /// workload: the paper's experiments never shrink tables).
+///
+/// Durability contract (PR 8):
+///  - WritePage seals each page with a CRC32 trailer over the first
+///    kPageUsableSize bytes (see page.h); ReadPage verifies it and
+///    returns Status::Corruption on mismatch, so a torn or bit-rotted
+///    sector is detected at fetch time instead of silently decoded.
+///  - All pread/pwrite calls retry EINTR and continue short transfers;
+///    genuine failures surface Status::IOError with errno context.
+///  - Virtual so tests can substitute FaultInjectionDiskManager, which
+///    keeps a "durable as of last Sync" snapshot to simulate crashes.
+///
+/// Fail points (active only when enabled via FailPoints):
+///  - disk.pwrite_short  : arg = bytes of the page actually persisted
+///                         before the write "fails" (torn page).
+///  - disk.pwrite_enospc : WritePage fails as if the device were full.
+///  - disk.fsync_fail    : Sync fails with an injected EIO.
+///  - disk.pread_eio     : ReadPage fails with an injected EIO.
 class DiskManager {
  public:
   DiskManager() = default;
-  ~DiskManager();
+  virtual ~DiskManager();
 
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
 
   /// Opens (creating if needed) the file at `path`.
-  Status Open(const std::string& path);
-  Status Close();
+  virtual Status Open(const std::string& path);
+  virtual Status Close();
 
-  bool is_open() const { return fd_ >= 0; }
+  virtual bool is_open() const { return fd_ >= 0; }
 
   /// Number of pages currently in the file.
-  uint32_t PageCount() const {
+  virtual uint32_t PageCount() const {
     return page_count_.load(std::memory_order_acquire);
   }
 
   /// Appends a zeroed page and returns its id.
-  Result<PageId> AllocatePage();
+  virtual Result<PageId> AllocatePage();
 
-  /// Reads page `id` into `out` (exactly kPageSize bytes).
-  Status ReadPage(PageId id, char* out) const;
+  /// Reads page `id` into `out` (exactly kPageSize bytes) and verifies
+  /// the CRC32 trailer. Corruption carries the page id in its message.
+  virtual Status ReadPage(PageId id, char* out) const;
 
-  /// Writes kPageSize bytes from `data` to page `id`.
-  Status WritePage(PageId id, const char* data);
+  /// Seals the first kPageUsableSize bytes of `data` with a CRC32
+  /// trailer and writes the resulting kPageSize-byte image to page `id`
+  /// (the trailer bytes of `data` itself are ignored).
+  virtual Status WritePage(PageId id, const char* data);
 
   /// fsync the file.
-  Status Sync();
+  virtual Status Sync();
+
+  /// Shrinks (or extends with holes) the file to exactly `page_count`
+  /// pages. Used by recovery to discard quarantined storage wholesale
+  /// before a rebuild.
+  virtual Status Truncate(uint32_t page_count);
 
   /// Cumulative physical I/O counters (used by the overhead experiment
   /// to attribute costs). Relaxed atomics: pread/pwrite are issued from
@@ -52,6 +77,22 @@ class DiskManager {
   uint64_t writes() const {
     return writes_.load(std::memory_order_relaxed);
   }
+  /// Pages whose trailer failed verification in ReadPage.
+  uint64_t checksum_failures() const {
+    return checksum_failures_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void CountRead() const { reads_.fetch_add(1, std::memory_order_relaxed); }
+  void CountWrite() { writes_.fetch_add(1, std::memory_order_relaxed); }
+  void CountChecksumFailure() const {
+    checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Verifies the CRC32 trailer of a full page image; also accepts an
+  /// all-zero page (a never-written hole). Shared with subclasses.
+  static bool VerifyPageImage(const char* page);
+  /// Writes the CRC32 trailer into `page` (a full kPageSize image).
+  static void SealPageImage(char* page);
 
  private:
   int fd_ = -1;
@@ -61,6 +102,7 @@ class DiskManager {
   std::atomic<uint32_t> page_count_{0};
   mutable std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
+  mutable std::atomic<uint64_t> checksum_failures_{0};
 };
 
 }  // namespace tarpit

@@ -11,6 +11,16 @@ namespace tarpit {
 /// All on-disk structures use fixed 4 KiB pages.
 inline constexpr uint32_t kPageSize = 4096;
 
+/// The last four bytes of every page hold a little-endian CRC32 of the
+/// first kPageUsableSize bytes. The trailer is sealed by
+/// DiskManager::WritePage and verified by DiskManager::ReadPage — page
+/// formats (slotted pages, B+tree nodes) must lay out their contents
+/// within kPageUsableSize and never touch the trailer. A page that is
+/// all zeroes end to end (a file hole that was never written) is also
+/// accepted as valid on read.
+inline constexpr uint32_t kPageChecksumSize = 4;
+inline constexpr uint32_t kPageUsableSize = kPageSize - kPageChecksumSize;
+
 using PageId = uint32_t;
 inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
 

@@ -20,8 +20,10 @@ void StoreU16(char* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
 }  // namespace
 
 void SlottedPage::Init() {
+  // Cells stop short of the page end: the trailing kPageChecksumSize
+  // bytes belong to the DiskManager's CRC32 trailer (page.h).
   set_slot_count(0);
-  set_free_end(static_cast<uint16_t>(kPageSize));
+  set_free_end(static_cast<uint16_t>(kPageUsableSize));
 }
 
 uint16_t SlottedPage::slot_count() const { return LoadU16(data_); }
@@ -58,11 +60,13 @@ uint16_t SlottedPage::ReclaimableSpace() const {
   const uint32_t used = kHeaderSize +
                         static_cast<uint32_t>(slots + 1) * kSlotSize +
                         live;
-  return used >= kPageSize ? 0 : static_cast<uint16_t>(kPageSize - used);
+  return used >= kPageUsableSize
+             ? 0
+             : static_cast<uint16_t>(kPageUsableSize - used);
 }
 
 uint16_t SlottedPage::MaxRecordSize() {
-  return kPageSize - kHeaderSize - kSlotSize;
+  return kPageUsableSize - kHeaderSize - kSlotSize;
 }
 
 bool SlottedPage::IsLive(uint16_t slot) const {
@@ -181,7 +185,7 @@ void SlottedPage::Compact() {
       cells.push_back({i, std::string(data_ + s.offset, s.size)});
     }
   }
-  uint16_t end = static_cast<uint16_t>(kPageSize);
+  uint16_t end = static_cast<uint16_t>(kPageUsableSize);
   for (const LiveCell& c : cells) {
     end -= static_cast<uint16_t>(c.bytes.size());
     std::memcpy(data_ + end, c.bytes.data(), c.bytes.size());

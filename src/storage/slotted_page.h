@@ -14,8 +14,10 @@ namespace tarpit {
 ///
 ///   [slot_count:u16][free_end:u16][slot 0][slot 1]... ...cells...]
 ///
-/// Slots are {offset:u16, size:u16}; cells grow downward from the page
-/// end. Deleted slots become tombstones (offset=0,size=0) so slot numbers
+/// Slots are {offset:u16, size:u16}; cells grow downward from
+/// kPageUsableSize (the final kPageChecksumSize bytes are the
+/// DiskManager's CRC32 trailer — see page.h). Deleted slots become
+/// tombstones (offset=0,size=0) so slot numbers
 /// stay stable; tombstoned slots are reused by later inserts. The view
 /// does not own the buffer.
 class SlottedPage {

@@ -1,6 +1,9 @@
 #include "storage/table.h"
 
 #include <cstring>
+#include <vector>
+
+#include "storage/slotted_page.h"
 
 namespace tarpit {
 
@@ -50,20 +53,33 @@ Result<std::unique_ptr<Table>> Table::Open(const std::string& dir,
 
 Status Table::OpenStorage(const std::string& dir, bool create) {
   const std::string base = dir + "/" + name_;
-  TARPIT_RETURN_IF_ERROR(heap_disk_.Open(base + ".tbl"));
-  TARPIT_RETURN_IF_ERROR(index_disk_.Open(base + ".idx"));
-  if (create && (heap_disk_.PageCount() != 0 ||
-                 index_disk_.PageCount() != 0)) {
+  auto make_disk = [this](const std::string& path) {
+    return options_.disk_factory ? options_.disk_factory(path)
+                                 : std::make_unique<DiskManager>();
+  };
+  heap_disk_ = make_disk(base + ".tbl");
+  index_disk_ = make_disk(base + ".idx");
+  TARPIT_RETURN_IF_ERROR(heap_disk_->Open(base + ".tbl"));
+  TARPIT_RETURN_IF_ERROR(index_disk_->Open(base + ".idx"));
+  if (create && (heap_disk_->PageCount() != 0 ||
+                 index_disk_->PageCount() != 0)) {
     return Status::AlreadyExists("table files exist: " + base);
   }
-  heap_pool_ =
-      std::make_unique<BufferPool>(&heap_disk_, options_.heap_pool_pages);
-  index_pool_ = std::make_unique<BufferPool>(&index_disk_,
+  bool rebuild_index = false;
+  if (!create) {
+    TARPIT_RETURN_IF_ERROR(ScrubAndRecover(&rebuild_index));
+  }
+  heap_pool_ = std::make_unique<BufferPool>(heap_disk_.get(),
+                                            options_.heap_pool_pages);
+  index_pool_ = std::make_unique<BufferPool>(index_disk_.get(),
                                              options_.index_pool_pages);
   heap_ = std::make_unique<HeapFile>(heap_pool_.get());
   index_ = std::make_unique<BTree>(index_pool_.get());
   TARPIT_RETURN_IF_ERROR(heap_->Open());
   TARPIT_RETURN_IF_ERROR(index_->Open());
+  if (rebuild_index) {
+    TARPIT_RETURN_IF_ERROR(RebuildIndexFromHeap());
+  }
   if (options_.metrics != nullptr) {
     obs::MetricRegistry* m = options_.metrics;
     auto bind_pool = [&](BufferPool* pool, const char* kind) {
@@ -99,12 +115,73 @@ Status Table::OpenStorage(const std::string& dir, bool create) {
     }
     if (!create) TARPIT_RETURN_IF_ERROR(ReplayWal());
   }
+  if (options_.metrics != nullptr && !create) {
+    obs::MetricRegistry* m = options_.metrics;
+    obs::Labels labels{{"table", name_}};
+    m->GetCounter("tarpit_recovery_wal_records_replayed_total", labels)
+        ->Increment(static_cast<int64_t>(recovered_wal_records_));
+    m->GetCounter("tarpit_recovery_wal_truncated_bytes_total", labels)
+        ->Increment(static_cast<int64_t>(wal_truncated_bytes_));
+    m->GetCounter("tarpit_recovery_pages_quarantined_total", labels)
+        ->Increment(static_cast<int64_t>(quarantined_pages_));
+    m->GetCounter("tarpit_recovery_index_rebuilds_total", labels)
+        ->Increment(static_cast<int64_t>(index_rebuilds_));
+  }
+  return Status::OK();
+}
+
+Status Table::ScrubAndRecover(bool* rebuild_index) {
+  *rebuild_index = false;
+  // Heap: quarantine corrupt pages in place. An empty slotted page is
+  // the honest post-quarantine state — the page's rows are gone from
+  // base storage and come back only through WAL replay (exact when the
+  // log still covers them, i.e. no checkpoint truncated it since).
+  char buf[kPageSize];
+  const uint32_t heap_pages = heap_disk_->PageCount();
+  for (PageId pid = 0; pid < heap_pages; ++pid) {
+    Status read = heap_disk_->ReadPage(pid, buf);
+    if (read.ok()) continue;
+    if (!read.IsCorruption()) return read;
+    std::memset(buf, 0, kPageSize);
+    SlottedPage sp(buf);
+    sp.Init();
+    TARPIT_RETURN_IF_ERROR(heap_disk_->WritePage(pid, buf));
+    ++quarantined_pages_;
+    *rebuild_index = true;  // Its rids just went stale.
+  }
+  // Index: no per-page repair — any corrupt page means rebuilding the
+  // whole tree from the heap (it is derived data).
+  const uint32_t index_pages = index_disk_->PageCount();
+  for (PageId pid = 0; pid < index_pages && !*rebuild_index; ++pid) {
+    Status read = index_disk_->ReadPage(pid, buf);
+    if (read.IsCorruption()) {
+      *rebuild_index = true;
+    } else if (!read.ok()) {
+      return read;
+    }
+  }
+  if (*rebuild_index) {
+    // Discard the index file now, before the buffer pool opens over
+    // it; BTree::Open then formats a fresh empty tree.
+    TARPIT_RETURN_IF_ERROR(index_disk_->Truncate(0));
+  }
+  return Status::OK();
+}
+
+Status Table::RebuildIndexFromHeap() {
+  TARPIT_RETURN_IF_ERROR(
+      heap_->Scan([&](RecordId rid, std::string_view bytes) -> Status {
+        TARPIT_ASSIGN_OR_RETURN(Row row, schema_.DecodeRow(bytes));
+        TARPIT_ASSIGN_OR_RETURN(int64_t key, ExtractKey(row));
+        return index_->Insert(key, rid);
+      }));
+  ++index_rebuilds_;
   return Status::OK();
 }
 
 Status Table::ReplayWal() {
-  return wal_.Replay([this](WalRecordType type, std::string_view payload)
-                         -> Status {
+  Status st = wal_.Recover([this](WalRecordType type,
+                                  std::string_view payload) -> Status {
     switch (type) {
       case WalRecordType::kInsert: {
         TARPIT_ASSIGN_OR_RETURN(Row row, schema_.DecodeRow(payload));
@@ -124,6 +201,10 @@ Status Table::ReplayWal() {
     }
     return Status::Corruption("unknown wal record");
   });
+  TARPIT_RETURN_IF_ERROR(st);
+  recovered_wal_records_ = wal_.last_recovery_records();
+  wal_truncated_bytes_ = wal_.last_recovery_truncated_bytes();
+  return Status::OK();
 }
 
 Result<int64_t> Table::ExtractKey(const Row& row) const {
@@ -353,10 +434,7 @@ Status Table::ScanAll(
 }
 
 Status Table::Checkpoint() {
-  TARPIT_RETURN_IF_ERROR(heap_pool_->FlushAll());
-  TARPIT_RETURN_IF_ERROR(index_pool_->FlushAll());
-  TARPIT_RETURN_IF_ERROR(heap_disk_.Sync());
-  TARPIT_RETURN_IF_ERROR(index_disk_.Sync());
+  TARPIT_RETURN_IF_ERROR(FlushPools());
   if (options_.wal_enabled) {
     // The log is about to be discarded, so any deferred group-commit
     // sync is moot -- the data just hit the table files above.
@@ -365,12 +443,29 @@ Status Table::Checkpoint() {
   return Status::OK();
 }
 
+Status Table::FlushPools() {
+  TARPIT_RETURN_IF_ERROR(heap_pool_->FlushAll());
+  TARPIT_RETURN_IF_ERROR(index_pool_->FlushAll());
+  TARPIT_RETURN_IF_ERROR(heap_disk_->Sync());
+  TARPIT_RETURN_IF_ERROR(index_disk_->Sync());
+  return Status::OK();
+}
+
+Status Table::SyncWal() {
+  if (!options_.wal_enabled) return Status::OK();
+  return wal_.Sync();
+}
+
+uint64_t Table::WalBacklogBytes() const {
+  return options_.wal_enabled ? wal_.unsynced_bytes() : 0;
+}
+
 uint64_t Table::DiskReads() const {
-  return heap_disk_.reads() + index_disk_.reads();
+  return heap_disk_->reads() + index_disk_->reads();
 }
 
 uint64_t Table::DiskWrites() const {
-  return heap_disk_.writes() + index_disk_.writes();
+  return heap_disk_->writes() + index_disk_->writes();
 }
 
 }  // namespace tarpit

@@ -26,6 +26,12 @@ struct TableOptions {
   size_t index_pool_pages = 256;
   bool wal_enabled = true;
   bool wal_sync = false;
+  /// When set, storage files are opened through this factory instead of
+  /// the default file-backed DiskManager. `path` is the file the table
+  /// would have opened (`<dir>/<name>.tbl` or `.idx`), letting fault
+  /// tests hand each file its own FaultInjectionDiskManager state.
+  std::function<std::unique_ptr<DiskManager>(const std::string& path)>
+      disk_factory;
   /// Group-commit window for sync-requested WAL appends (0 =
   /// fsync-per-record when wal_sync is on). With a window, fdatasyncs
   /// are batched: at most one sync per window, so a burst of writes
@@ -127,6 +133,31 @@ class Table {
   /// Flushes all dirty pages and truncates the WAL.
   Status Checkpoint();
 
+  /// Flushes all dirty pages and syncs the data files WITHOUT
+  /// truncating the WAL. Crash tests use this to push page images to
+  /// "disk" while keeping the log as the source of truth.
+  Status FlushPools();
+
+  /// Forces any deferred group-commit WAL sync now.
+  Status SyncWal();
+
+  /// WAL bytes appended but not yet fdatasync'd (0 when WAL disabled) —
+  /// the backlog the resource governor budgets.
+  uint64_t WalBacklogBytes() const;
+
+  /// The table's log, or nullptr when WAL is disabled. Exposed for
+  /// crash tests (synced-offset capture) and the governor.
+  const Wal* wal() const { return options_.wal_enabled ? &wal_ : nullptr; }
+
+  /// Recovery introspection, populated by the most recent Open():
+  /// WAL records replayed, torn-tail bytes truncated from the log,
+  /// heap pages quarantined on checksum failure, and whether the
+  /// primary index was rebuilt from the heap.
+  uint64_t recovered_wal_records() const { return recovered_wal_records_; }
+  uint64_t wal_truncated_bytes() const { return wal_truncated_bytes_; }
+  uint64_t quarantined_pages() const { return quarantined_pages_; }
+  uint64_t index_rebuilds() const { return index_rebuilds_; }
+
   /// Physical I/O counters, for the overhead experiment.
   uint64_t DiskReads() const;
   uint64_t DiskWrites() const;
@@ -141,6 +172,16 @@ class Table {
   Status OpenStorage(const std::string& dir, bool create);
   Status ReplayWal();
 
+  /// Pre-pool integrity pass over both data files (non-create opens):
+  /// checksum-scans every page; corrupt heap pages are quarantined
+  /// (reformatted empty — their rows come back from the WAL replay that
+  /// follows, when the log covers them); any corruption triggers a full
+  /// primary-index rebuild from the surviving heap after open.
+  Status ScrubAndRecover(bool* rebuild_index);
+
+  /// Discards the index file and re-derives key -> rid from the heap.
+  Status RebuildIndexFromHeap();
+
   /// Mutation bodies shared by the public API and WAL replay (replay
   /// skips re-logging and is idempotent).
   Status ApplyInsert(const Row& row, bool idempotent);
@@ -154,8 +195,8 @@ class Table {
   size_t pk_column_;
   TableOptions options_;
 
-  DiskManager heap_disk_;
-  DiskManager index_disk_;
+  std::unique_ptr<DiskManager> heap_disk_;
+  std::unique_ptr<DiskManager> index_disk_;
   std::unique_ptr<BufferPool> heap_pool_;
   std::unique_ptr<BufferPool> index_pool_;
   std::unique_ptr<HeapFile> heap_;
@@ -163,6 +204,11 @@ class Table {
   Wal wal_;
   std::map<size_t, SecondaryIndex> secondary_indexes_;
   obs::Histogram* m_scan_batch_ = nullptr;
+
+  uint64_t recovered_wal_records_ = 0;
+  uint64_t wal_truncated_bytes_ = 0;
+  uint64_t quarantined_pages_ = 0;
+  uint64_t index_rebuilds_ = 0;
 };
 
 }  // namespace tarpit

@@ -3,26 +3,57 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <vector>
 
+#include "common/checksum.h"
+#include "common/failpoint.h"
+
 namespace tarpit {
 
 namespace {
 
-uint32_t Fnv1a(uint8_t type, std::string_view payload) {
-  uint32_t h = 2166136261u;
-  h = (h ^ type) * 16777619u;
-  for (unsigned char c : payload) h = (h ^ c) * 16777619u;
-  return h;
+// Frame: [payload_len:u32][type:u8][payload][crc32:u32].
+constexpr uint64_t kFrameHeaderSize = 5;
+constexpr uint64_t kFrameTrailerSize = 4;
+// A length beyond this is treated as a torn header, not an allocation
+// request: no legitimate record approaches it (payloads are row images).
+constexpr uint32_t kMaxPayloadLen = 1u << 28;
+
+uint32_t FrameCrc(uint8_t type, std::string_view payload) {
+  uint32_t crc = Crc32(&type, 1);
+  return Crc32(payload.data(), payload.size(), crc);
 }
 
 int64_t SteadyNowMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+std::string ErrnoContext(const char* op, const std::string& what, int err) {
+  return std::string(op) + " " + what + ": " + std::strerror(err) +
+         " (errno " + std::to_string(err) + ")";
+}
+
+/// write() all of buf, retrying EINTR and continuing short writes.
+/// Returns 0 on success, else the failing errno; *written reports bytes
+/// that hit the file either way.
+int WriteFull(int fd, const char* buf, size_t n, size_t* written) {
+  *written = 0;
+  while (*written < n) {
+    ssize_t w = ::write(fd, buf + *written, n - *written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return errno;
+    }
+    if (w == 0) return EIO;
+    *written += static_cast<size_t>(w);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -35,10 +66,20 @@ Status Wal::Open(const std::string& path) {
   if (fd_ >= 0) return Status::FailedPrecondition("wal already open");
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
   if (fd_ < 0) {
-    return Status::IOError("open wal " + path + ": " +
-                           std::strerror(errno));
+    return Status::IOError(ErrnoContext("open wal", path, errno));
   }
   path_ = path;
+  off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) {
+    int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    return Status::IOError(ErrnoContext("lseek wal", path, err));
+  }
+  // Pre-existing bytes were durable or not before we got here; either
+  // way they are not *our* backlog. Treat the current end as synced.
+  appended_bytes_ = static_cast<uint64_t>(end);
+  synced_bytes_ = appended_bytes_.load(std::memory_order_relaxed);
   // Start the first group-commit window now, not at the epoch.
   last_sync_micros_ = SteadyNowMicros();
   return Status::OK();
@@ -49,16 +90,24 @@ Status Wal::Close() {
   // Acknowledged-but-deferred group-commit records must hit disk
   // before the descriptor goes away.
   TARPIT_RETURN_IF_ERROR(Sync());
-  if (::close(fd_) != 0) return Status::IOError("close wal " + path_);
+  if (::close(fd_) != 0) {
+    int err = errno;
+    fd_ = -1;
+    return Status::IOError(ErrnoContext("close wal", path_, err));
+  }
   fd_ = -1;
   return Status::OK();
 }
 
 Status Wal::FsyncNow(uint64_t batch_records) {
+  if (TARPIT_FAILPOINT("wal.fsync_fail")) {
+    return Status::IOError(ErrnoContext("fdatasync wal", path_, EIO) +
+                           " [injected]");
+  }
   const int64_t t0 =
       m_fsync_micros_ != nullptr ? SteadyNowMicros() : 0;
   if (::fdatasync(fd_) != 0) {
-    return Status::IOError("wal fdatasync");
+    return Status::IOError(ErrnoContext("fdatasync wal", path_, errno));
   }
   if (m_fsync_micros_ != nullptr) {
     m_fsync_micros_->Record(SteadyNowMicros() - t0);
@@ -67,6 +116,7 @@ Status Wal::FsyncNow(uint64_t batch_records) {
     m_batch_size_->Record(static_cast<int64_t>(batch_records));
   }
   ++syncs_issued_;
+  synced_bytes_ = appended_bytes_.load(std::memory_order_relaxed);
   last_sync_micros_ = SteadyNowMicros();
   return Status::OK();
 }
@@ -83,16 +133,44 @@ Status Wal::Append(WalRecordType type, std::string_view payload,
                    bool sync) {
   if (fd_ < 0) return Status::FailedPrecondition("wal not open");
   std::string frame;
-  frame.reserve(9 + payload.size());
+  frame.reserve(kFrameHeaderSize + payload.size() + kFrameTrailerSize);
   uint32_t len = static_cast<uint32_t>(payload.size());
   frame.append(reinterpret_cast<const char*>(&len), 4);
   frame.push_back(static_cast<char>(type));
   frame.append(payload);
-  uint32_t crc = Fnv1a(static_cast<uint8_t>(type), payload);
+  uint32_t crc = FrameCrc(static_cast<uint8_t>(type), payload);
   frame.append(reinterpret_cast<const char*>(&crc), 4);
-  ssize_t n = ::write(fd_, frame.data(), frame.size());
-  if (n != static_cast<ssize_t>(frame.size())) {
-    return Status::IOError("wal append");
+
+  const uint64_t frame_start = appended_bytes_;
+  size_t to_write = frame.size();
+  bool injected_torn = false;
+  if (auto arg = TARPIT_FAILPOINT("wal.append_short")) {
+    // Persist only the first `arg` bytes of the frame, then fail
+    // without self-healing: the torn frame stays, as after power loss.
+    to_write = static_cast<size_t>(std::min<int64_t>(
+        std::max<int64_t>(*arg, 0), static_cast<int64_t>(frame.size())));
+    injected_torn = true;
+  }
+  size_t written = 0;
+  int err = WriteFull(fd_, frame.data(), to_write, &written);
+  appended_bytes_ += written;
+  if (injected_torn) {
+    return Status::IOError(ErrnoContext("write wal", path_, EIO) +
+                           " [injected torn frame, " +
+                           std::to_string(written) + " of " +
+                           std::to_string(frame.size()) + " bytes hit]");
+  }
+  if (err != 0) {
+    // A partial frame is on disk. Heal in place (best effort) so the
+    // log stays scannable without waiting for the next Recover();
+    // if the truncate fails too, recovery's tail-scan handles it.
+    if (written > 0 &&
+        ::ftruncate(fd_, static_cast<off_t>(frame_start)) == 0) {
+      appended_bytes_ = frame_start;
+      synced_bytes_ = std::min(
+          synced_bytes_.load(std::memory_order_relaxed), frame_start);
+    }
+    return Status::IOError(ErrnoContext("write wal", path_, err));
   }
   if (m_append_bytes_ != nullptr) {
     m_append_bytes_->Increment(static_cast<int64_t>(frame.size()));
@@ -115,43 +193,99 @@ Status Wal::Append(WalRecordType type, std::string_view payload,
   return Status::OK();
 }
 
-Status Wal::Replay(
+Result<uint64_t> Wal::ScanIntactPrefix(
     const std::function<Status(WalRecordType, std::string_view)>& fn)
     const {
-  if (fd_ < 0) return Status::FailedPrecondition("wal not open");
-  off_t pos = 0;
+  uint64_t pos = 0;
   std::vector<char> buf;
   while (true) {
-    char header[5];
-    ssize_t n = ::pread(fd_, header, sizeof(header), pos);
+    char header[kFrameHeaderSize];
+    ssize_t n = ::pread(fd_, header, sizeof(header),
+                        static_cast<off_t>(pos));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoContext("pread wal", path_, errno));
+    }
     if (n == 0) break;              // Clean end.
     if (n < static_cast<ssize_t>(sizeof(header))) break;  // Torn tail.
     uint32_t len;
     std::memcpy(&len, header, 4);
     uint8_t type = static_cast<uint8_t>(header[4]);
-    buf.resize(len + 4);
-    n = ::pread(fd_, buf.data(), len + 4, pos + 5);
-    if (n < static_cast<ssize_t>(len + 4)) break;  // Torn tail.
+    if (len > kMaxPayloadLen) break;  // Garbage length: torn header.
+    buf.resize(len + kFrameTrailerSize);
+    n = ::pread(fd_, buf.data(), buf.size(),
+                static_cast<off_t>(pos + kFrameHeaderSize));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoContext("pread wal", path_, errno));
+    }
+    if (n < static_cast<ssize_t>(buf.size())) break;  // Torn tail.
     uint32_t crc_stored;
     std::memcpy(&crc_stored, buf.data() + len, 4);
     std::string_view payload(buf.data(), len);
-    if (Fnv1a(type, payload) != crc_stored) break;  // Corrupt tail.
-    if (type < 1 || type > 3) {
-      return Status::Corruption("wal record type " + std::to_string(type));
+    if (FrameCrc(type, payload) != crc_stored) break;  // Corrupt tail.
+    // A CRC-valid frame with an unknown type was written by a future
+    // (or broken) version; replaying it would apply garbage. Stop the
+    // intact prefix here, same as a torn record.
+    if (type < 1 || type > 3) break;
+    if (fn) {
+      TARPIT_RETURN_IF_ERROR(
+          fn(static_cast<WalRecordType>(type), payload));
     }
-    TARPIT_RETURN_IF_ERROR(fn(static_cast<WalRecordType>(type), payload));
-    pos += 5 + len + 4;
+    pos += kFrameHeaderSize + len + kFrameTrailerSize;
   }
+  return pos;
+}
+
+Status Wal::Replay(
+    const std::function<Status(WalRecordType, std::string_view)>& fn)
+    const {
+  if (fd_ < 0) return Status::FailedPrecondition("wal not open");
+  return ScanIntactPrefix(fn).status();
+}
+
+Status Wal::Recover(
+    const std::function<Status(WalRecordType, std::string_view)>& fn) {
+  if (fd_ < 0) return Status::FailedPrecondition("wal not open");
+  last_recovery_records_ = 0;
+  last_recovery_truncated_bytes_ = 0;
+  uint64_t replayed = 0;
+  auto counting_fn = [&](WalRecordType type,
+                         std::string_view payload) -> Status {
+    ++replayed;
+    return fn ? fn(type, payload) : Status::OK();
+  };
+  auto end_or = ScanIntactPrefix(counting_fn);
+  TARPIT_RETURN_IF_ERROR(end_or.status());
+  const uint64_t valid_end = end_or.value();
+  last_recovery_records_ = replayed;
+
+  off_t file_end = ::lseek(fd_, 0, SEEK_END);
+  if (file_end < 0) {
+    return Status::IOError(ErrnoContext("lseek wal", path_, errno));
+  }
+  if (static_cast<uint64_t>(file_end) > valid_end) {
+    if (::ftruncate(fd_, static_cast<off_t>(valid_end)) != 0) {
+      return Status::IOError(ErrnoContext("ftruncate wal", path_, errno));
+    }
+    last_recovery_truncated_bytes_ =
+        static_cast<uint64_t>(file_end) - valid_end;
+  }
+  appended_bytes_ = valid_end;
+  synced_bytes_ = valid_end;
+  unsynced_records_ = 0;
   return Status::OK();
 }
 
 Status Wal::Truncate() {
   if (fd_ < 0) return Status::FailedPrecondition("wal not open");
   if (::ftruncate(fd_, 0) != 0) {
-    return Status::IOError("wal truncate");
+    return Status::IOError(ErrnoContext("ftruncate wal", path_, errno));
   }
   // Deferred group-commit syncs are moot for discarded records.
   unsynced_records_ = 0;
+  appended_bytes_ = 0;
+  synced_bytes_ = 0;
   last_sync_micros_ = SteadyNowMicros();
   return Status::OK();
 }
@@ -159,7 +293,9 @@ Status Wal::Truncate() {
 Result<uint64_t> Wal::SizeBytes() const {
   if (fd_ < 0) return Status::FailedPrecondition("wal not open");
   off_t end = ::lseek(fd_, 0, SEEK_END);
-  if (end < 0) return Status::IOError("wal lseek");
+  if (end < 0) {
+    return Status::IOError(ErrnoContext("lseek wal", path_, errno));
+  }
   return static_cast<uint64_t>(end);
 }
 

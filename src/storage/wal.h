@@ -1,6 +1,7 @@
 #ifndef TARPIT_STORAGE_WAL_H_
 #define TARPIT_STORAGE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -23,10 +24,19 @@ enum class WalRecordType : uint8_t {
 };
 
 /// Append-only logical log. Framing per record:
-///   [payload_len:u32][type:u8][payload][checksum:u32]
-/// where checksum is FNV-1a over type+payload. A torn tail (partial
-/// record or bad checksum) terminates replay without error, mimicking
-/// standard WAL torn-write handling.
+///   [payload_len:u32][type:u8][payload][crc32:u32]
+/// where crc32 is CRC-32 (IEEE) over type+payload. A torn tail (partial
+/// record, bad checksum, or impossible length/type) terminates replay;
+/// Recover() additionally truncates the file at the last intact record
+/// so garbage can never be replayed on a later open.
+///
+/// I/O robustness (PR 8): appends retry EINTR and continue short
+/// writes; a mid-frame failure ftruncates back to the frame start
+/// (best effort) so an *error-returning* append never leaves a torn
+/// frame — torn frames come only from crashes (or the
+/// `wal.append_short` fail point, which persists `arg` bytes of the
+/// frame then fails without healing, simulating power loss).
+/// `wal.fsync_fail` makes the next fdatasync fail.
 class Wal {
  public:
   Wal() = default;
@@ -67,11 +77,40 @@ class Wal {
   uint64_t unsynced_records() const { return unsynced_records_; }
   /// fdatasync calls actually issued.
   uint64_t syncs_issued() const { return syncs_issued_; }
+  /// Log bytes appended but not yet covered by an fdatasync — the WAL
+  /// backlog the resource governor budgets. The counters are atomics
+  /// so governor probes may race appenders; a momentarily torn pair
+  /// only perturbs an advisory admission check.
+  uint64_t unsynced_bytes() const {
+    const uint64_t synced = synced_bytes_.load(std::memory_order_relaxed);
+    const uint64_t appended =
+        appended_bytes_.load(std::memory_order_relaxed);
+    return appended > synced ? appended - synced : 0;
+  }
+  /// Log offset durable as of the last fdatasync. Crash tests truncate
+  /// the file here to simulate losing everything after the last sync.
+  uint64_t synced_bytes() const {
+    return synced_bytes_.load(std::memory_order_relaxed);
+  }
 
-  /// Replays every intact record from the start of the log.
+  /// Replays every intact record from the start of the log, stopping
+  /// silently at the first torn/corrupt record. Read-only: the torn
+  /// tail (if any) is left in place.
   Status Replay(
       const std::function<Status(WalRecordType, std::string_view)>& fn)
       const;
+
+  /// Crash recovery: replays the intact prefix like Replay, then
+  /// truncates the file at the end of that prefix so a torn/corrupt
+  /// tail is physically discarded. Introspection about what happened is
+  /// in last_recovery_*().
+  Status Recover(
+      const std::function<Status(WalRecordType, std::string_view)>& fn);
+
+  uint64_t last_recovery_records() const { return last_recovery_records_; }
+  uint64_t last_recovery_truncated_bytes() const {
+    return last_recovery_truncated_bytes_;
+  }
 
   /// Discards the log contents (after a checkpoint).
   Status Truncate();
@@ -97,6 +136,12 @@ class Wal {
   /// fdatasync + bookkeeping shared by Sync() and the per-record path.
   Status FsyncNow(uint64_t batch_records);
 
+  /// Replays intact records from offset 0, returning the byte offset
+  /// one past the last intact record (callbacks may be null).
+  Result<uint64_t> ScanIntactPrefix(
+      const std::function<Status(WalRecordType, std::string_view)>& fn)
+      const;
+
   int fd_ = -1;
   std::string path_;
   uint64_t records_appended_ = 0;
@@ -104,6 +149,10 @@ class Wal {
   int64_t last_sync_micros_ = 0;
   uint64_t unsynced_records_ = 0;
   uint64_t syncs_issued_ = 0;
+  std::atomic<uint64_t> appended_bytes_{0};
+  std::atomic<uint64_t> synced_bytes_{0};
+  uint64_t last_recovery_records_ = 0;
+  uint64_t last_recovery_truncated_bytes_ = 0;
   obs::Counter* m_append_bytes_ = nullptr;
   obs::Histogram* m_batch_size_ = nullptr;
   obs::Histogram* m_fsync_micros_ = nullptr;

@@ -56,13 +56,42 @@ TEST(DiskManagerTest, AllocateReadWrite) {
 
   char out[kPageSize];
   ASSERT_TRUE(dm.ReadPage(0, out).ok());
-  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(out[i], 0);
+  for (size_t i = 0; i < kPageUsableSize; ++i) ASSERT_EQ(out[i], 0);
 
   char data[kPageSize];
   for (size_t i = 0; i < kPageSize; ++i) data[i] = static_cast<char>(i);
   ASSERT_TRUE(dm.WritePage(0, data).ok());
   ASSERT_TRUE(dm.ReadPage(0, out).ok());
-  EXPECT_EQ(std::memcmp(out, data, kPageSize), 0);
+  // The usable prefix round-trips; the trailer belongs to the disk
+  // manager (CRC32 of the prefix), not to the caller's bytes.
+  EXPECT_EQ(std::memcmp(out, data, kPageUsableSize), 0);
+}
+
+TEST(DiskManagerTest, ChecksumDetectsCorruption) {
+  TempDir dir("disk-crc");
+  const std::string path = dir.file("a.db");
+  DiskManager dm;
+  ASSERT_TRUE(dm.Open(path).ok());
+  char data[kPageSize] = {};
+  std::memcpy(data, "hello", 5);
+  ASSERT_TRUE(dm.WritePage(0, data).ok());
+  ASSERT_TRUE(dm.Sync().ok());
+  ASSERT_TRUE(dm.Close().ok());
+
+  // Flip one byte in the middle of the page, behind the manager's back.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(100);
+    char b = 0x5A;
+    f.write(&b, 1);
+  }
+  DiskManager dm2;
+  ASSERT_TRUE(dm2.Open(path).ok());
+  char out[kPageSize];
+  Status st = dm2.ReadPage(0, out);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_EQ(dm2.checksum_failures(), 1u);
 }
 
 TEST(DiskManagerTest, ReadPastEndFails) {
