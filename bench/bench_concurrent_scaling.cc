@@ -37,6 +37,7 @@
 #include "core/popularity_delay.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "openloop.h"
 #include "stats/count_tracker.h"
 #include "workload/key_generator.h"
 
@@ -201,6 +202,50 @@ double SerialOracleDelay(const std::vector<std::vector<int64_t>>& seqs) {
 /// the db's accounting but not into the per-thread sums it returns).
 double MeasuredDelay(const RunResult& r) { return r.total_delay; }
 
+/// Open-loop (coordinated-omission-free) tail of the sharded door:
+/// uniform point reads on a fixed exponential schedule, latency from
+/// the INTENDED send time -- the closed-loop sweep above self-paces,
+/// so only this section can show a stall's queueing backlash.
+bench::OpenLoopStats RunOpenLoopSharded(const fs::path& base) {
+  const fs::path dir = base / "openloop";
+  fs::create_directories(dir);
+  RealClock clock;
+  auto opened = ConcurrentProtectedDatabase::Open(
+      dir.string(), "items", &clock, MakeDbOptions(),
+      MakeConcurrentOptions(ConcurrencyMode::kSharded));
+  if (!opened.ok()) std::abort();
+  auto db = std::move(*opened);
+  if (!db->ExecuteSql("CREATE TABLE items (id INT PRIMARY KEY, v DOUBLE)")
+           .ok()) {
+    std::abort();
+  }
+  for (int i = 1; i <= kRows; ++i) {
+    if (!db->BulkLoadRow({Value(static_cast<int64_t>(i)), Value(i * 0.5)})
+             .ok()) {
+      std::abort();
+    }
+  }
+  for (int i = 1; i <= kRows; ++i) {
+    if (!db->GetByKey(i).ok()) std::abort();
+  }
+  const auto keys = MakeSequences(/*zipf=*/false, /*threads=*/4);
+  bench::OpenLoopOptions olopts;
+  olopts.threads = 4;
+  olopts.ops_per_thread = TinyConfig() ? 400 : 4000;
+  olopts.mean_interarrival_us = TinyConfig() ? 400.0 : 100.0;
+  const bench::OpenLoopStats stats =
+      bench::RunOpenLoop(olopts, [&](int t, int i) {
+        if (!db->GetByKey(keys[static_cast<size_t>(t)]
+                              [static_cast<size_t>(i) % keys[0].size()])
+                 .ok()) {
+          std::abort();
+        }
+      });
+  db.reset();
+  fs::remove_all(dir);
+  return stats;
+}
+
 }  // namespace
 
 int main() {
@@ -299,6 +344,11 @@ int main() {
               100.0 * sharded8_zipf_drift,
               sharded8_zipf_drift <= 0.05 ? "PASS" : "FAIL");
 
+  const bench::OpenLoopStats ol = RunOpenLoopSharded(base);
+  std::printf("open-loop sharded reads: p50 %.0fus p99 %.0fus p999 "
+              "%.0fus, achieved %.0f qps\n",
+              ol.p50_us, ol.p99_us, ol.p999_us, ol.achieved_qps);
+
   if (const char* json_path = std::getenv("TARPIT_BENCH_JSON")) {
     if (json_path[0] != '\0') {
       if (std::FILE* f = std::fopen(json_path, "w")) {
@@ -314,6 +364,7 @@ int main() {
             "  \"speedup_pass\": %s,\n"
             "  \"zipf8_drift\": %.6f,\n"
             "  \"drift_pass\": %s,\n"
+            "%s"
             "  \"registry_sharded8_uniform\": %s,\n"
             "  \"registry_sharded8_zipf\": %s\n"
             "}\n",
@@ -321,6 +372,7 @@ int main() {
             json_rows.c_str(), speedup,
             speedup >= 3.0 ? "true" : "false", sharded8_zipf_drift,
             sharded8_zipf_drift <= 0.05 ? "true" : "false",
+            bench::OpenLoopJsonFields(ol).c_str(),
             obs::ToJson(reg_uniform8.Snapshot()).c_str(),
             obs::ToJson(reg_zipf8.Snapshot()).c_str());
         std::fclose(f);

@@ -37,6 +37,7 @@
 #include "core/protected_db.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "openloop.h"
 #include "stats/count_tracker.h"
 #include "workload/key_generator.h"
 
@@ -235,6 +236,37 @@ double RunDrift(const fs::path& base,
   return oracle <= 0 ? 0.0 : std::fabs(measured - oracle) / oracle;
 }
 
+/// Open-loop (coordinated-omission-free) latency of the sharded door:
+/// requests fire on a fixed exponential schedule and latency is
+/// measured from the INTENDED send time, so a slow request also
+/// charges the requests queued behind it.
+bench::OpenLoopStats RunOpenLoopReads(const fs::path& base) {
+  const fs::path dir = base / "openloop";
+  RealClock clock;
+  auto db = OpenConcurrent(dir, ConcurrencyMode::kSharded,
+                           /*epoch_batch=*/256, &clock, nullptr);
+  for (int i = 1; i <= kRows; ++i) {
+    if (!db->GetByKey(i).ok()) std::abort();
+  }
+  std::vector<std::vector<int64_t>> keys =
+      MakeSequences(/*zipf=*/false, /*threads=*/4);
+  bench::OpenLoopOptions olopts;
+  olopts.threads = 4;
+  olopts.ops_per_thread = TinyConfig() ? 400 : 4000;
+  olopts.mean_interarrival_us = TinyConfig() ? 400.0 : 100.0;
+  const bench::OpenLoopStats stats =
+      bench::RunOpenLoop(olopts, [&](int t, int i) {
+        if (!db->GetByKey(keys[static_cast<size_t>(t)]
+                              [static_cast<size_t>(i) % keys[0].size()])
+                 .ok()) {
+          std::abort();
+        }
+      });
+  db.reset();
+  fs::remove_all(dir);
+  return stats;
+}
+
 struct ScanStats {
   double full_rows_per_sec = 0;
   double limit10_micros = 0;
@@ -347,6 +379,12 @@ int main() {
               "candidates: %.1fus/query\n",
               scans.full_rows_per_sec, kRows, scans.limit10_micros);
 
+  // 5. Open-loop tail latency (CO-free, informational).
+  const bench::OpenLoopStats ol = RunOpenLoopReads(base);
+  std::printf("open-loop reads: p50 %.0fus p99 %.0fus p999 %.0fus, "
+              "achieved %.0f qps\n",
+              ol.p50_us, ol.p99_us, ol.p999_us, ol.achieved_qps);
+
   if (const char* json_path = std::getenv("TARPIT_BENCH_JSON")) {
     if (json_path[0] != '\0') {
       if (std::FILE* f = std::fopen(json_path, "w")) {
@@ -369,6 +407,7 @@ int main() {
             "  \"drift_pass\": %s,\n"
             "  \"scan_rows_per_sec\": %.0f,\n"
             "  \"scan_limit10_micros\": %.2f,\n"
+            "%s"
             "  \"registry_scans\": %s\n"
             "}\n",
             TinyConfig() ? "true" : "false", kRows, kOpsPerThread,
@@ -377,6 +416,7 @@ int main() {
             p50_improvement, p50_improvement >= 0.30 ? "true" : "false",
             drift, drift <= 1e-4 ? "true" : "false",
             scans.full_rows_per_sec, scans.limit10_micros,
+            bench::OpenLoopJsonFields(ol).c_str(),
             obs::ToJson(scan_reg.Snapshot()).c_str());
         std::fclose(f);
         std::printf("json written to %s\n", json_path);

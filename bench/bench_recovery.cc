@@ -47,6 +47,7 @@
 #include "defense/query_gate.h"
 #include "defense/reputation.h"
 #include "obs/metrics.h"
+#include "openloop.h"
 #include "storage/schema.h"
 #include "storage/table.h"
 #include "storage/value.h"
@@ -445,6 +446,34 @@ int main() {
       drift.recovered_delay, 100.0 * drift.drift,
       drift.pass ? "PASS" : "FAIL");
 
+  // Open-loop storage reads (CO-free, informational): the raw table
+  // read path on a fixed exponential schedule, single lane (Table is
+  // single-threaded by contract) -- a recovery-path regression that
+  // slows reads shows up here as tail latency, not hidden by a
+  // closed-loop's self-pacing.
+  std::vector<int64_t> ol_keys;
+  {
+    Rng rng(0x0B5E55u);
+    const int ol_ops = tiny ? 2'000 : 10'000;
+    ol_keys.reserve(ol_ops);
+    for (int i = 0; i < ol_ops; ++i) {
+      ol_keys.push_back(static_cast<int64_t>(rng.Uniform(probe_rows)));
+    }
+  }
+  bench::OpenLoopOptions olopts;
+  olopts.threads = 1;
+  olopts.ops_per_thread = static_cast<int>(ol_keys.size());
+  olopts.mean_interarrival_us = tiny ? 100.0 : 50.0;
+  const bench::OpenLoopStats ol =
+      bench::RunOpenLoop(olopts, [&](int, int i) {
+        if (!(*probe)->GetByKey(ol_keys[static_cast<size_t>(i)]).ok()) {
+          std::abort();
+        }
+      });
+  std::printf("open-loop storage reads: p50 %.0fus p99 %.0fus p999 "
+              "%.0fus, achieved %.0f qps\n",
+              ol.p50_us, ol.p99_us, ol.p999_us, ol.achieved_qps);
+
   FloodResult flood = MeasureGovernorFlood(base / "flood", tiny);
   std::printf(
       "governor: flood %llu vs budget %llu -> peak parked %llu "
@@ -490,6 +519,7 @@ int main() {
             "  \"suspect_penalty\": %.3f,\n"
             "  \"benign_p99_before\": %.6f,\n"
             "  \"benign_p99_after\": %.6f,\n"
+            "%s"
             "  \"flood_pass\": %s\n"
             "}\n",
             tiny ? "true" : "false", fp.macro_ns, fp.read_op_ns,
@@ -508,7 +538,9 @@ int main() {
             static_cast<unsigned long long>(flood.shed),
             static_cast<unsigned long long>(flood.charged),
             flood.suspect_penalty, flood.benign_p99_before,
-            flood.benign_p99_after, flood.pass ? "true" : "false");
+            flood.benign_p99_after,
+            bench::OpenLoopJsonFields(ol).c_str(),
+            flood.pass ? "true" : "false");
         std::fclose(f);
         std::printf("json written to %s\n", json_path);
       }

@@ -53,6 +53,7 @@
 #include "core/popularity_delay.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "openloop.h"
 #include "stats/count_tracker.h"
 #include "workload/key_generator.h"
 
@@ -222,6 +223,65 @@ PathResult RunAsync(const fs::path& dir, const std::vector<int64_t>& seq,
   return res;
 }
 
+/// Open-loop (coordinated-omission-free) stall fidelity: one submitter
+/// fires GetByKeyAsync on a fixed exponential schedule and each
+/// request's latency is completion time minus the INTENDED send time.
+/// With stalls served for real, p50 ~ the charged stall; the tail
+/// exposes wheel-tick granularity, dispatcher queueing, and any
+/// submit-side stall the closed-loop runs above would silently absorb.
+bench::OpenLoopStats RunOpenLoopAsync(const fs::path& dir, int ops,
+                                      double mean_interarrival_us) {
+  RealClock clock;
+  auto db = OpenDb(dir, &clock, /*async_stalls=*/true, nullptr);
+  const auto seq = MakeSequence(ops, 0x01CE0Fu);
+
+  Rng rng(0xAB5E9u);
+  std::vector<int64_t> intended(seq.size());
+  {
+    int64_t at = bench::OpenLoopNowMicros() + 10'000;
+    for (size_t i = 0; i < seq.size(); ++i) {
+      at += static_cast<int64_t>(
+          rng.Exponential(1.0 / mean_interarrival_us));
+      intended[i] = at;
+    }
+  }
+
+  std::vector<int64_t> lat(seq.size(), 0);
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t completed = 0;
+  const int64_t t0 = bench::OpenLoopNowMicros();
+  for (size_t i = 0; i < seq.size(); ++i) {
+    while (bench::OpenLoopNowMicros() < intended[i]) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    db->GetByKeyAsync(seq[i], [&, i](Result<ProtectedResult> r) {
+      if (!r.ok()) std::abort();
+      const int64_t now = bench::OpenLoopNowMicros();
+      std::lock_guard<std::mutex> lock(mu);
+      lat[i] = now - intended[i];
+      if (++completed == seq.size()) cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return completed == seq.size(); });
+  }
+  const int64_t t1 = bench::OpenLoopNowMicros();
+  db.reset();
+  fs::remove_all(dir);
+
+  std::sort(lat.begin(), lat.end());
+  bench::OpenLoopStats stats;
+  stats.ops = lat.size();
+  stats.p50_us = bench::PercentileUs(lat, 0.50);
+  stats.p99_us = bench::PercentileUs(lat, 0.99);
+  stats.p999_us = bench::PercentileUs(lat, 0.999);
+  stats.achieved_qps =
+      t1 > t0 ? static_cast<double>(lat.size()) / ((t1 - t0) / 1e6) : 0;
+  return stats;
+}
+
 /// Serial oracle: one CountTracker replaying the async submission order
 /// (single submitter => the global order is exactly `seq`), charging
 /// through the same snapshot math as the database. Returns every
@@ -353,6 +413,14 @@ int main() {
               static_cast<long long>(async_r.parked_gauge_midrun),
               gauge_pass ? "PASS" : "FAIL");
 
+  // Open-loop stall fidelity (CO-free, informational): latency from
+  // the intended exponential send time through real served stalls.
+  const bench::OpenLoopStats ol = RunOpenLoopAsync(
+      base / "openloop", tiny ? 400 : 2000, tiny ? 1000.0 : 500.0);
+  std::printf("open-loop async stalls: p50 %.0fus p99 %.0fus p999 "
+              "%.0fus, achieved %.0f qps\n",
+              ol.p50_us, ol.p99_us, ol.p999_us, ol.achieved_qps);
+
   if (const char* json_path = std::getenv("TARPIT_BENCH_JSON")) {
     if (json_path[0] != '\0') {
       if (std::FILE* f = std::fopen(json_path, "w")) {
@@ -379,6 +447,7 @@ int main() {
             "  \"median_pass\": %s,\n"
             "  \"parked_gauge_midrun\": %lld,\n"
             "  \"gauge_pass\": %s,\n"
+            "%s"
             "  \"registry\": %s\n"
             "}\n",
             tiny ? "true" : "false", kThreads, blocking_seq.size(),
@@ -391,6 +460,7 @@ int main() {
             median_pass ? "true" : "false",
             static_cast<long long>(async_r.parked_gauge_midrun),
             gauge_pass ? "true" : "false",
+            bench::OpenLoopJsonFields(ol).c_str(),
             obs::ToJson(registry_snap).c_str());
         std::fclose(f);
         std::printf("json written to %s\n", json_path);

@@ -34,6 +34,7 @@
 #include "common/random.h"
 #include "core/concurrent_db.h"
 #include "core/protected_db.h"
+#include "openloop.h"
 
 using namespace tarpit;
 
@@ -172,16 +173,9 @@ double RunMixedThroughput(const fs::path& base, ConcurrencyMode mode,
   return static_cast<double>(ops.size()) * ops[0].size() / elapsed;
 }
 
-struct OpenLoopStats {
-  double p50_us = 0, p99_us = 0, p999_us = 0;
-  double achieved_qps = 0;
-};
-
-/// Part 2: open-loop latency on the MVCC config. Every request has an
-/// intended send time fixed before the run; a worker that falls behind
-/// fires late and the wait is charged to the measured latency
-/// (coordinated-omission-free by construction).
-OpenLoopStats RunOpenLoop(const fs::path& base) {
+/// Part 2: open-loop latency on the MVCC config, through the shared
+/// coordinated-omission-free harness (bench/openloop.h).
+bench::OpenLoopStats RunOpenLoopMixed(const fs::path& base) {
   const fs::path dir = base / "openloop";
   RealClock clock;
   auto db = OpenConcurrent(dir, ConcurrencyMode::kSharded, /*mvcc=*/true,
@@ -189,65 +183,22 @@ OpenLoopStats RunOpenLoop(const fs::path& base) {
   for (int i = 1; i <= kRows; ++i) {
     if (!db->GetByKey(i).ok()) std::abort();
   }
-  constexpr int kThreads = 4;
-  const double mean_interarrival_us = TinyConfig() ? 500.0 : 150.0;
-  auto mixed = MakeMixedOps(kThreads, kOpenLoopOps);
-  // Deterministic schedule: per-thread exponential interarrivals.
-  std::vector<std::vector<int64_t>> schedule(kThreads);
-  for (int t = 0; t < kThreads; ++t) {
-    Rng rng(0xAB5E9u + 97u * static_cast<uint64_t>(t));
-    double at = 0;
-    schedule[t].reserve(kOpenLoopOps);
-    for (int i = 0; i < kOpenLoopOps; ++i) {
-      at += rng.Exponential(1.0 / mean_interarrival_us);
-      schedule[t].push_back(static_cast<int64_t>(at));
-    }
-  }
-  std::vector<std::vector<int64_t>> lat(kThreads);
-  const int64_t start = NowMicros() + 10'000;  // Everyone lines up.
-  std::vector<std::thread> workers;
-  for (int t = 0; t < kThreads; ++t) {
-    workers.emplace_back([&, t] {
-      lat[t].reserve(kOpenLoopOps);
-      for (int i = 0; i < kOpenLoopOps; ++i) {
-        const int64_t intended = start + schedule[t][i];
-        int64_t now = NowMicros();
-        while (now < intended) {
-          std::this_thread::sleep_for(
-              std::chrono::microseconds(intended - now));
-          now = NowMicros();
-        }
+  bench::OpenLoopOptions olopts;
+  olopts.threads = 4;
+  olopts.ops_per_thread = kOpenLoopOps;
+  olopts.mean_interarrival_us = TinyConfig() ? 500.0 : 150.0;
+  auto mixed = MakeMixedOps(olopts.threads, kOpenLoopOps);
+  const bench::OpenLoopStats out =
+      bench::RunOpenLoop(olopts, [&](int t, int i) {
         const MixedOp& op = mixed[t][i];
         if (op.is_write) {
           if (!db->ExecuteSql(op.sql).ok()) std::abort();
         } else {
           if (!db->GetByKey(op.key).ok()) std::abort();
         }
-        // Latency from the INTENDED send time, not the actual one.
-        lat[t].push_back(NowMicros() - intended);
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
-  const int64_t wall = NowMicros() - start;
+      });
   db.reset();
   fs::remove_all(dir);
-
-  std::vector<int64_t> all;
-  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
-  std::sort(all.begin(), all.end());
-  auto pct = [&](double p) {
-    const size_t idx = std::min(
-        all.size() - 1, static_cast<size_t>(p * (all.size() - 1)));
-    return static_cast<double>(all[idx]);
-  };
-  OpenLoopStats out;
-  out.p50_us = pct(0.50);
-  out.p99_us = pct(0.99);
-  out.p999_us = pct(0.999);
-  out.achieved_qps = wall <= 0 ? 0.0
-                               : static_cast<double>(all.size()) /
-                                     (static_cast<double>(wall) / 1e6);
   return out;
 }
 
@@ -367,7 +318,7 @@ int main() {
               speedup >= 2.0 ? "PASS" : "FAIL");
 
   // 2. Open-loop (coordinated-omission-free) latency on the MVCC door.
-  const OpenLoopStats ol = RunOpenLoop(base);
+  const bench::OpenLoopStats ol = RunOpenLoopMixed(base);
   std::printf("open-loop mixed @4t (intended-time latency): p50 %.0fus "
               "p99 %.0fus p999 %.0fus, achieved %.0f qps\n",
               ol.p50_us, ol.p99_us, ol.p999_us, ol.achieved_qps);

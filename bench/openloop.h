@@ -1,0 +1,126 @@
+#ifndef TARPIT_BENCH_OPENLOOP_H_
+#define TARPIT_BENCH_OPENLOOP_H_
+
+// Shared open-loop load harness for the CI benches: requests fire on a
+// FIXED arrival schedule (deterministic per-thread exponential
+// interarrivals) and each latency is measured from the INTENDED send
+// time, not the actual one, so a stalled server keeps accumulating
+// blame instead of silently pausing the load -- the standard fix for
+// coordinated omission. Every CI-gated bench reports its tail through
+// this harness so the openloop_* fields in the BENCH_*.json artifacts
+// mean the same thing everywhere.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace tarpit {
+namespace bench {
+
+struct OpenLoopStats {
+  double p50_us = 0, p99_us = 0, p999_us = 0;
+  double achieved_qps = 0;
+  size_t ops = 0;
+};
+
+struct OpenLoopOptions {
+  int threads = 4;
+  int ops_per_thread = 1000;
+  /// Mean of the exponential interarrival distribution, per thread.
+  double mean_interarrival_us = 150.0;
+  /// Schedule seed (the schedule is fixed before the run starts).
+  uint64_t seed = 0xAB5E9;
+  /// Start offset so every worker lines up on the same epoch.
+  int64_t lineup_micros = 10'000;
+};
+
+inline int64_t OpenLoopNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Percentile over an already-sorted latency vector.
+inline double PercentileUs(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted.size() - 1, static_cast<size_t>(p * (sorted.size() - 1)));
+  return static_cast<double>(sorted[idx]);
+}
+
+/// Runs `op(thread, index)` (one synchronous request) on the fixed
+/// schedule and returns intended-time percentiles.
+inline OpenLoopStats RunOpenLoop(const OpenLoopOptions& options,
+                                 const std::function<void(int, int)>& op) {
+  // Deterministic schedule, generated before any request fires.
+  std::vector<std::vector<int64_t>> schedule(options.threads);
+  for (int t = 0; t < options.threads; ++t) {
+    Rng rng(options.seed + 97u * static_cast<uint64_t>(t));
+    double at = 0;
+    schedule[t].reserve(options.ops_per_thread);
+    for (int i = 0; i < options.ops_per_thread; ++i) {
+      at += rng.Exponential(1.0 / options.mean_interarrival_us);
+      schedule[t].push_back(static_cast<int64_t>(at));
+    }
+  }
+  std::vector<std::vector<int64_t>> lat(options.threads);
+  const int64_t start = OpenLoopNowMicros() + options.lineup_micros;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < options.threads; ++t) {
+    workers.emplace_back([&, t] {
+      lat[t].reserve(options.ops_per_thread);
+      for (int i = 0; i < options.ops_per_thread; ++i) {
+        const int64_t intended = start + schedule[t][i];
+        int64_t now = OpenLoopNowMicros();
+        while (now < intended) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(intended - now));
+          now = OpenLoopNowMicros();
+        }
+        op(t, i);
+        // Latency from the INTENDED send time, not the actual one.
+        lat[t].push_back(OpenLoopNowMicros() - intended);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const int64_t wall = OpenLoopNowMicros() - start;
+
+  std::vector<int64_t> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  OpenLoopStats out;
+  out.ops = all.size();
+  out.p50_us = PercentileUs(all, 0.50);
+  out.p99_us = PercentileUs(all, 0.99);
+  out.p999_us = PercentileUs(all, 0.999);
+  out.achieved_qps = wall <= 0 ? 0.0
+                               : static_cast<double>(all.size()) /
+                                     (static_cast<double>(wall) / 1e6);
+  return out;
+}
+
+/// The shared JSON spelling of the open-loop fields (comma-terminated;
+/// splice into a BENCH_*.json object body).
+inline std::string OpenLoopJsonFields(const OpenLoopStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "  \"openloop_p50_us\": %.1f,\n"
+                "  \"openloop_p99_us\": %.1f,\n"
+                "  \"openloop_p999_us\": %.1f,\n"
+                "  \"openloop_achieved_qps\": %.1f,\n",
+                s.p50_us, s.p99_us, s.p999_us, s.achieved_qps);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace tarpit
+
+#endif  // TARPIT_BENCH_OPENLOOP_H_

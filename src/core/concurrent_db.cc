@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "sql/parser.h"
 
 namespace tarpit {
@@ -186,6 +187,31 @@ ConcurrentProtectedDatabase::ConcurrentProtectedDatabase(
     }
   }
   sink_ = concurrent_options_.trace_sink;
+  events_ = concurrent_options_.event_ring;
+  if (events_ != nullptr && concurrent_options_.metrics != nullptr) {
+    // Surface the crash-recovery work the storage layer just did (the
+    // per-table tarpit_recovery_* counters) as forensic events: arg is
+    // the stat selector (0 = WAL records replayed, 1 = bytes
+    // truncated, 2 = pages quarantined, 3 = indexes rebuilt),
+    // magnitude the counter's value at open.
+    static const char* kRecoveryCounters[] = {
+        "tarpit_recovery_wal_records_replayed_total",
+        "tarpit_recovery_wal_truncated_bytes_total",
+        "tarpit_recovery_pages_quarantined_total",
+        "tarpit_recovery_index_rebuilds_total",
+    };
+    const obs::RegistrySnapshot snap =
+        concurrent_options_.metrics->Snapshot();
+    for (const obs::MetricSnapshot& m : snap.metrics) {
+      if (m.kind != obs::MetricKind::kCounter || m.value == 0) continue;
+      for (int sel = 0; sel < 4; ++sel) {
+        if (m.name == kRecoveryCounters[sel]) {
+          EmitEvent(obs::DefenseEventType::kRecovery, 0,
+                    static_cast<double>(m.value), sel);
+        }
+      }
+    }
+  }
   if (concurrent_options_.async_stalls) {
     scheduler_ = std::make_unique<DelayScheduler>(
         inner_->clock(), concurrent_options_.scheduler);
@@ -239,9 +265,15 @@ double ConcurrentProtectedDatabase::ReputationFactor(
 
 void ConcurrentProtectedDatabase::ReputationObserve(
     const RequestPrincipal* who, int64_t key, uint64_t universe_n) {
-  if (who == nullptr || concurrent_options_.reputation == nullptr) {
-    return;
+  if (who == nullptr) return;
+  if (concurrent_options_.risk != nullptr &&
+      concurrent_options_.risk->AdmitsKey(key)) {
+    // AdmitsKey first: the sampled-out path (most requests when the
+    // scorer samples) costs one hash, no clock read.
+    concurrent_options_.risk->ObserveQuery(
+        who->identity, key, inner_->clock()->NowSeconds());
   }
+  if (concurrent_options_.reputation == nullptr) return;
   concurrent_options_.reputation->ObserveAccess(
       who->identity, who->subnet24, key, universe_n,
       inner_->clock()->NowSeconds());
@@ -269,10 +301,32 @@ obs::RequestTrace* ConcurrentProtectedDatabase::BeginTrace(
   return tr;
 }
 
+void ConcurrentProtectedDatabase::EmitEvent(obs::DefenseEventType type,
+                                            uint64_t principal,
+                                            double magnitude,
+                                            int64_t arg) {
+  if (events_ == nullptr) return;
+  obs::DefenseEvent e;
+  e.time_micros = inner_->clock()->NowMicros();
+  e.type = type;
+  e.principal = principal;
+  e.magnitude = magnitude;
+  e.arg = arg;
+  events_->Append(e);
+}
+
 void ConcurrentProtectedDatabase::EndRequest(
     obs::RequestTrace* tr, const Result<ProtectedResult>& r,
     bool cancelled) {
-  if (cancelled && m_cancelled_ != nullptr) m_cancelled_->Increment();
+  if (cancelled) {
+    if (m_cancelled_ != nullptr) m_cancelled_->Increment();
+    // The charge sticks (keep-the-charge invariant) but the tuple was
+    // withheld -- exactly the kind of decision forensics must retain.
+    EmitEvent(obs::DefenseEventType::kCancelled,
+              tr != nullptr ? tr->session : 0,
+              r.ok() ? r->delay_seconds : 0.0,
+              tr != nullptr ? tr->key : 0);
+  }
   if (r.ok() && m_delay_charged_ns_ != nullptr) {
     // Cancelled (session-evicted or shutdown-drained) stalls were
     // still CHARGED: accounting happens in the compute phase, and
@@ -334,6 +388,8 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::FinishBlocking(
       // Shed before park: the delay charge is already on the books
       // (recorded in the compute phase), so an extraction suspect
       // still pays — it just doesn't get to occupy a wheel slot.
+      EmitEvent(obs::DefenseEventType::kOverloadShed, 0,
+                r->delay_seconds, tr != nullptr ? tr->key : 0);
       EndRequest(tr, r, /*cancelled=*/false);
       return admit;
     }
@@ -388,6 +444,8 @@ void ConcurrentProtectedDatabase::FinishAsync(Result<ProtectedResult> r,
     Status admit = gov->AdmitStall(0);
     if (!admit.ok()) {
       // Same keep-the-charge shed as FinishBlocking, completed inline.
+      EmitEvent(obs::DefenseEventType::kOverloadShed, 0,
+                r->delay_seconds, tr != nullptr ? tr->key : 0);
       EndRequest(tr, r, /*cancelled=*/false);
       done(std::move(admit));
       return;
@@ -1054,8 +1112,16 @@ Result<ProtectedResult> ConcurrentProtectedDatabase::GetByKeySharded(
     // 3. Striped delay accounting (merged on Metrics()).
     AcctStripe& acct = *acct_stripes_[stripe_idx];
     {
+      // Failpoint: skim `arg` permille off the RECORDED charge while
+      // the caller is still served the full delay -- the
+      // ledger-vs-histogram drift the self-audit watchdog exists to
+      // catch (core/self_audit.h). Never fires in production.
+      double recorded = out.delay_seconds;
+      if (auto skim = TARPIT_FAILPOINT("concurrent_db.acct_skim")) {
+        recorded *= 1.0 - static_cast<double>(*skim) / 1000.0;
+      }
       std::lock_guard<std::mutex> lock(acct.mu);
-      acct.total_delay += out.delay_seconds;
+      acct.total_delay += recorded;
       ++acct.charges;
       acct.sketch.Add(out.delay_seconds);
     }

@@ -17,7 +17,9 @@
 #include "core/delay_scheduler.h"
 #include "core/protected_db.h"
 #include "core/resource_governor.h"
+#include "obs/event_ring.h"
 #include "obs/metrics.h"
+#include "obs/risk.h"
 #include "obs/trace.h"
 #include "stats/concurrent_count_tracker.h"
 #include "storage/mvcc.h"
@@ -139,6 +141,17 @@ struct ConcurrentDatabaseOptions {
   /// admit -> stats -> delay-compute -> park -> complete and reports
   /// it here on completion. Must outlive the database.
   obs::TraceSink* trace_sink = nullptr;
+  /// When non-null the front door appends forensic events the
+  /// perimeter audit trail never sees: governor sheds (kOverloadShed),
+  /// cancelled parked stalls (kCancelled), and the crash-recovery work
+  /// observed at Open (kRecovery, one event per nonzero recovery
+  /// counter). Not owned; must outlive the database.
+  obs::DefenseEventRing* event_ring = nullptr;
+  /// When non-null, principal-attributed requests feed the
+  /// extraction-risk scorer (one ObserveQuery per served tuple --
+  /// breadth + rate learning). Purely observational, independent of
+  /// `reputation`. Not owned; must outlive the database.
+  obs::RiskScorer* risk = nullptr;
 };
 
 /// Thread-safe front door over a ProtectedDatabase.
@@ -494,8 +507,13 @@ class ConcurrentProtectedDatabase {
   std::atomic<uint64_t> row_cache_misses_{0};
   std::atomic<int> in_flight_{0};
 
+  /// Emits one forensic event (no-op when the ring is off).
+  void EmitEvent(obs::DefenseEventType type, uint64_t principal,
+                 double magnitude, int64_t arg);
+
   // Registry-owned instruments (null when metrics are off) and the
   // trace terminal (null when tracing is off).
+  obs::DefenseEventRing* events_ = nullptr;
   obs::TraceSink* sink_ = nullptr;
   obs::Counter* m_requests_ = nullptr;
   obs::Counter* m_cancelled_ = nullptr;

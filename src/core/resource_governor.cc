@@ -8,6 +8,8 @@ ResourceGovernor::ResourceGovernor(ResourceGovernorOptions options)
     obs::MetricRegistry* m = options_.metrics;
     m_parked_stalls_ = m->GetGauge("tarpit_governor_parked_stalls");
     m_parked_bytes_ = m->GetGauge("tarpit_governor_parked_bytes");
+    m_peak_parked_stalls_ =
+        m->GetGauge("tarpit_governor_peak_parked_stalls");
     m_admitted_ = m->GetCounter("tarpit_governor_admitted_total");
   }
 }
@@ -42,6 +44,14 @@ Status ResourceGovernor::AdmitStall(uint64_t bytes) {
   ++parked_stalls_;
   parked_bytes_ += b;
   ++admitted_total_;
+  if (parked_stalls_ > peak_parked_stalls_) {
+    peak_parked_stalls_ = parked_stalls_;
+    if (m_peak_parked_stalls_ != nullptr) {
+      m_peak_parked_stalls_->Set(
+          static_cast<int64_t>(peak_parked_stalls_));
+    }
+  }
+  if (parked_bytes_ > peak_parked_bytes_) peak_parked_bytes_ = parked_bytes_;
   if (m_parked_stalls_ != nullptr) {
     m_parked_stalls_->Set(static_cast<int64_t>(parked_stalls_));
   }
@@ -95,6 +105,16 @@ uint64_t ResourceGovernor::parked_stalls() const {
 uint64_t ResourceGovernor::parked_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return parked_bytes_;
+}
+
+uint64_t ResourceGovernor::peak_parked_stalls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_parked_stalls_;
+}
+
+uint64_t ResourceGovernor::peak_parked_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_parked_bytes_;
 }
 
 uint64_t ResourceGovernor::admitted_total() const {

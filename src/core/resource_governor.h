@@ -70,6 +70,11 @@ class ResourceGovernor {
 
   uint64_t parked_stalls() const;
   uint64_t parked_bytes() const;
+  /// High-water marks since construction. The self-audit watchdog
+  /// reconciles these against the configured budgets: an observed peak
+  /// over a nonzero budget means an admission raced past its cap.
+  uint64_t peak_parked_stalls() const;
+  uint64_t peak_parked_bytes() const;
   uint64_t admitted_total() const;
   uint64_t shed_total() const;
 
@@ -86,11 +91,14 @@ class ResourceGovernor {
   mutable std::mutex mu_;
   uint64_t parked_stalls_ = 0;
   uint64_t parked_bytes_ = 0;
+  uint64_t peak_parked_stalls_ = 0;
+  uint64_t peak_parked_bytes_ = 0;
   uint64_t admitted_total_ = 0;
   uint64_t shed_total_ = 0;
 
   obs::Gauge* m_parked_stalls_ = nullptr;
   obs::Gauge* m_parked_bytes_ = nullptr;
+  obs::Gauge* m_peak_parked_stalls_ = nullptr;
   obs::Counter* m_admitted_ = nullptr;
 };
 

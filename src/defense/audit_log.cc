@@ -17,11 +17,33 @@ std::string AuditEventName(AuditEvent event) {
   return "unknown";
 }
 
+void AuditLog::BindMetrics(obs::MetricRegistry* metrics) {
+  if (metrics != nullptr) {
+    m_dropped_ = metrics->GetCounter("tarpit_audit_dropped_total");
+  }
+}
+
 void AuditLog::Record(AuditRecord record) {
   if (clock_ != nullptr) record.time_seconds = clock_->NowSeconds();
   ++total_recorded_;
   records_.push_back(record);
-  while (records_.size() > capacity_) records_.pop_front();
+  while (records_.size() > capacity_) {
+    records_.pop_front();
+    ++dropped_total_;
+    if (m_dropped_ != nullptr) m_dropped_->Increment();
+  }
+  if (ring_ != nullptr) {
+    // AuditEvent values 0..8 map 1:1 onto the first nine
+    // DefenseEventType values (the ring's enum extends this one).
+    obs::DefenseEvent e;
+    e.time_micros = static_cast<int64_t>(record.time_seconds * 1e6);
+    e.type = static_cast<obs::DefenseEventType>(
+        static_cast<uint16_t>(record.event));
+    e.principal = record.identity;
+    e.subnet24 = record.ipv4 & 0xFFFFFF00u;
+    e.magnitude = record.magnitude;
+    ring_->Append(e);
+  }
 }
 
 void AuditLog::ForEach(

@@ -8,6 +8,8 @@
 
 #include "common/clock.h"
 #include "defense/identity.h"
+#include "obs/event_ring.h"
+#include "obs/metrics.h"
 
 namespace tarpit {
 
@@ -60,8 +62,24 @@ class AuditLog {
       : capacity_(capacity), clock_(clock) {}
 
   /// Appends one record; stamps `record.time_seconds` from the
-  /// attached clock when one was injected.
+  /// attached clock when one was injected. Records evicted by the
+  /// capacity bound are counted (tarpit_audit_dropped_total once
+  /// BindMetrics ran) and, when an event ring is attached, survive
+  /// there in binary form.
   void Record(AuditRecord record);
+
+  /// Publishes tarpit_audit_dropped_total to `metrics` (which must
+  /// outlive the log).
+  void BindMetrics(obs::MetricRegistry* metrics);
+
+  /// Mirrors every record into `ring` (which must outlive the log) as
+  /// a structured DefenseEvent -- the forensic successor to this
+  /// string log. The ring's window is independent of this log's
+  /// capacity, so evictions here lose nothing there.
+  void set_event_ring(obs::DefenseEventRing* ring) { ring_ = ring; }
+
+  /// Records evicted by the capacity bound since construction.
+  uint64_t dropped_total() const { return dropped_total_; }
 
   /// Iterates records oldest-first; `fn` returns false to stop.
   void ForEach(const std::function<bool(const AuditRecord&)>& fn) const;
@@ -81,6 +99,9 @@ class AuditLog {
   const Clock* clock_ = nullptr;
   std::deque<AuditRecord> records_;
   uint64_t total_recorded_ = 0;
+  uint64_t dropped_total_ = 0;
+  obs::DefenseEventRing* ring_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
 };
 
 }  // namespace tarpit

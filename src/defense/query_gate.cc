@@ -14,6 +14,10 @@ QueryGate::QueryGate(ProtectedDatabase* db, QueryGateOptions options)
       // The audit trail stamps from the database's clock so
       // virtual-clock simulations get reproducible timestamps.
       audit_log_(db->clock()) {
+  audit_log_.BindMetrics(options_.metrics);
+  if (options_.events != nullptr) {
+    audit_log_.set_event_ring(options_.events);
+  }
   if (options_.metrics != nullptr) {
     obs::MetricRegistry* m = options_.metrics;
     m_admits_ = m->GetCounter("tarpit_gate_admits_total");
@@ -113,6 +117,11 @@ Result<ProtectedResult> QueryGate::ExecuteSql(const Identity& identity,
     record.event = AuditEvent::kLifetimeCapHit;
     audit_log_.Record(record);
     if (m_denied_lifetime_ != nullptr) m_denied_lifetime_->Increment();
+    // A tripped lifetime cap is the strongest perimeter signal there
+    // is -- the storefront defense only fires on extraction-scale use.
+    if (options_.risk != nullptr) {
+      options_.risk->ObserveSignal(identity.id, 3.0, now);
+    }
     return Status::PermissionDenied(
         "identity " + std::to_string(identity.id) +
         " exceeded its lifetime query limit");
@@ -130,6 +139,9 @@ Result<ProtectedResult> QueryGate::ExecuteSql(const Identity& identity,
                                         now,
                                         ReputationSignal::kRateAnomaly);
     }
+    if (options_.risk != nullptr) {
+      options_.risk->ObserveSignal(identity.id, 1.0, now);
+    }
     return Status::RateLimited(
         "subnet " + Ipv4ToString(identity.Subnet24()) +
         "/24 rate limit; retry in " +
@@ -144,6 +156,9 @@ Result<ProtectedResult> QueryGate::ExecuteSql(const Identity& identity,
       options_.reputation->RecordSignal(identity.id, identity.Subnet24(),
                                         now,
                                         ReputationSignal::kRateAnomaly);
+    }
+    if (options_.risk != nullptr) {
+      options_.risk->ObserveSignal(identity.id, 1.0, now);
     }
     return Status::RateLimited(
         "identity " + std::to_string(identity.id) +
@@ -220,6 +235,21 @@ Result<ProtectedResult> QueryGate::ExecuteSql(const Identity& identity,
       if (m_rep_escalations_ != nullptr) m_rep_escalations_->Increment();
     }
   }
+  if (options_.risk != nullptr) {
+    obs::RiskScorer* risk = options_.risk;
+    for (int64_t key : result->result.touched_keys) {
+      risk->ObserveQuery(identity.id, key, now);
+    }
+    // Multi-tuple statements are the volume-inference fingerprint
+    // (wide range probes reconstruct the dataset fastest); single-key
+    // point reads are not probes.
+    if (result->result.touched_keys.size() > 1) {
+      risk->ObserveRangeProbe(identity.id,
+                              result->result.touched_keys.size(), now);
+    }
+    if (escalation > 1.0) risk->ObserveSignal(identity.id, 2.0, now);
+    if (rep_factor > 1.0) risk->ObserveSignal(identity.id, 2.0, now);
+  }
   // Per-class delay accounting: an identity the coverage monitor or
   // reputation store has escalated is "flagged"; everyone else is
   // "legitimate". The split is what lets a dashboard confirm the
@@ -272,6 +302,9 @@ void QueryGate::ExecuteSqlAsync(const Identity& identity,
       record.magnitude = result->delay_seconds;
       audit_log_.Record(record);
       if (m_denied_overload_ != nullptr) m_denied_overload_->Increment();
+      if (options_.risk != nullptr) {
+        options_.risk->ObserveSignal(identity.id, 1.0, NowSeconds());
+      }
       done(std::move(admit));
       return;
     }

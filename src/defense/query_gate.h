@@ -17,6 +17,8 @@
 #include "defense/registration_limiter.h"
 #include "defense/reputation.h"
 #include "defense/token_bucket.h"
+#include "obs/event_ring.h"
+#include "obs/risk.h"
 
 namespace tarpit {
 
@@ -64,6 +66,17 @@ struct QueryGateOptions {
   /// the delay-charged histograms (split legitimate vs flagged by the
   /// coverage monitor) here. Must outlive the gate.
   obs::MetricRegistry* metrics = nullptr;
+  /// When non-null every audit record is mirrored into this binary
+  /// forensics ring (the AuditLog keeps only a bounded window; the
+  /// ring adds lock-free capture and structured querying). Not owned;
+  /// must outlive the gate.
+  obs::DefenseEventRing* events = nullptr;
+  /// When non-null the gate feeds the extraction-risk scorer: every
+  /// served tuple (breadth + rate), every multi-tuple statement
+  /// (volume-probe shape) and every denial/escalation (defense
+  /// signal). Purely observational -- the scorer never changes a
+  /// delay. Not owned; must outlive the gate.
+  obs::RiskScorer* risk = nullptr;
 };
 
 /// The front door: account registration plus per-user and per-subnet

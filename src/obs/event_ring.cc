@@ -1,0 +1,160 @@
+#include "obs/event_ring.h"
+
+#include <cstring>
+
+namespace tarpit {
+namespace obs {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+uint64_t BitsFromDouble(double d) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double d = 0;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace
+
+const char* DefenseEventTypeName(DefenseEventType type) {
+  switch (type) {
+    case DefenseEventType::kRegistered: return "registered";
+    case DefenseEventType::kRegistrationDenied:
+      return "registration-denied";
+    case DefenseEventType::kQueryAdmitted: return "query-admitted";
+    case DefenseEventType::kRateLimitedUser: return "rate-limited-user";
+    case DefenseEventType::kRateLimitedSubnet:
+      return "rate-limited-subnet";
+    case DefenseEventType::kLifetimeCapHit: return "lifetime-cap";
+    case DefenseEventType::kCoverageEscalated:
+      return "coverage-escalated";
+    case DefenseEventType::kReputationEscalated:
+      return "reputation-escalated";
+    case DefenseEventType::kOverloadShed: return "overload-shed";
+    case DefenseEventType::kCancelled: return "cancelled";
+    case DefenseEventType::kRecovery: return "recovery";
+    case DefenseEventType::kWatchdogViolation:
+      return "watchdog-violation";
+    case DefenseEventType::kNumTypes: break;
+  }
+  return "unknown";
+}
+
+DefenseEventRing::DefenseEventRing(DefenseEventRingOptions options) {
+  capacity_ = RoundUpPow2(options.capacity == 0 ? 1 : options.capacity);
+  mask_ = capacity_ - 1;
+  slots_ = std::vector<Slot>(capacity_);
+  if (options.metrics != nullptr) {
+    MetricRegistry* m = options.metrics;
+    m_appended_ = m->GetCounter("tarpit_events_appended_total");
+    m_dropped_ = m->GetCounter("tarpit_events_dropped_total");
+    for (size_t t = 0; t < kNumDefenseEventTypes; ++t) {
+      m_by_type_[t] = m->GetCounter(
+          "tarpit_events_by_type_total",
+          {{"type",
+            DefenseEventTypeName(static_cast<DefenseEventType>(t))}});
+    }
+  }
+}
+
+void DefenseEventRing::Append(const DefenseEvent& event) {
+  const uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq & mask_];
+  // Seqlock write protocol: stamp `start` BEFORE the payload (the
+  // release fence orders the stamp ahead of the relaxed payload
+  // stores), stamp `end` after with release. A reader that sees
+  // end == seq+1 has acquire-ordered payload visibility; one that sees
+  // start != seq+1 after copying knows a newer writer lapped it.
+  slot.start.store(seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.time_micros.store(event.time_micros, std::memory_order_relaxed);
+  slot.type.store(static_cast<uint64_t>(event.type),
+                  std::memory_order_relaxed);
+  slot.principal.store(event.principal, std::memory_order_relaxed);
+  slot.subnet24.store(event.subnet24, std::memory_order_relaxed);
+  slot.magnitude_bits.store(BitsFromDouble(event.magnitude),
+                            std::memory_order_relaxed);
+  slot.arg.store(event.arg, std::memory_order_relaxed);
+  slot.end.store(seq + 1, std::memory_order_release);
+
+  const size_t t = static_cast<size_t>(event.type) <
+                           kNumDefenseEventTypes
+                       ? static_cast<size_t>(event.type)
+                       : static_cast<size_t>(
+                             DefenseEventType::kQueryAdmitted);
+  by_type_[t].fetch_add(1, std::memory_order_relaxed);
+  if (m_appended_ != nullptr) m_appended_->Increment();
+  if (m_by_type_[t] != nullptr) m_by_type_[t]->Increment();
+  if (seq >= capacity_ && m_dropped_ != nullptr) {
+    m_dropped_->Increment();
+  }
+}
+
+bool DefenseEventRing::ReadSlot(uint64_t seq, DefenseEvent* out) const {
+  const Slot& slot = slots_[seq & mask_];
+  const uint64_t end = slot.end.load(std::memory_order_acquire);
+  if (end != seq + 1) return false;  // Unpublished or overwritten.
+  out->seq = seq;
+  out->time_micros = slot.time_micros.load(std::memory_order_relaxed);
+  const uint64_t type = slot.type.load(std::memory_order_relaxed);
+  out->principal = slot.principal.load(std::memory_order_relaxed);
+  out->subnet24 = static_cast<uint32_t>(
+      slot.subnet24.load(std::memory_order_relaxed));
+  out->magnitude = DoubleFromBits(
+      slot.magnitude_bits.load(std::memory_order_relaxed));
+  out->arg = slot.arg.load(std::memory_order_relaxed);
+  // Pair with the writer's release fence: if any payload load above
+  // observed a newer writer's store, this start load must observe that
+  // writer's claim stamp too, and the copy is discarded as torn.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.start.load(std::memory_order_relaxed) != seq + 1) {
+    torn_reads_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (type >= kNumDefenseEventTypes) {
+    torn_reads_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  out->type = static_cast<DefenseEventType>(type);
+  return true;
+}
+
+std::vector<DefenseEvent> DefenseEventRing::Snapshot(
+    const Query& query) const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t lo = head > capacity_ ? head - capacity_ : 0;
+  std::vector<DefenseEvent> out;
+  out.reserve(static_cast<size_t>(head - lo));
+  DefenseEvent e;
+  for (uint64_t seq = lo; seq < head; ++seq) {
+    if (!ReadSlot(seq, &e)) continue;
+    if (query.principal != 0 && e.principal != query.principal) continue;
+    if (query.type >= 0 && static_cast<int>(e.type) != query.type) {
+      continue;
+    }
+    if (e.time_micros < query.min_time_micros ||
+        e.time_micros > query.max_time_micros) {
+      continue;
+    }
+    out.push_back(e);
+  }
+  if (out.size() > query.limit) {
+    out.erase(out.begin(),
+              out.end() - static_cast<ptrdiff_t>(query.limit));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace tarpit

@@ -1,0 +1,163 @@
+#include "obs/timeseries.h"
+
+#include <chrono>
+#include <utility>
+
+namespace tarpit {
+namespace obs {
+
+MetricTimeSeries::MetricTimeSeries(MetricRegistry* source,
+                                   MetricTimeSeriesOptions options)
+    : source_(source), options_(options) {
+  if (options_.window == 0) options_.window = 1;
+}
+
+std::string MetricTimeSeries::Key(std::string_view name,
+                                  const Labels& labels,
+                                  std::string_view field) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '|';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  if (!field.empty()) {
+    key += '#';
+    key += field;
+  }
+  return key;
+}
+
+void MetricTimeSeries::AppendLocked(const std::string& key, double now,
+                                    double value) {
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    if (series_.size() >= options_.max_series) {
+      ++dropped_series_;
+      return;
+    }
+    it = series_.emplace(key, Ring{}).first;
+    it->second.points.resize(options_.window);
+  }
+  Ring& ring = it->second;
+  TimeSeriesPoint& p = ring.points[ring.next];
+  p.time_seconds = now;
+  p.value = value;
+  p.delta = ring.has_last ? value - ring.last_value : 0.0;
+  ring.last_value = value;
+  ring.has_last = true;
+  ring.next = (ring.next + 1) % options_.window;
+  if (ring.next == 0) ring.wrapped = true;
+}
+
+uint64_t MetricTimeSeries::ScrapeOnce(double now_seconds) {
+  const RegistrySnapshot snap = source_->Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const MetricSnapshot& m : snap.metrics) {
+    if (m.kind == MetricKind::kHistogram) {
+      AppendLocked(Key(m.name, m.labels, "count"), now_seconds,
+                   static_cast<double>(m.histogram.count));
+      AppendLocked(Key(m.name, m.labels, "sum"), now_seconds,
+                   static_cast<double>(m.histogram.sum));
+      if (options_.track_quantiles && m.histogram.count > 0) {
+        AppendLocked(Key(m.name, m.labels, "p50"), now_seconds,
+                     m.histogram.Quantile(0.50));
+        AppendLocked(Key(m.name, m.labels, "p99"), now_seconds,
+                     m.histogram.Quantile(0.99));
+        AppendLocked(Key(m.name, m.labels, "p999"), now_seconds,
+                     m.histogram.Quantile(0.999));
+      }
+    } else {
+      AppendLocked(Key(m.name, m.labels, {}), now_seconds,
+                   static_cast<double>(m.value));
+    }
+  }
+  return scrapes_++;
+}
+
+std::vector<TimeSeriesPoint> MetricTimeSeries::Series(
+    std::string_view name, const Labels& labels,
+    std::string_view field) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(Key(name, labels, field));
+  std::vector<TimeSeriesPoint> out;
+  if (it == series_.end()) return out;
+  const Ring& ring = it->second;
+  const size_t n = ring.wrapped ? ring.points.size() : ring.next;
+  out.reserve(n);
+  const size_t start = ring.wrapped ? ring.next : 0;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ring.points[(start + i) % ring.points.size()]);
+  }
+  return out;
+}
+
+bool MetricTimeSeries::Latest(std::string_view name, const Labels& labels,
+                              std::string_view field,
+                              TimeSeriesPoint* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(Key(name, labels, field));
+  if (it == series_.end() || !it->second.has_last) return false;
+  const Ring& ring = it->second;
+  const size_t last =
+      (ring.next + ring.points.size() - 1) % ring.points.size();
+  *out = ring.points[last];
+  return true;
+}
+
+uint64_t MetricTimeSeries::scrapes_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scrapes_;
+}
+
+size_t MetricTimeSeries::tracked_series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+uint64_t MetricTimeSeries::dropped_series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_series_;
+}
+
+ScrapeDriver::ScrapeDriver(std::function<void()> tick,
+                           ScrapeDriverOptions options)
+    : tick_(std::move(tick)), options_(options) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+ScrapeDriver::~ScrapeDriver() { Stop(); }
+
+void ScrapeDriver::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto interval = std::chrono::duration<double>(
+      options_.interval_seconds <= 0 ? 1.0 : options_.interval_seconds);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    tick_();
+    lock.lock();
+    ++ticks_;
+  }
+}
+
+void ScrapeDriver::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      if (!thread_.joinable()) return;
+    }
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+uint64_t ScrapeDriver::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+}  // namespace obs
+}  // namespace tarpit

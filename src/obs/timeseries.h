@@ -1,0 +1,138 @@
+#ifndef TARPIT_OBS_TIMESERIES_H_
+#define TARPIT_OBS_TIMESERIES_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tarpit {
+namespace obs {
+
+/// One scrape's worth of one metric: absolute value plus the delta
+/// since the previous scrape (0 on the first observation).
+struct TimeSeriesPoint {
+  double time_seconds = 0;
+  double value = 0;
+  double delta = 0;
+};
+
+struct MetricTimeSeriesOptions {
+  /// Scrapes retained per series (a ring: memory is fixed at
+  /// window * tracked series, independent of uptime).
+  size_t window = 240;
+  /// Hard cap on tracked series -- a label-cardinality explosion in
+  /// the source registry degrades to "newest series untracked" instead
+  /// of unbounded growth. Tracked-but-capped series are visible via
+  /// dropped_series().
+  size_t max_series = 4096;
+  /// Histogram series additionally track derived quantile series
+  /// (suffix #p50 / #p99 / #p999) next to #count and #sum.
+  bool track_quantiles = true;
+};
+
+/// Fixed-memory time-series view over a MetricRegistry: every
+/// ScrapeOnce() snapshots the registry and appends (value, delta)
+/// points into per-series rings. Counters and gauges store their
+/// int64 value; histograms store #count, #sum and (optionally)
+/// interpolated p50/p99/p999. This is the substrate the risk scorer
+/// and the watchdog read trajectories from -- tails and trends, not
+/// point snapshots.
+///
+/// Thread-safe (one mutex; scraping and querying are cold paths --
+/// the hot recording paths never touch this class).
+class MetricTimeSeries {
+ public:
+  MetricTimeSeries(MetricRegistry* source,
+                   MetricTimeSeriesOptions options = {});
+
+  MetricTimeSeries(const MetricTimeSeries&) = delete;
+  MetricTimeSeries& operator=(const MetricTimeSeries&) = delete;
+
+  /// Takes one scrape at `now_seconds` (the caller's clock -- virtual
+  /// clocks give deterministic trajectories). Returns the scrape index
+  /// (dense from 0).
+  uint64_t ScrapeOnce(double now_seconds);
+
+  /// Points for one series, oldest-first. `field` selects a histogram
+  /// sub-series ("count", "sum", "p50", "p99", "p999"); empty reads a
+  /// counter/gauge.
+  std::vector<TimeSeriesPoint> Series(std::string_view name,
+                                      const Labels& labels = {},
+                                      std::string_view field = {}) const;
+
+  /// Latest point for one series; false when never scraped.
+  bool Latest(std::string_view name, const Labels& labels,
+              std::string_view field, TimeSeriesPoint* out) const;
+
+  uint64_t scrapes_total() const;
+  size_t tracked_series() const;
+  /// Series refused by the max_series cap.
+  uint64_t dropped_series() const;
+
+ private:
+  struct Ring {
+    std::vector<TimeSeriesPoint> points;  // Capacity = window.
+    size_t next = 0;
+    bool wrapped = false;
+    double last_value = 0;
+    bool has_last = false;
+  };
+
+  void AppendLocked(const std::string& key, double now, double value);
+  static std::string Key(std::string_view name, const Labels& labels,
+                         std::string_view field);
+
+  MetricRegistry* source_;
+  MetricTimeSeriesOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Ring> series_;
+  uint64_t scrapes_ = 0;
+  uint64_t dropped_series_ = 0;
+};
+
+struct ScrapeDriverOptions {
+  double interval_seconds = 1.0;
+};
+
+/// Background wall-clock driver for the forensics layer: calls `tick`
+/// every interval until stopped. Wall-clock on purpose -- scraping is
+/// operational I/O like the PeriodicExporter, so virtual-clock
+/// simulations still scrape in real time (tests call the tick
+/// directly instead for determinism).
+class ScrapeDriver {
+ public:
+  ScrapeDriver(std::function<void()> tick, ScrapeDriverOptions options);
+  ~ScrapeDriver();
+
+  ScrapeDriver(const ScrapeDriver&) = delete;
+  ScrapeDriver& operator=(const ScrapeDriver&) = delete;
+
+  /// Idempotent; joins the driver thread.
+  void Stop();
+
+  uint64_t ticks() const;
+
+ private:
+  void Loop();
+
+  std::function<void()> tick_;
+  ScrapeDriverOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  uint64_t ticks_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace tarpit
+
+#endif  // TARPIT_OBS_TIMESERIES_H_

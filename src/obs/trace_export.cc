@@ -1,0 +1,177 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace tarpit {
+namespace obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out->append("\\u0000");  // Control chars never occur in op names.
+      (*out)[out->size() - 2] = "0123456789abcdef"[(c >> 4) & 0xf];
+      (*out)[out->size() - 1] = "0123456789abcdef"[c & 0xf];
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendSpan(std::string* out, const RequestTrace& t, bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  // The request-level track: one complete event spanning the whole
+  // trip, tid = request id so every request gets its own row.
+  out->append("{\"name\":\"");
+  AppendEscaped(out, t.op);
+  out->append("\",\"cat\":\"request\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+  out->append(std::to_string(t.request_id));
+  out->append(",\"ts\":");
+  out->append(std::to_string(t.start_micros));
+  out->append(",\"dur\":");
+  out->append(std::to_string(t.TotalMicros()));
+  out->append(",\"args\":{\"key\":");
+  out->append(std::to_string(t.key));
+  out->append(",\"session\":");
+  out->append(std::to_string(t.session));
+  out->append(",\"charged_delay_seconds\":");
+  out->append(std::to_string(t.charged_delay_seconds));
+  out->append(",\"ok\":");
+  out->append(t.ok ? "true" : "false");
+  out->append(",\"cancelled\":");
+  out->append(t.cancelled ? "true" : "false");
+  out->append("}}");
+}
+
+size_t AppendPhaseSlices(std::string* out, const RequestTrace& t,
+                         bool* first) {
+  size_t emitted = 0;
+  int64_t cursor = t.start_micros;
+  for (int p = 0; p < kNumTracePhases; ++p) {
+    const int64_t dur = t.phase_micros[p];
+    if (dur <= 0) continue;
+    if (!*first) out->push_back(',');
+    *first = false;
+    out->append("{\"name\":\"");
+    AppendEscaped(out, TracePhaseName(static_cast<TracePhase>(p)));
+    out->append("\",\"cat\":\"phase\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+    out->append(std::to_string(t.request_id));
+    out->append(",\"ts\":");
+    out->append(std::to_string(cursor));
+    out->append(",\"dur\":");
+    out->append(std::to_string(dur));
+    out->append("}");
+    cursor += dur;
+    ++emitted;
+  }
+  return emitted;
+}
+
+}  // namespace
+
+ChromeTrace ExportChromeTrace(const TraceSink& sink,
+                              const ChromeTraceOptions& options) {
+  ChromeTrace result;
+
+  // Retention = the deduplicated union of both retained sets (a trace
+  // can be both a slowest-N member and a recent sample). Ordered by
+  // request id for a stable, diffable export.
+  std::map<uint64_t, RequestTrace> retained;
+  for (const RequestTrace& t : sink.Slowest()) {
+    retained.emplace(t.request_id, t);
+  }
+  for (const RequestTrace& t : sink.Recent()) {
+    retained.emplace(t.request_id, t);
+  }
+
+  // Exemplars: slowest retained trace per occupied delay-histogram
+  // bucket, keyed by the bucket its *charged delay* lands in.
+  int exemplar_sub_bits = -1;
+  if (options.registry != nullptr) {
+    const RegistrySnapshot snap = options.registry->Snapshot();
+    for (const MetricSnapshot& m : snap.metrics) {
+      if (m.kind == MetricKind::kHistogram &&
+          m.name == options.exemplar_histogram) {
+        exemplar_sub_bits = m.histogram.sub_bits;
+        break;
+      }
+    }
+  }
+  std::unordered_map<size_t, TraceExemplar> by_bucket;
+  if (exemplar_sub_bits >= 0) {
+    for (const auto& [id, t] : retained) {
+      const int64_t ns = NanosFromSeconds(t.charged_delay_seconds);
+      if (ns <= 0) continue;
+      const size_t bucket =
+          Histogram::BucketIndex(exemplar_sub_bits, ns);
+      auto it = by_bucket.find(bucket);
+      if (it == by_bucket.end() ||
+          t.TotalMicros() > it->second.total_micros) {
+        TraceExemplar ex;
+        ex.bucket_lower_bound =
+            Histogram::BucketLowerBound(exemplar_sub_bits, bucket);
+        ex.trace_id = id;
+        ex.value = ns;
+        ex.total_micros = t.TotalMicros();
+        by_bucket[bucket] = ex;
+      }
+    }
+    result.exemplars.reserve(by_bucket.size());
+    for (const auto& [bucket, ex] : by_bucket) {
+      result.exemplars.push_back(ex);
+    }
+    std::sort(result.exemplars.begin(), result.exemplars.end(),
+              [](const TraceExemplar& a, const TraceExemplar& b) {
+                return a.bucket_lower_bound < b.bucket_lower_bound;
+              });
+  }
+
+  std::string& json = result.json;
+  json.reserve(retained.size() * 512 + 256);
+  json.append("{\"traceEvents\":[");
+  bool first = true;
+  for (const auto& [id, t] : retained) {
+    AppendSpan(&json, t, &first);
+    ++result.request_spans;
+    result.phase_spans += AppendPhaseSlices(&json, t, &first);
+  }
+  json.append("],\"displayTimeUnit\":\"ms\"");
+
+  json.append(",\"exemplars\":{\"");
+  AppendEscaped(&json, options.exemplar_histogram.c_str());
+  json.append("\":[");
+  for (size_t i = 0; i < result.exemplars.size(); ++i) {
+    const TraceExemplar& ex = result.exemplars[i];
+    if (i > 0) json.push_back(',');
+    json.append("{\"bucket_lower_bound\":");
+    json.append(std::to_string(ex.bucket_lower_bound));
+    json.append(",\"trace_id\":");
+    json.append(std::to_string(ex.trace_id));
+    json.append(",\"value\":");
+    json.append(std::to_string(ex.value));
+    json.append(",\"total_micros\":");
+    json.append(std::to_string(ex.total_micros));
+    json.append("}");
+  }
+  json.append("]}");
+
+  json.append(",\"otherData\":{\"completed_total\":");
+  json.append(std::to_string(sink.completed_total()));
+  json.append(",\"request_spans\":");
+  json.append(std::to_string(result.request_spans));
+  json.append(",\"phase_spans\":");
+  json.append(std::to_string(result.phase_spans));
+  json.append("}}");
+  return result;
+}
+
+}  // namespace obs
+}  // namespace tarpit

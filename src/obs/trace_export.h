@@ -1,0 +1,61 @@
+#ifndef TARPIT_OBS_TRACE_EXPORT_H_
+#define TARPIT_OBS_TRACE_EXPORT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tarpit {
+namespace obs {
+
+struct ChromeTraceOptions {
+  /// When non-null the export appends histogram exemplars: for the
+  /// delay-charged histogram found in this registry, each occupied
+  /// bucket links to the slowest retained trace whose charged delay
+  /// landed in it -- the bridge from "p999 is high" to "here is the
+  /// request that did it". Must outlive the call.
+  const MetricRegistry* registry = nullptr;
+  /// Name of the histogram exemplars attach to.
+  std::string exemplar_histogram = "tarpit_delay_charged_ns";
+};
+
+/// One exemplar link: the retained trace that best represents one
+/// histogram bucket.
+struct TraceExemplar {
+  int64_t bucket_lower_bound = 0;  // Inclusive, histogram units (ns).
+  uint64_t trace_id = 0;           // RequestTrace::request_id.
+  int64_t value = 0;               // The exemplar's recorded value.
+  int64_t total_micros = 0;        // The exemplar's wall duration.
+};
+
+/// A rendered Chrome/Perfetto trace plus its accounting (span counts
+/// let callers verify the export against TraceSink retention without
+/// re-parsing the JSON).
+struct ChromeTrace {
+  std::string json;
+  /// cat="request" complete-events: one per distinct retained request
+  /// (the deduplicated union of Slowest() and Recent()).
+  size_t request_spans = 0;
+  /// cat="phase" child slices (zero-duration phases are elided).
+  size_t phase_spans = 0;
+  std::vector<TraceExemplar> exemplars;
+};
+
+/// Renders the sink's retained traces as Chrome trace-event JSON
+/// ({"traceEvents":[...]}), loadable by chrome://tracing and Perfetto.
+/// Each request is a ph="X" complete event on its own track
+/// (tid = request_id, pid = 1); its non-empty pipeline phases nest as
+/// child slices laid out cumulatively from the request start, in
+/// TracePhase order. Extra args carry key, session, charged delay and
+/// outcome. Unknown top-level keys are legal in the trace format, so
+/// exemplar links ride along under "exemplars".
+ChromeTrace ExportChromeTrace(const TraceSink& sink,
+                              const ChromeTraceOptions& options = {});
+
+}  // namespace obs
+}  // namespace tarpit
+
+#endif  // TARPIT_OBS_TRACE_EXPORT_H_

@@ -1,0 +1,98 @@
+#include "obs/watchdog.h"
+
+#include <utility>
+
+namespace tarpit {
+namespace obs {
+
+SelfAuditWatchdog::SelfAuditWatchdog(SelfAuditWatchdogOptions options)
+    : options_(options) {
+  if (options_.metrics != nullptr) {
+    m_healthy_ = options_.metrics->GetGauge("tarpit_watchdog_healthy");
+    m_healthy_->Set(1);
+  }
+}
+
+size_t SelfAuditWatchdog::RegisterCheck(std::string name,
+                                        WatchdogCheck check) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Check c;
+  c.name = std::move(name);
+  c.fn = std::move(check);
+  c.stats.name = c.name;
+  if (options_.metrics != nullptr) {
+    MetricRegistry* m = options_.metrics;
+    c.m_checks = m->GetCounter("tarpit_watchdog_checks_total",
+                               {{"check", c.name}});
+    c.m_violations = m->GetCounter("tarpit_watchdog_violations_total",
+                                   {{"check", c.name}});
+    c.m_skipped = m->GetCounter("tarpit_watchdog_skipped_total",
+                                {{"check", c.name}});
+  }
+  checks_.push_back(std::move(c));
+  return checks_.size() - 1;
+}
+
+size_t SelfAuditWatchdog::RunOnce(int64_t now_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t violations_this_pass = 0;
+  for (size_t i = 0; i < checks_.size(); ++i) {
+    Check& c = checks_[i];
+    WatchdogResult r = c.fn();
+    ++c.stats.runs;
+    if (c.m_checks != nullptr) c.m_checks->Increment();
+    switch (r.status) {
+      case WatchdogResult::Status::kOk:
+        break;
+      case WatchdogResult::Status::kSkipped:
+        ++c.stats.skips;
+        if (c.m_skipped != nullptr) c.m_skipped->Increment();
+        break;
+      case WatchdogResult::Status::kViolation:
+        ++c.stats.violations;
+        ++violations_;
+        ++violations_this_pass;
+        if (c.m_violations != nullptr) c.m_violations->Increment();
+        if (options_.events != nullptr) {
+          DefenseEvent e;
+          e.time_micros = now_micros;
+          e.type = DefenseEventType::kWatchdogViolation;
+          e.magnitude = r.drift;
+          e.arg = static_cast<int64_t>(i);
+          options_.events->Append(e);
+        }
+        break;
+    }
+    c.stats.last = std::move(r);
+  }
+  ++passes_;
+  if (m_healthy_ != nullptr) m_healthy_->Set(violations_ == 0 ? 1 : 0);
+  return violations_this_pass;
+}
+
+bool SelfAuditWatchdog::healthy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_ == 0;
+}
+
+std::vector<SelfAuditWatchdog::CheckStats> SelfAuditWatchdog::Stats()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CheckStats> out;
+  out.reserve(checks_.size());
+  for (const Check& c : checks_) out.push_back(c.stats);
+  return out;
+}
+
+uint64_t SelfAuditWatchdog::passes_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return passes_;
+}
+
+uint64_t SelfAuditWatchdog::violations_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_;
+}
+
+}  // namespace obs
+}  // namespace tarpit

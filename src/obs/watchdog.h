@@ -1,0 +1,118 @@
+#ifndef TARPIT_OBS_WATCHDOG_H_
+#define TARPIT_OBS_WATCHDOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/event_ring.h"
+#include "obs/metrics.h"
+
+namespace tarpit {
+namespace obs {
+
+/// Outcome of one invariant check.
+///   kOk        -- invariant held.
+///   kSkipped   -- the check could not be evaluated race-free this
+///                 pass (writers moved between its double-reads); not
+///                 a violation, and counted separately so a check that
+///                 *always* skips is itself visible.
+///   kViolation -- invariant broken; `drift` is the measured
+///                 discrepancy (check-specific units, typically a
+///                 fraction) and `detail` a human-readable account.
+struct WatchdogResult {
+  enum class Status { kOk, kSkipped, kViolation };
+  Status status = Status::kOk;
+  double drift = 0;
+  std::string detail;
+
+  static WatchdogResult Ok() { return {}; }
+  static WatchdogResult Skipped(std::string why) {
+    return {Status::kSkipped, 0, std::move(why)};
+  }
+  static WatchdogResult Violation(double drift, std::string detail) {
+    return {Status::kViolation, drift, std::move(detail)};
+  }
+};
+
+/// An invariant check: pure read-side reconciliation, safe to run
+/// while the engine serves traffic.
+using WatchdogCheck = std::function<WatchdogResult()>;
+
+struct SelfAuditWatchdogOptions {
+  /// When non-null the watchdog publishes per-check
+  /// tarpit_watchdog_{checks,violations,skipped}_total counters and
+  /// the tarpit_watchdog_healthy gauge here. Must outlive the
+  /// watchdog.
+  MetricRegistry* metrics = nullptr;
+  /// When non-null every violation is appended as a
+  /// kWatchdogViolation event (principal 0, arg = check index,
+  /// magnitude = drift). Must outlive the watchdog.
+  DefenseEventRing* events = nullptr;
+};
+
+/// Continuous production self-audit: holds a set of named invariant
+/// checks (charged-delay ledger vs. histogram, parked gauge vs.
+/// scheduler, governor budget vs. observed peak -- see
+/// core/self_audit.h for the standard set) and reconciles them every
+/// pass. Benches verify accounting once at the end of a run; the
+/// watchdog is the in-production version -- drift surfaces within one
+/// scrape interval instead of at the next offline bench.
+///
+/// Thread-safe; RunOnce is serialized internally.
+class SelfAuditWatchdog {
+ public:
+  explicit SelfAuditWatchdog(SelfAuditWatchdogOptions options = {});
+
+  SelfAuditWatchdog(const SelfAuditWatchdog&) = delete;
+  SelfAuditWatchdog& operator=(const SelfAuditWatchdog&) = delete;
+
+  /// Registers a named check; returns its index (the `arg` of any
+  /// violation event it emits).
+  size_t RegisterCheck(std::string name, WatchdogCheck check);
+
+  /// Runs every registered check once, stamping violation events with
+  /// `now_micros`. Returns the number of violations this pass.
+  size_t RunOnce(int64_t now_micros);
+
+  /// True while no pass has ever recorded a violation. Sticky on
+  /// purpose: a once-broken invariant stays visible until an operator
+  /// looks, even if later passes read clean.
+  bool healthy() const;
+
+  struct CheckStats {
+    std::string name;
+    uint64_t runs = 0;
+    uint64_t violations = 0;
+    uint64_t skips = 0;
+    WatchdogResult last;
+  };
+  std::vector<CheckStats> Stats() const;
+
+  uint64_t passes_total() const;
+  uint64_t violations_total() const;
+
+ private:
+  struct Check {
+    std::string name;
+    WatchdogCheck fn;
+    CheckStats stats;
+    Counter* m_checks = nullptr;
+    Counter* m_violations = nullptr;
+    Counter* m_skipped = nullptr;
+  };
+
+  SelfAuditWatchdogOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Check> checks_;
+  uint64_t passes_ = 0;
+  uint64_t violations_ = 0;
+  Gauge* m_healthy_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace tarpit
+
+#endif  // TARPIT_OBS_WATCHDOG_H_

@@ -16,7 +16,10 @@
 //                       [--rows=N] [--queries=N] [--traces]
 //                       [--emit-interval=SECONDS]
 //
-//   --format         prom (default) or json.
+//   --format         prom (default), json, or trace (Chrome/Perfetto
+//                    trace-event JSON rendered from the trace sink --
+//                    load the output in chrome://tracing or
+//                    ui.perfetto.dev).
 //   --out            write the dump to PATH instead of stdout (uses
 //                    the PeriodicExporter's atomic tmp+rename write).
 //   --rows           table size (default 512).
@@ -39,6 +42,7 @@
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "workload/key_generator.h"
 
 using namespace tarpit;
@@ -80,9 +84,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  if (args->format != "prom" && args->format != "json") {
-    std::fprintf(stderr, "--format must be prom or json (got %s)\n",
+  if (args->format != "prom" && args->format != "json" &&
+      args->format != "trace") {
+    std::fprintf(stderr,
+                 "--format must be prom, json or trace (got %s)\n",
                  args->format.c_str());
+    return false;
+  }
+  if (args->format == "trace" && args->emit_interval > 0) {
+    std::fprintf(stderr, "--emit-interval only supports prom/json\n");
     return false;
   }
   if (args->rows < 1 || args->queries < 0) {
@@ -103,7 +113,13 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) return 2;
 
   obs::MetricRegistry registry;
-  obs::TraceSink trace_sink;
+  obs::TraceSinkOptions sink_opts;
+  if (args.format == "trace") {
+    // A trace dump is single-run forensics: span every request instead
+    // of head-sampling 1-in-16.
+    sink_opts.sample_every = 1;
+  }
+  obs::TraceSink trace_sink(sink_opts);
 
   const fs::path dir =
       fs::temp_directory_path() / "tarpit_metrics_dump";
@@ -159,6 +175,34 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "checkpoint failed\n");
       return 1;
     }
+  }
+
+  if (args.format == "trace") {
+    // The Perfetto export path: retained spans (deduped slowest +
+    // recent) as trace events, with exemplar links from delay-charged
+    // histogram buckets to trace ids.
+    obs::ChromeTraceOptions topts;
+    topts.registry = &registry;
+    const obs::ChromeTrace trace =
+        obs::ExportChromeTrace(trace_sink, topts);
+    if (args.out.empty()) {
+      std::fputs(trace.json.c_str(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      std::FILE* f = std::fopen(args.out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "write %s failed\n", args.out.c_str());
+        return 1;
+      }
+      std::fputs(trace.json.c_str(), f);
+      std::fclose(f);
+      std::printf("trace written to %s (%zu request spans, %zu phase "
+                  "slices)\n",
+                  args.out.c_str(), trace.request_spans,
+                  trace.phase_spans);
+    }
+    fs::remove_all(dir);
+    return 0;
   }
 
   const obs::RegistrySnapshot snapshot = registry.Snapshot();
