@@ -1,0 +1,36 @@
+#ifndef TARPIT_COMMON_SYSCALL_RETRY_H_
+#define TARPIT_COMMON_SYSCALL_RETRY_H_
+
+#include <cerrno>
+
+namespace tarpit {
+
+/// Invokes a raw syscall expression until it stops failing with EINTR.
+/// Every blocking-ish syscall in the tree (pread/pwrite on storage,
+/// read/write/accept/epoll_wait on the network front end, fsync
+/// variants) is interruptible by signals; a bare `-1/EINTR` return is
+/// not an error, just a request to try again. Centralizing the loop
+/// keeps the retry policy identical in DiskManager, Wal, and src/net
+/// instead of three hand-rolled variants.
+///
+/// Usage:
+///   ssize_t n = RetryOnEintr([&] { return ::read(fd, buf, len); });
+///
+/// The callable is re-invoked verbatim, so arguments that must advance
+/// across partial transfers (short reads/writes) belong in the caller's
+/// loop, not here: this helper only absorbs EINTR, never short counts.
+/// EAGAIN/EWOULDBLOCK are returned to the caller -- on a non-blocking
+/// fd they are flow control, not noise, and every event-loop read/write
+/// path must see them.
+template <typename Fn>
+inline auto RetryOnEintr(Fn&& fn) -> decltype(fn()) {
+  decltype(fn()) r;
+  do {
+    r = fn();
+  } while (r < 0 && errno == EINTR);
+  return r;
+}
+
+}  // namespace tarpit
+
+#endif  // TARPIT_COMMON_SYSCALL_RETRY_H_

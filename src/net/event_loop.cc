@@ -1,0 +1,186 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/syscall_retry.h"
+#include "net/socket.h"
+
+namespace tarpit {
+namespace net {
+
+namespace {
+constexpr int kMaxEvents = 128;
+/// Idle epoll_wait cap: Stop()/Post() wake the loop via eventfd, so
+/// this only bounds how long a lost wakeup could stall (belt and
+/// suspenders, not the control path).
+constexpr int kIdleWaitMillis = 500;
+}  // namespace
+
+EventLoop::EventLoop() = default;
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) CloseFd(wake_fd_);
+  if (epfd_ >= 0) CloseFd(epfd_);
+}
+
+Status EventLoop::Init() {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) {
+    return Status::IOError(std::string("epoll_create1: ") +
+                           std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    return Status::IOError(std::string("eventfd: ") +
+                           std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // Token 0 is reserved for the wakeup fd.
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return Status::IOError(std::string("epoll_ctl wakeup: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+int64_t EventLoop::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void EventLoop::Wake() {
+  const uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wake.
+  (void)!RetryOnEintr(
+      [&] { return ::write(wake_fd_, &one, sizeof(one)); });
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  Wake();
+}
+
+void EventLoop::Post(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  Wake();
+}
+
+void EventLoop::DrainTasks() {
+  std::vector<Task> batch;
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    batch.swap(tasks_);
+  }
+  for (Task& t : batch) t();
+}
+
+int64_t EventLoop::RunTimers() {
+  while (!timer_heap_.empty()) {
+    const TimerEntry top = timer_heap_.top();
+    auto it = timers_.find(top.id);
+    if (it == timers_.end()) {  // Lazily cancelled.
+      timer_heap_.pop();
+      continue;
+    }
+    if (top.deadline > NowMicros()) return top.deadline - NowMicros();
+    timer_heap_.pop();
+    Task cb = std::move(it->second);
+    timers_.erase(it);
+    cb();
+  }
+  return -1;
+}
+
+uint64_t EventLoop::AddFd(int fd, uint32_t events, EventHandler handler) {
+  const uint64_t token = next_token_++;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = token;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) < 0) return 0;
+  regs_[token] = Registration{fd, std::move(handler)};
+  return token;
+}
+
+Status EventLoop::ModFd(uint64_t token, uint32_t events) {
+  auto it = regs_.find(token);
+  if (it == regs_.end()) {
+    return Status::NotFound("unknown event-loop token");
+  }
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = token;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, it->second.fd, &ev) < 0) {
+    return Status::IOError(std::string("epoll_ctl mod: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void EventLoop::RemoveFd(uint64_t token) {
+  auto it = regs_.find(token);
+  if (it == regs_.end()) return;
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+  regs_.erase(it);
+}
+
+uint64_t EventLoop::AddTimerAt(int64_t deadline_micros, Task callback) {
+  const uint64_t id = next_timer_id_++;
+  timers_[id] = std::move(callback);
+  timer_heap_.push(TimerEntry{deadline_micros, id});
+  return id;
+}
+
+void EventLoop::CancelTimer(uint64_t id) { timers_.erase(id); }
+
+void EventLoop::Run() {
+  loop_tid_ = std::this_thread::get_id();
+  epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    DrainTasks();
+    const int64_t next_timer_us = RunTimers();
+    if (stop_.load(std::memory_order_acquire)) break;
+    int timeout_ms = kIdleWaitMillis;
+    if (next_timer_us >= 0) {
+      timeout_ms = static_cast<int>(
+          std::min<int64_t>(kIdleWaitMillis, (next_timer_us + 999) / 1000));
+    }
+    const int n = RetryOnEintr(
+        [&] { return ::epoll_wait(epfd_, events, kMaxEvents, timeout_ms); });
+    if (n < 0) break;  // epoll fd itself is broken; nothing to salvage.
+    for (int i = 0; i < n; ++i) {
+      const uint64_t token = events[i].data.u64;
+      if (token == 0) {  // Wakeup eventfd: drain the counter.
+        uint64_t v;
+        (void)!RetryOnEintr(
+            [&] { return ::read(wake_fd_, &v, sizeof(v)); });
+        continue;
+      }
+      // Token lookup at dispatch time: a handler earlier in this batch
+      // may have removed this registration (closed connection) -- the
+      // stale event is dropped here instead of hitting a recycled fd.
+      auto it = regs_.find(token);
+      if (it == regs_.end()) continue;
+      // Copy the handler: it may RemoveFd(token) (invalidating the
+      // entry) while running.
+      EventHandler handler = it->second.handler;
+      handler(events[i].events);
+    }
+  }
+  // Final drain so Stop-posted cleanup (e.g. close-all) runs even when
+  // the stop flag was observed before those tasks.
+  DrainTasks();
+}
+
+}  // namespace net
+}  // namespace tarpit

@@ -1,0 +1,160 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/syscall_retry.h"
+
+namespace tarpit {
+namespace net {
+
+namespace {
+
+std::string ErrnoMessage(const char* op, int err) {
+  return std::string(op) + ": " + std::strerror(err) + " (errno " +
+         std::to_string(err) + ")";
+}
+
+bool FillAddr(const std::string& host, uint16_t port,
+              sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr->sin_addr.s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  return ::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1;
+}
+
+}  // namespace
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);  // EINTR: fd is closed regardless (Linux).
+}
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) CloseFd(fd_);
+  fd_ = fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = RetryOnEintr([&] { return ::fcntl(fd, F_GETFL); });
+  if (flags < 0) return Status::IOError(ErrnoMessage("fcntl", errno));
+  if (RetryOnEintr(
+          [&] { return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK); }) < 0) {
+    return Status::IOError(ErrnoMessage("fcntl O_NONBLOCK", errno));
+  }
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return Status::IOError(ErrnoMessage("setsockopt TCP_NODELAY", errno));
+  }
+  return Status::OK();
+}
+
+Result<int> ListenTcp(const std::string& host, uint16_t port,
+                      int backlog) {
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr)) {
+    return Status::InvalidArgument("bad listen address: " + host);
+  }
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                       0));
+  if (!fd.valid()) return Status::IOError(ErrnoMessage("socket", errno));
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return Status::IOError(
+        ErrnoMessage(("bind " + host + ":" + std::to_string(port)).c_str(),
+                     errno));
+  }
+  if (::listen(fd.get(), backlog) < 0) {
+    return Status::IOError(ErrnoMessage("listen", errno));
+  }
+  return fd.Release();
+}
+
+uint16_t LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+uint32_t PeerIpv4(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0 ||
+      addr.sin_family != AF_INET) {
+    return 0;
+  }
+  return ntohl(addr.sin_addr.s_addr);
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       const std::string& source_ip, bool nonblocking) {
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr)) {
+    return Status::InvalidArgument("bad connect address: " + host);
+  }
+  int type = SOCK_STREAM | SOCK_CLOEXEC;
+  if (nonblocking) type |= SOCK_NONBLOCK;
+  UniqueFd fd(::socket(AF_INET, type, 0));
+  if (!fd.valid()) return Status::IOError(ErrnoMessage("socket", errno));
+  if (!source_ip.empty()) {
+    sockaddr_in src;
+    if (!FillAddr(source_ip, 0, &src)) {
+      return Status::InvalidArgument("bad source ip: " + source_ip);
+    }
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&src),
+               sizeof(src)) < 0) {
+      return Status::IOError(
+          ErrnoMessage(("bind source " + source_ip).c_str(), errno));
+    }
+  }
+  // No RetryOnEintr here: an EINTR'd connect keeps completing
+  // asynchronously, and reissuing it yields EALREADY -- both spell
+  // "in flight", which only the non-blocking caller may treat as
+  // success (it polls for writability anyway).
+  const int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc < 0 && !(nonblocking && (errno == EINPROGRESS ||
+                                  errno == EINTR || errno == EALREADY))) {
+    return Status::IOError(ErrnoMessage(
+        ("connect " + host + ":" + std::to_string(port)).c_str(), errno));
+  }
+  return fd.Release();
+}
+
+size_t TryRaiseNofileLimit(size_t want) {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return 1024;
+  if (rl.rlim_cur < want) {
+    rlimit bumped = rl;
+    bumped.rlim_cur =
+        std::min<rlim_t>(want, rl.rlim_max == RLIM_INFINITY
+                                   ? static_cast<rlim_t>(want)
+                                   : rl.rlim_max);
+    if (::setrlimit(RLIMIT_NOFILE, &bumped) == 0) rl = bumped;
+  }
+  return static_cast<size_t>(rl.rlim_cur);
+}
+
+}  // namespace net
+}  // namespace tarpit

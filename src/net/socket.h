@@ -1,0 +1,82 @@
+#ifndef TARPIT_NET_SOCKET_H_
+#define TARPIT_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tarpit {
+namespace net {
+
+/// RAII fd: closes on destruction (EINTR-safe), movable, not copyable.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Closes an fd, absorbing EINTR (Linux guarantees the fd is gone even
+/// when close returns EINTR, so retrying close would be a double-close
+/// bug -- this just swallows the errno).
+void CloseFd(int fd);
+
+Status SetNonBlocking(int fd);
+Status SetNoDelay(int fd);
+
+/// Creates a non-blocking listening TCP socket bound to host:port
+/// (port 0 = kernel-assigned ephemeral). SO_REUSEADDR is set so test
+/// restarts never hit TIME_WAIT.
+Result<int> ListenTcp(const std::string& host, uint16_t port,
+                      int backlog = 1024);
+
+/// The locally bound port of a socket (resolves ephemeral binds).
+uint16_t LocalPort(int fd);
+
+/// Peer IPv4 address in host byte order (0 on failure / non-IPv4).
+uint32_t PeerIpv4(int fd);
+
+/// Connects to host:port. `source_ip` non-empty binds the local end to
+/// that address first (port 0) -- the load generator rotates source
+/// addresses through 127.0.0.0/8 so the 4-tuple space, not the ~28k
+/// ephemeral ports of a single source address, bounds connection
+/// count. `nonblocking` starts the connect and returns the fd with the
+/// handshake possibly still in flight (poll for writability).
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       const std::string& source_ip = "",
+                       bool nonblocking = false);
+
+/// Best-effort RLIMIT_NOFILE raise toward `want` fds (capped at the
+/// hard limit). Returns the soft limit in effect afterwards -- callers
+/// (the 100k-connection bench) size their targets off the result
+/// instead of failing on EMFILE.
+size_t TryRaiseNofileLimit(size_t want);
+
+}  // namespace net
+}  // namespace tarpit
+
+#endif  // TARPIT_NET_SOCKET_H_

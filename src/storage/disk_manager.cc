@@ -9,6 +9,7 @@
 
 #include "common/checksum.h"
 #include "common/failpoint.h"
+#include "common/syscall_retry.h"
 
 namespace tarpit {
 namespace {
@@ -18,19 +19,18 @@ std::string ErrnoContext(const char* op, const std::string& what, int err) {
          " (errno " + std::to_string(err) + ")";
 }
 
-/// pwrite all `n` bytes, retrying EINTR and continuing short writes.
-/// Returns 0 on success, the failing errno otherwise. A zero-byte
-/// pwrite return (possible only on weird devices) maps to EIO rather
-/// than looping forever.
+/// pwrite all `n` bytes (RetryOnEintr absorbs EINTR; this loop handles
+/// short writes). Returns 0 on success, the failing errno otherwise. A
+/// zero-byte pwrite return (possible only on weird devices) maps to
+/// EIO rather than looping forever.
 int PwriteFull(int fd, const char* buf, size_t n, off_t off) {
   size_t done = 0;
   while (done < n) {
-    ssize_t w = ::pwrite(fd, buf + done, n - done,
-                         off + static_cast<off_t>(done));
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return errno;
-    }
+    const ssize_t w = RetryOnEintr([&] {
+      return ::pwrite(fd, buf + done, n - done,
+                      off + static_cast<off_t>(done));
+    });
+    if (w < 0) return errno;
     if (w == 0) return EIO;
     done += static_cast<size_t>(w);
   }
@@ -43,12 +43,11 @@ int PwriteFull(int fd, const char* buf, size_t n, off_t off) {
 int PreadFull(int fd, char* buf, size_t n, off_t off) {
   size_t done = 0;
   while (done < n) {
-    ssize_t r = ::pread(fd, buf + done, n - done,
-                        off + static_cast<off_t>(done));
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return errno;
-    }
+    const ssize_t r = RetryOnEintr([&] {
+      return ::pread(fd, buf + done, n - done,
+                     off + static_cast<off_t>(done));
+    });
+    if (r < 0) return errno;
     if (r == 0) return EIO;
     done += static_cast<size_t>(r);
   }
@@ -202,7 +201,7 @@ Status DiskManager::Sync() {
   if (TARPIT_FAILPOINT("disk.fsync_fail")) {
     return Status::IOError(ErrnoContext("fsync", path_, EIO) + " [injected]");
   }
-  if (::fsync(fd_) != 0) {
+  if (RetryOnEintr([&] { return ::fsync(fd_); }) != 0) {
     return Status::IOError(ErrnoContext("fsync", path_, errno));
   }
   return Status::OK();

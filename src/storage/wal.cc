@@ -11,6 +11,7 @@
 
 #include "common/checksum.h"
 #include "common/failpoint.h"
+#include "common/syscall_retry.h"
 
 namespace tarpit {
 
@@ -39,17 +40,15 @@ std::string ErrnoContext(const char* op, const std::string& what, int err) {
          " (errno " + std::to_string(err) + ")";
 }
 
-/// write() all of buf, retrying EINTR and continuing short writes.
-/// Returns 0 on success, else the failing errno; *written reports bytes
-/// that hit the file either way.
+/// write() all of buf (RetryOnEintr absorbs EINTR; this loop continues
+/// short writes). Returns 0 on success, else the failing errno;
+/// *written reports bytes that hit the file either way.
 int WriteFull(int fd, const char* buf, size_t n, size_t* written) {
   *written = 0;
   while (*written < n) {
-    ssize_t w = ::write(fd, buf + *written, n - *written);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return errno;
-    }
+    const ssize_t w = RetryOnEintr(
+        [&] { return ::write(fd, buf + *written, n - *written); });
+    if (w < 0) return errno;
     if (w == 0) return EIO;
     *written += static_cast<size_t>(w);
   }
@@ -106,7 +105,7 @@ Status Wal::FsyncNow(uint64_t batch_records) {
   }
   const int64_t t0 =
       m_fsync_micros_ != nullptr ? SteadyNowMicros() : 0;
-  if (::fdatasync(fd_) != 0) {
+  if (RetryOnEintr([&] { return ::fdatasync(fd_); }) != 0) {
     return Status::IOError(ErrnoContext("fdatasync wal", path_, errno));
   }
   if (m_fsync_micros_ != nullptr) {
@@ -200,10 +199,10 @@ Result<uint64_t> Wal::ScanIntactPrefix(
   std::vector<char> buf;
   while (true) {
     char header[kFrameHeaderSize];
-    ssize_t n = ::pread(fd_, header, sizeof(header),
-                        static_cast<off_t>(pos));
+    ssize_t n = RetryOnEintr([&] {
+      return ::pread(fd_, header, sizeof(header), static_cast<off_t>(pos));
+    });
     if (n < 0) {
-      if (errno == EINTR) continue;
       return Status::IOError(ErrnoContext("pread wal", path_, errno));
     }
     if (n == 0) break;              // Clean end.
@@ -213,10 +212,11 @@ Result<uint64_t> Wal::ScanIntactPrefix(
     uint8_t type = static_cast<uint8_t>(header[4]);
     if (len > kMaxPayloadLen) break;  // Garbage length: torn header.
     buf.resize(len + kFrameTrailerSize);
-    n = ::pread(fd_, buf.data(), buf.size(),
-                static_cast<off_t>(pos + kFrameHeaderSize));
+    n = RetryOnEintr([&] {
+      return ::pread(fd_, buf.data(), buf.size(),
+                     static_cast<off_t>(pos + kFrameHeaderSize));
+    });
     if (n < 0) {
-      if (errno == EINTR) continue;
       return Status::IOError(ErrnoContext("pread wal", path_, errno));
     }
     if (n < static_cast<ssize_t>(buf.size())) break;  // Torn tail.

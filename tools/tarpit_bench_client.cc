@@ -1,0 +1,216 @@
+// tarpit_bench_client: load generator for the tarpit network front
+// end. Two modes:
+//
+//   --mode=park (default): open --connections sockets (rotating source
+//     IPs across 127.0.0.0/8 when --source-ips > 0 so the 4-tuple
+//     space, not ephemeral ports, is the bound), send one kGetKey on
+//     each, and HOLD them all open while the server parks every
+//     stalled response on its DelayScheduler. Reports the steady-state
+//     count -- point it at `tarpit_server --delay-min=300
+//     --delay-max=300` and watch tarpit_net_parked_connections climb.
+//
+//   --mode=rate: open-loop (coordinated-omission-free) request rate
+//     from --threads blocking connections at --qps total for
+//     --seconds, reporting p50/p99/p999 response latency (stall
+//     included) -- the client-side mirror of bench_net_capacity's
+//     in-process measurement.
+//
+// Usage:
+//   tarpit_bench_client --port=N [--host=H] [--mode=park|rate]
+//                       [--connections=N] [--source-ips=N] [--hold=S]
+//                       [--qps=N] [--threads=N] [--seconds=S]
+//                       [--keys=N]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/load_client.h"
+#include "net/socket.h"
+
+using namespace tarpit;
+
+namespace {
+
+struct Args {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string mode = "park";
+  size_t connections = 10000;
+  size_t source_ips = 64;
+  double hold = 10.0;
+  double qps = 200.0;
+  size_t threads = 4;
+  double seconds = 10.0;
+  int64_t keys = 1024;
+};
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--host=")) {
+      out->host = v;
+    } else if (const char* v = val("--port=")) {
+      out->port = static_cast<uint16_t>(std::atoi(v));
+    } else if (const char* v = val("--mode=")) {
+      out->mode = v;
+    } else if (const char* v = val("--connections=")) {
+      out->connections = static_cast<size_t>(std::atol(v));
+    } else if (const char* v = val("--source-ips=")) {
+      out->source_ips = static_cast<size_t>(std::atol(v));
+    } else if (const char* v = val("--hold=")) {
+      out->hold = std::atof(v);
+    } else if (const char* v = val("--qps=")) {
+      out->qps = std::atof(v);
+    } else if (const char* v = val("--threads=")) {
+      out->threads = static_cast<size_t>(std::atol(v));
+    } else if (const char* v = val("--seconds=")) {
+      out->seconds = std::atof(v);
+    } else if (const char* v = val("--keys=")) {
+      out->keys = std::atol(v);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (out->port == 0) {
+    std::fprintf(stderr, "--port is required\n");
+    return false;
+  }
+  return true;
+}
+
+int RunPark(const Args& args) {
+  const size_t limit = net::TryRaiseNofileLimit(args.connections + 512);
+  size_t target = args.connections;
+  if (limit < target + 256) {
+    target = limit > 512 ? limit - 512 : limit / 2;
+    std::fprintf(stderr,
+                 "RLIMIT_NOFILE caps at %zu fds; reducing to %zu "
+                 "connections\n",
+                 limit, target);
+  }
+  net::LoadClientOptions opts;
+  opts.host = args.host;
+  opts.port = args.port;
+  opts.connections = target;
+  opts.source_ips = args.source_ips;
+  opts.key_min = 1;
+  opts.key_max = args.keys;
+  net::LoadClient lc(opts);
+  Status s = lc.Init();
+  if (!s.ok()) {
+    std::fprintf(stderr, "init: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  while (!lc.done()) lc.Drive(200);
+  const double ramp =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+  std::printf("ramp: %zu connected, %zu requests sent, %zu errors in "
+              "%.1fs\n",
+              lc.connected(), lc.requests_sent(), lc.errors(), ramp);
+  const auto hold_until =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(args.hold);
+  while (std::chrono::steady_clock::now() < hold_until) {
+    lc.Drive(500);
+    std::printf("holding: %zu sent, %zu responses so far\n",
+                lc.requests_sent(), lc.responses());
+    std::fflush(stdout);
+  }
+  lc.CloseAll();
+  return 0;
+}
+
+int RunRate(const Args& args) {
+  std::vector<std::unique_ptr<net::FrameClient>> clients;
+  for (size_t t = 0; t < args.threads; ++t) {
+    auto c = std::make_unique<net::FrameClient>();
+    Status s = c->Connect(args.host, args.port);
+    if (!s.ok()) {
+      std::fprintf(stderr, "connect: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    clients.push_back(std::move(c));
+  }
+  const size_t total_ops =
+      static_cast<size_t>(args.qps * args.seconds);
+  const double per_thread_qps = args.qps / args.threads;
+  std::atomic<size_t> failures{0};
+  std::vector<std::vector<int64_t>> lat(args.threads);
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < args.threads; ++t) {
+    workers.emplace_back([&, t] {
+      const size_t ops = total_ops / args.threads;
+      const auto start = std::chrono::steady_clock::now();
+      const double interval_us = 1e6 / per_thread_qps;
+      lat[t].reserve(ops);
+      for (size_t i = 0; i < ops; ++i) {
+        // Open loop: send times are scheduled, not reactive, so a slow
+        // response delays nothing and queueing shows up as latency.
+        const auto due =
+            start + std::chrono::microseconds(
+                        static_cast<int64_t>(i * interval_us));
+        std::this_thread::sleep_until(due);
+        const auto t0 = std::chrono::steady_clock::now();
+        auto r = clients[t]->GetByKey(
+            1 + static_cast<int64_t>((t * ops + i) %
+                                     static_cast<size_t>(args.keys)),
+            /*timeout_seconds=*/120.0);
+        if (!r.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        lat[t].push_back(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::vector<int64_t> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  if (all.empty()) {
+    std::fprintf(stderr, "no successful responses\n");
+    return 1;
+  }
+  std::sort(all.begin(), all.end());
+  auto pct = [&](double q) {
+    return all[std::min(all.size() - 1,
+                        static_cast<size_t>(q * all.size()))];
+  };
+  std::printf("rate: %zu ops, %zu failures, p50 %lld us, p99 %lld us, "
+              "p999 %lld us\n",
+              all.size(), failures.load(),
+              static_cast<long long>(pct(0.50)),
+              static_cast<long long>(pct(0.99)),
+              static_cast<long long>(pct(0.999)));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+  if (args.mode == "park") return RunPark(args);
+  if (args.mode == "rate") return RunRate(args);
+  std::fprintf(stderr, "unknown mode: %s\n", args.mode.c_str());
+  return 2;
+}
